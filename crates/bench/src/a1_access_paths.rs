@@ -1,0 +1,144 @@
+//! **A1 — Access-path ablation** (table).
+//!
+//! Design-choice experiment (DESIGN.md calls for ablations of the storage
+//! design): what do zone maps and secondary hash indexes buy on a decayed
+//! store? One table, three physical plans for the same logical queries:
+//!
+//! * **full scan** — predicate on a pseudo-column, nothing prunable;
+//! * **zone-pruned scan** — range predicate on the insertion-clustered
+//!   column, most segments skipped via min/max zones;
+//! * **index probe** — equality predicate answered by a hash index.
+//!
+//! Each is measured before and after heavy decay (50 % of tuples rotted),
+//! because a decayed store is the paper's steady state: tombstones dilute
+//! segments and shrink index buckets.
+
+use std::time::Instant;
+
+use fungus_query::execute_statement;
+use fungus_storage::{StorageConfig, TableStore, TombstoneReason};
+use fungus_types::{DataType, Schema, Tick, TupleId, Value};
+
+use crate::harness::{fnum, Scale, TableBuilder};
+
+fn build_table(n: u64, with_index: bool) -> TableStore {
+    let schema = Schema::from_pairs(&[
+        ("key", DataType::Int),
+        ("seq", DataType::Float),
+        ("site", DataType::Str),
+    ])
+    .unwrap();
+    let mut t = TableStore::new(schema, StorageConfig::default()).unwrap();
+    if with_index {
+        t.create_index("key").unwrap();
+    }
+    for i in 0..n {
+        t.insert(
+            vec![
+                Value::Int((i % 1000) as i64),
+                Value::Float(i as f64), // insertion-clustered → zones prune
+                Value::Str(format!("site-{}", i % 7)),
+            ],
+            Tick(i / 100),
+        )
+        .unwrap();
+    }
+    t
+}
+
+fn decay_half(t: &mut TableStore, n: u64) {
+    // Rot every second tuple — the worst case for segment density.
+    for i in (0..n).step_by(2) {
+        t.delete(TupleId(i), TombstoneReason::Rotted);
+    }
+    t.compact();
+}
+
+fn measure(t: &mut TableStore, sql: &str, reps: u32) -> (f64, usize, usize, bool) {
+    // Warm-up + capture scan stats.
+    let first = execute_statement(sql, t, Tick(1_000)).unwrap();
+    let start = Instant::now();
+    for _ in 0..reps {
+        execute_statement(sql, t, Tick(1_000)).unwrap();
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6 / f64::from(reps);
+    (us, first.len(), first.scanned, first.used_index)
+}
+
+/// Runs A1 and renders the access-path table.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(200_000u64, 2_000);
+    let reps = scale.pick(20u32, 2);
+
+    let mut table = TableBuilder::new(
+        format!("A1 access paths: {n} tuples, same logical queries, four physical plans"),
+        &["phase", "path", "rows", "scanned", "mean_us", "index?"],
+    );
+
+    let queries: Vec<(&str, String)> = vec![
+        (
+            "full-scan",
+            "SELECT key FROM t WHERE $freshness > 0.5".into(),
+        ),
+        (
+            "zone-pruned",
+            format!("SELECT key FROM t WHERE seq >= {}", (n - n / 100) as f64),
+        ),
+        ("index-probe", "SELECT seq FROM t WHERE key = 501".into()),
+        // Ranges over `key` are unclustered (every segment spans the whole
+        // key domain) so zone maps cannot help; only the B-tree can.
+        (
+            "ord-range",
+            "SELECT seq FROM t WHERE key BETWEEN 501 AND 511".into(),
+        ),
+    ];
+
+    type Prep = fn(&mut TableStore, u64);
+    let phases: [(&str, Prep); 2] = [("fresh", |_, _| {}), ("half-decayed", decay_half)];
+    for (phase, prep) in phases {
+        let mut t = build_table(n, true);
+        t.create_ord_index("key").expect("key is a valid column");
+        prep(&mut t, n);
+        for (path, sql) in &queries {
+            let (us, rows, scanned, used_index) = measure(&mut t, sql, reps);
+            table.row(vec![
+                phase.to_string(),
+                (*path).to_string(),
+                rows.to_string(),
+                scanned.to_string(),
+                fnum(us),
+                used_index.to_string(),
+            ]);
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paths_behave_as_designed() {
+        let out = run(Scale::Quick);
+        let rows: Vec<Vec<&str>> = out
+            .lines()
+            .skip(2)
+            .map(|l| l.split('\t').collect())
+            .collect();
+        assert_eq!(rows.len(), 8, "2 phases × 4 paths");
+        for phase in [0, 4] {
+            let full = &rows[phase];
+            let zone = &rows[phase + 1];
+            let index = &rows[phase + 2];
+            let ord = &rows[phase + 3];
+            let scanned = |r: &Vec<&str>| r[3].parse::<usize>().unwrap();
+            assert!(scanned(zone) < scanned(full), "zones prune: {out}");
+            assert!(scanned(index) < scanned(full), "index narrows: {out}");
+            assert!(scanned(ord) < scanned(full), "ord index narrows: {out}");
+            assert_eq!(index[5], "true");
+            assert_eq!(ord[5], "true");
+            assert_eq!(full[5], "false");
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! Prints the A1 access-path ablation table (see EXPERIMENTS.md).
+
+use fungus_bench::harness::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    print!("{}", fungus_bench::a1_access_paths::run(scale));
+}

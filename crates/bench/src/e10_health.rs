@@ -1,0 +1,114 @@
+//! **E10 — Health under neglect vs care** (figure).
+//!
+//! Claim: "The database is kept in optimal health condition if you
+//! regularly can turn rotting portions into summaries for later
+//! consumption, or inspect them once before removal." Two identical
+//! stores under the same EGI attack diverge purely on owner behaviour:
+//! the *neglected* store lets everything rot unread; the *tended* owner
+//! harvests nearly-rotten data into summaries every few ticks. The health
+//! score separates them.
+
+use fungus_core::{ContainerPolicy, Database, DistillSpec, DistillTrigger};
+use fungus_fungi::{EgiConfig, FungusSpec};
+use fungus_summary::SummarySpec;
+use fungus_types::Tick;
+use fungus_workload::{SensorStream, Workload};
+
+use crate::harness::{fnum, Scale, TableBuilder};
+
+fn make_db(seed: u64, rate: usize) -> (Database, SensorStream) {
+    let mut db = Database::new(seed);
+    let workload = SensorStream::new(20, rate, db.rng());
+    let policy = ContainerPolicy::new(FungusSpec::Egi(EgiConfig {
+        seeds_per_tick: 4,
+        spread_width: 1,
+        rot_rate: 0.15,
+        ..EgiConfig::default()
+    }))
+    .with_distiller(DistillSpec {
+        name: "reading-stats".into(),
+        column: Some("reading".into()),
+        summary: SummarySpec::Moments,
+        trigger: DistillTrigger::Consumed,
+    });
+    db.create_container("r", workload.schema().clone(), policy)
+        .unwrap();
+    (db, workload)
+}
+
+/// Runs E10 and renders the health series.
+pub fn run(scale: Scale) -> String {
+    let ticks = scale.pick(600u64, 60);
+    let rate = scale.pick(50usize, 5);
+    let sample_every = scale.pick(30u64, 10);
+
+    let (neglected, mut w1) = make_db(100, rate);
+    let (tended, mut w2) = make_db(100, rate);
+
+    let mut table = TableBuilder::new(
+        format!("E10 health: neglected vs tended store under EGI, {rate} rows/tick"),
+        &[
+            "tick",
+            "neglected_score",
+            "tended_score",
+            "neglected_waste",
+            "tended_waste",
+            "tended_distilled",
+        ],
+    );
+
+    for t in 1..=ticks {
+        neglected.insert_batch("r", w1.rows_at(Tick(t))).unwrap();
+        tended.insert_batch("r", w2.rows_at(Tick(t))).unwrap();
+        if t % 5 == 0 {
+            // The tending owner harvests rotting portions into summaries.
+            tended
+                .execute("SELECT reading FROM r WHERE $freshness < 0.5 CONSUME")
+                .unwrap();
+        }
+        neglected.tick();
+        tended.tick();
+        if t % sample_every == 0 || t == ticks {
+            let hn = neglected.health("r").unwrap();
+            let ht = tended.health("r").unwrap();
+            let distilled = tended
+                .container("r")
+                .unwrap()
+                .read()
+                .distiller()
+                .absorbed("reading-stats")
+                .unwrap_or(0);
+            table.row(vec![
+                t.to_string(),
+                fnum(hn.score),
+                fnum(ht.score),
+                fnum(hn.waste_ratio),
+                fnum(ht.waste_ratio),
+                distilled.to_string(),
+            ]);
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tending_keeps_the_store_healthier() {
+        let out = run(Scale::Quick);
+        let last: Vec<&str> = out.lines().last().unwrap().split('\t').collect();
+        let neglected_score: f64 = last[1].parse().unwrap();
+        let tended_score: f64 = last[2].parse().unwrap();
+        let neglected_waste: f64 = last[3].parse().unwrap();
+        let tended_waste: f64 = last[4].parse().unwrap();
+        let distilled: u64 = last[5].parse().unwrap();
+        assert!(
+            tended_score > neglected_score,
+            "tended {tended_score} must beat neglected {neglected_score}"
+        );
+        assert!(tended_waste < neglected_waste);
+        assert!(distilled > 0, "harvests must have fed the distiller");
+    }
+}

@@ -1,0 +1,121 @@
+//! **E2 — Blue cheese** (figure).
+//!
+//! Claim: "EGI creates rotting spots in R … The effect of EGI is similar
+//! to Blue Cheese, where portions of the cheese turn into its rotting
+//! equivalent over time. It remains edible for a long time though."
+//!
+//! A static extent decays under EGI for a fixed number of cycles across a
+//! (seeds/tick × spread width) sweep; the spot census quantifies the
+//! cheese: number of contiguous rotting spots, their sizes, the holes
+//! already eaten, and how much of the extent is still "edible".
+
+use fungus_clock::DeterministicRng;
+use fungus_core::{Container, ContainerPolicy};
+use fungus_fungi::{EgiConfig, FungusSpec, SeedBias};
+use fungus_types::{DataType, Schema, Tick, Value};
+
+use crate::harness::{fnum, Scale, TableBuilder};
+
+/// Runs E2 and renders the sweep table.
+///
+/// Aggressive configurations eat the cheese quickly, so each cell is
+/// censused at a *fixed decay fraction* (30% of the extent evicted, or a
+/// tick cap, whichever first) — making the spot structure comparable
+/// across the sweep; `ticks_to_30%` reports the speed difference.
+pub fn run(scale: Scale) -> String {
+    let extent = scale.pick(20_000u64, 400);
+    let max_ticks = scale.pick(2_000u64, 60);
+    let target_evicted = extent * 3 / 10;
+    let seeds_sweep: &[usize] = &[1, 4, 16];
+    let spread_sweep: &[usize] = &[1, 2, 4];
+
+    let mut table = TableBuilder::new(
+        format!(
+            "E2 blue cheese: {extent} tuples, censused when 30% is eaten (cap {max_ticks} cycles)"
+        ),
+        &[
+            "seeds/tick",
+            "spread",
+            "ticks_to_30pct",
+            "spots",
+            "mean_spot",
+            "largest_spot",
+            "rot_holes",
+            "largest_hole",
+            "edible_frac",
+        ],
+    );
+
+    for &seeds in seeds_sweep {
+        for &spread in spread_sweep {
+            let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+            let policy = ContainerPolicy::new(FungusSpec::Egi(EgiConfig {
+                seeds_per_tick: seeds,
+                spread_width: spread,
+                rot_rate: 0.05,
+                seed_bias: SeedBias::AgePow(1.0),
+            }))
+            // Never compact mid-census: tombstone structure is the data.
+            .with_compaction_every(None);
+            let rng = DeterministicRng::new(2000 + (seeds * 10 + spread) as u64);
+            let mut c = Container::new("cheese", schema, policy, &rng).unwrap();
+            for i in 0..extent {
+                c.insert(vec![Value::Int(i as i64)], Tick(i / 100)).unwrap();
+            }
+            let start = extent / 100 + 1;
+            let mut ticks_taken = max_ticks;
+            for t in 0..max_ticks {
+                c.decay_tick(Tick(start + t));
+                if c.metrics().tuples_rotted >= target_evicted {
+                    ticks_taken = t + 1;
+                    break;
+                }
+            }
+            let census = c.spot_census();
+            let edible = c.live_count() as f64 / extent as f64;
+            table.row(vec![
+                seeds.to_string(),
+                spread.to_string(),
+                ticks_taken.to_string(),
+                census.infected_spots.to_string(),
+                fnum(census.mean_infected_spot()),
+                census.largest_infected_spot.to_string(),
+                census.rot_holes.to_string(),
+                census.largest_rot_hole.to_string(),
+                fnum(edible),
+            ]);
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spots_scale_with_seeding_and_cheese_stays_edible() {
+        let out = run(Scale::Quick);
+        let rows: Vec<Vec<&str>> = out
+            .lines()
+            .skip(2)
+            .map(|l| l.split('\t').collect())
+            .collect();
+        assert_eq!(rows.len(), 9, "3×3 sweep");
+        // Aggressive configs reach the census point sooner.
+        let ticks = |r: &Vec<&str>| r[2].parse::<u64>().unwrap();
+        assert!(
+            ticks(&rows[8]) <= ticks(&rows[0]),
+            "seeds=16/spread=4 must rot faster than seeds=1/spread=1"
+        );
+        // At the 30% census point the cheese is still mostly edible and
+        // the rot structure is visible.
+        for r in &rows {
+            let edible: f64 = r[8].parse().unwrap();
+            assert!(edible > 0.3, "censused at ~30% eaten: edible {edible}");
+            let spots: usize = r[3].parse().unwrap();
+            let holes: usize = r[6].parse().unwrap();
+            assert!(spots + holes > 0, "rot must be visible");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! **E4 — Query latency under decay** (figure).
+//!
+//! Claim: decay keeps queries fast. "The evident approach to avoid rotten
+//! data is to cook it into useful information a.s.a.p." — and a store
+//! whose extent is bounded scans a bounded number of tuples, while the
+//! no-decay store's recent-window queries slow down linearly with its
+//! unbounded history.
+//!
+//! Both systems answer the same recency-window aggregate as the store
+//! ages; we record latency and tuples scanned.
+
+use std::time::Instant;
+
+use fungus_core::ContainerPolicy;
+use fungus_core::Database;
+use fungus_fungi::FungusSpec;
+use fungus_types::Tick;
+use fungus_workload::{SensorStream, Workload};
+
+use crate::harness::{fnum, Scale, TableBuilder};
+
+/// Runs E4 and renders the latency series.
+pub fn run(scale: Scale) -> String {
+    let ticks = scale.pick(500u64, 30);
+    let rate = scale.pick(200usize, 10);
+    let window = scale.pick(20u64, 5);
+    let sample_every = scale.pick(25u64, 10);
+    let horizon = scale.pick(50u64, 8);
+
+    let mut nodecay = Database::new(41);
+    let mut ttl = Database::new(41);
+    let mut w1 = SensorStream::new(50, rate, nodecay.rng());
+    let mut w2 = SensorStream::new(50, rate, ttl.rng());
+    nodecay
+        .create_container("r", w1.schema().clone(), ContainerPolicy::immortal())
+        .unwrap();
+    ttl.create_container(
+        "r",
+        w2.schema().clone(),
+        ContainerPolicy::new(FungusSpec::Retention { max_age: horizon }),
+    )
+    .unwrap();
+
+    let sql = format!("SELECT COUNT(*), AVG(reading) FROM r WHERE $age <= {window}");
+    let mut table = TableBuilder::new(
+        format!(
+            "E4 query latency: recent-window aggregate (window {window}) over an aging store, \
+             {rate} rows/tick"
+        ),
+        &[
+            "tick",
+            "nodecay_live",
+            "nodecay_us",
+            "nodecay_scanned",
+            "ttl_live",
+            "ttl_us",
+            "ttl_scanned",
+        ],
+    );
+
+    for t in 1..=ticks {
+        nodecay.insert_batch("r", w1.rows_at(Tick(t))).unwrap();
+        ttl.insert_batch("r", w2.rows_at(Tick(t))).unwrap();
+        nodecay.tick();
+        ttl.tick();
+        if t % sample_every == 0 || t == ticks {
+            let mut cells = vec![t.to_string()];
+            for db in [&nodecay, &ttl] {
+                let live = db.container("r").unwrap().read().live_count();
+                let start = Instant::now();
+                let out = db.execute(&sql).unwrap();
+                let us = start.elapsed().as_secs_f64() * 1e6;
+                cells.push(live.to_string());
+                cells.push(fnum(us));
+                cells.push(out.result.scanned.to_string());
+            }
+            table.row(cells);
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decayed_store_scans_less() {
+        let out = run(Scale::Quick);
+        let last: Vec<&str> = out.lines().last().unwrap().split('\t').collect();
+        let nodecay_live: usize = last[1].parse().unwrap();
+        let nodecay_scanned: usize = last[3].parse().unwrap();
+        let ttl_live: usize = last[4].parse().unwrap();
+        let ttl_scanned: usize = last[6].parse().unwrap();
+        assert!(ttl_live < nodecay_live);
+        assert!(
+            ttl_scanned <= nodecay_scanned,
+            "bounded extent must scan no more: {ttl_scanned} vs {nodecay_scanned}"
+        );
+        assert_eq!(nodecay_live, 300, "30 ticks × 10 rows");
+    }
+}

@@ -1,0 +1,148 @@
+//! **E5 — Consume steady state** (table).
+//!
+//! Claim: the second natural law alone bounds a hot store. "The extent of
+//! table R is replaced by each query Q into the union of the answer set of
+//! Q and the reduced extent of R" — under continuous ingest plus a
+//! consuming query mix, the extent reaches a steady state even *without*
+//! any fungus, and consumption (not rot) dominates departures.
+//!
+//! Three modes over the identical ingest stream:
+//! * `peek` — the same query mix without CONSUME (control);
+//! * `consume` — reads consume (pure second law, no fungus);
+//! * `consume+fungus` — consuming reads plus a slow TTL fungus mopping up
+//!   what queries never touch (both laws together).
+
+use fungus_core::{ContainerPolicy, Database};
+use fungus_fungi::FungusSpec;
+use fungus_types::Tick;
+use fungus_workload::{QueryMix, SensorStream, Workload};
+
+use crate::harness::{fnum, mean, Scale, TableBuilder};
+
+struct ModeResult {
+    name: &'static str,
+    mean_live_tail: f64,
+    consumed: u64,
+    rotted: u64,
+    waste: f64,
+    queries: u64,
+}
+
+fn run_mode(
+    name: &'static str,
+    consume_reads: bool,
+    fungus: FungusSpec,
+    scale: Scale,
+) -> ModeResult {
+    let ticks = scale.pick(500u64, 40);
+    let rate = scale.pick(200usize, 10);
+    let queries_per_tick = scale.pick(4usize, 2);
+
+    let mut db = Database::new(51);
+    let mut workload = SensorStream::new(50, rate, db.rng());
+    // Point-lookups only: analysts extract specific (zipfian) sensors, so
+    // consuming reads eat exactly what someone asked for — cold sensors
+    // accumulate unless a fungus mops them up.
+    let mut mix = QueryMix::new("r", "sensor", "reading", 50, 30, db.rng())
+        .with_weights(1.0, 0.0, 0.0, 0.0)
+        .with_consuming_reads(consume_reads);
+    db.create_container("r", workload.schema().clone(), ContainerPolicy::new(fungus))
+        .unwrap();
+
+    let mut live_tail = Vec::new();
+    for t in 1..=ticks {
+        db.insert_batch("r", workload.rows_at(Tick(t))).unwrap();
+        for _ in 0..queries_per_tick {
+            let (_, sql) = mix.next_statement(Tick(t));
+            db.execute(&sql).unwrap();
+        }
+        db.tick();
+        if t > ticks / 2 {
+            live_tail.push(db.container("r").unwrap().read().live_count() as f64);
+        }
+    }
+    let c = db.container("r").unwrap();
+    let guard = c.read();
+    let stats = guard.stats(Tick(ticks));
+    ModeResult {
+        name,
+        mean_live_tail: mean(&live_tail),
+        consumed: guard.metrics().tuples_consumed,
+        rotted: guard.metrics().tuples_rotted,
+        waste: stats.waste_ratio(),
+        queries: guard.metrics().queries,
+    }
+}
+
+/// Runs E5 and renders the mode comparison table.
+pub fn run(scale: Scale) -> String {
+    let modes = vec![
+        run_mode("peek", false, FungusSpec::Null, scale),
+        run_mode("consume", true, FungusSpec::Null, scale),
+        run_mode(
+            "consume+fungus",
+            true,
+            FungusSpec::Retention {
+                max_age: scale.pick(100, 8),
+            },
+            scale,
+        ),
+    ];
+    let mut table = TableBuilder::new(
+        "E5 consume steady state: identical ingest + query mix, three consumption modes",
+        &[
+            "mode",
+            "mean_live_tail",
+            "consumed",
+            "rotted",
+            "waste_ratio",
+            "queries",
+        ],
+    );
+    for m in modes {
+        table.row(vec![
+            m.name.to_string(),
+            fnum(m.mean_live_tail),
+            m.consumed.to_string(),
+            m.rotted.to_string(),
+            fnum(m.waste),
+            m.queries.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consumption_bounds_the_extent() {
+        let out = run(Scale::Quick);
+        let rows: Vec<Vec<&str>> = out
+            .lines()
+            .skip(2)
+            .map(|l| l.split('\t').collect())
+            .collect();
+        assert_eq!(rows.len(), 3);
+        let live = |i: usize| rows[i][1].parse::<f64>().unwrap();
+        let consumed = |i: usize| rows[i][2].parse::<u64>().unwrap();
+        assert_eq!(consumed(0), 0, "peek mode consumes nothing");
+        assert!(consumed(1) > 0, "consume mode consumes");
+        assert!(
+            live(1) < live(0),
+            "consuming reads shrink the steady extent: {} vs {}",
+            live(1),
+            live(0)
+        );
+        assert!(
+            live(2) <= live(1),
+            "adding the fungus can only shrink it further: {} vs {}",
+            live(2),
+            live(1)
+        );
+        let rotted = |i: usize| rows[i][3].parse::<u64>().unwrap();
+        assert_eq!(rotted(1), 0, "pure consume mode has no fungus");
+        assert!(rotted(2) > 0, "the fungus mops up what queries never touch");
+    }
+}

@@ -1,0 +1,105 @@
+//! **E6 — Recall vs decay aggressiveness** (figure).
+//!
+//! Claim: information loss under decay is *controllable*. The fungus's
+//! horizon is a knob: recent-window queries keep perfect recall as long as
+//! the window fits inside the horizon, and recall degrades gracefully —
+//! not catastrophically — as the window outgrows it.
+//!
+//! Sweep: retention horizons × query delay windows; recall measured
+//! against a keep-everything ground truth at the end of the run.
+
+use fungus_core::{ContainerPolicy, Database};
+use fungus_fungi::FungusSpec;
+use fungus_query::parse_expr;
+use fungus_types::Tick;
+use fungus_workload::{GroundTruth, SensorStream, Workload};
+
+use crate::harness::{fnum, Scale, TableBuilder};
+
+/// Runs E6 and renders the horizon × delay recall table.
+pub fn run(scale: Scale) -> String {
+    let ticks = scale.pick(400u64, 40);
+    let rate = scale.pick(50usize, 5);
+    let horizons: Vec<u64> = scale.pick(vec![25, 50, 100, 200, 400], vec![10, 20]);
+    let delays: Vec<u64> = scale.pick(vec![10, 50, 100], vec![5, 15]);
+
+    let mut columns = vec!["horizon".to_string(), "live".to_string()];
+    for d in &delays {
+        columns.push(format!("recall@{d}"));
+    }
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut table = TableBuilder::new(
+        format!("E6 recall vs decay: TTL sweep, {rate} rows/tick for {ticks} ticks"),
+        &col_refs,
+    );
+
+    for &horizon in &horizons {
+        let mut db = Database::new(60 + horizon);
+        let mut workload = SensorStream::new(20, rate, db.rng());
+        let mut truth = GroundTruth::new(workload.schema().clone());
+        db.create_container(
+            "r",
+            workload.schema().clone(),
+            ContainerPolicy::new(FungusSpec::Retention { max_age: horizon }),
+        )
+        .unwrap();
+        for t in 1..=ticks {
+            // Tick first so rows inserted "at t" carry insertion time t,
+            // matching the ground-truth record (decay for cycle t runs
+            // before t's arrivals, as in a real ingestion pipeline).
+            db.tick();
+            let rows = workload.rows_at(Tick(t));
+            truth.record_all(&rows, Tick(t));
+            db.insert_batch("r", rows).unwrap();
+        }
+        let live = db.container("r").unwrap().read().live_count();
+        let mut cells = vec![horizon.to_string(), live.to_string()];
+        for &d in &delays {
+            let sql = format!("SELECT COUNT(*) FROM r WHERE $age <= {d}");
+            let observed = db
+                .execute(&sql)
+                .unwrap()
+                .result
+                .scalar()
+                .unwrap()
+                .as_i64()
+                .unwrap() as usize;
+            let pred = parse_expr(&format!("$age <= {d}")).unwrap();
+            let recall = truth.recall(&pred, Tick(ticks), observed).unwrap();
+            cells.push(fnum(recall));
+        }
+        table.row(cells);
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recall_is_perfect_inside_the_horizon_and_degrades_outside() {
+        let out = run(Scale::Quick);
+        let rows: Vec<Vec<&str>> = out
+            .lines()
+            .skip(2)
+            .map(|l| l.split('\t').collect())
+            .collect();
+        // Rows: horizon 10 and 20; delays 5 and 15.
+        let h10_r5: f64 = rows[0][2].parse().unwrap();
+        let h10_r15: f64 = rows[0][3].parse().unwrap();
+        let h20_r15: f64 = rows[1][3].parse().unwrap();
+        assert!(
+            (h10_r5 - 1.0).abs() < 1e-9,
+            "window 5 inside horizon 10 → perfect recall, got {h10_r5}"
+        );
+        assert!(
+            h10_r15 < 1.0,
+            "window 15 outside horizon 10 → lossy, got {h10_r15}"
+        );
+        assert!(
+            h20_r15 > h10_r15,
+            "longer horizon recovers recall: {h20_r15} vs {h10_r15}"
+        );
+    }
+}

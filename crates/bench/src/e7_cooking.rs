@@ -1,0 +1,236 @@
+//! **E7 — Cooking accuracy** (table).
+//!
+//! Claim: summaries preserve answers after the raw data rots. "You should
+//! distill it into useful knowledge, summary, …" — each cooking scheme is
+//! fed the full stream, the raw stream is then discarded, and the summary
+//! answers its question against exact ground truth computed before the
+//! discard.
+//!
+//! | scheme | question |
+//! |---|---|
+//! | moments | count / sum / mean |
+//! | histogram, reservoir | median |
+//! | count-min, top-k | frequency of the hottest key |
+//! | hyperloglog | distinct keys |
+
+use std::collections::HashMap;
+
+use fungus_clock::DeterministicRng;
+use fungus_summary::{AnySummary, SummarySpec};
+use fungus_types::Value;
+use fungus_workload::Zipf;
+use rand::Rng;
+
+use crate::harness::{fnum, Scale, TableBuilder};
+
+fn approx_bytes(s: &AnySummary) -> usize {
+    match s {
+        AnySummary::Moments(_) => 48,
+        AnySummary::Histogram(h) => h.bins().len() * 8 + 32,
+        AnySummary::EquiDepth(h) => h.buckets() * 8 + 4096 + 32, // sample-backed
+        AnySummary::Reservoir(r) => r.capacity() * 16 + 32,
+        AnySummary::CountMin(c) => c.width() * c.depth() * 8 + 32,
+        AnySummary::Distinct(h) => h.registers() + 16,
+        AnySummary::TopK(t) => t.tracked() * 32 + 16,
+    }
+}
+
+/// Runs E7 and renders the accuracy table.
+pub fn run(scale: Scale) -> String {
+    let n = scale.pick(100_000usize, 2_000);
+    let keys = scale.pick(1_000usize, 50);
+    let rng_factory = DeterministicRng::new(70);
+    let mut rng = rng_factory.stream("e7");
+    let zipf = Zipf::new(keys, 1.1);
+
+    // The stream: Zipfian keys with numeric payloads.
+    let mut key_stream = Vec::with_capacity(n);
+    let mut value_stream = Vec::with_capacity(n);
+    for _ in 0..n {
+        key_stream.push(zipf.sample(&mut rng) as i64);
+        value_stream.push(rng.gen_range(0.0..100.0));
+    }
+
+    // Exact ground truth (then conceptually discard the stream).
+    let count = n as f64;
+    let sum: f64 = value_stream.iter().sum();
+    let mut sorted = value_stream.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[n / 2];
+    let mut freq: HashMap<i64, u64> = HashMap::new();
+    for &k in &key_stream {
+        *freq.entry(k).or_default() += 1;
+    }
+    let distinct = freq.len() as f64;
+    let (&hot_key, &hot_count) = freq.iter().max_by_key(|(_, c)| **c).unwrap();
+
+    // Feed every summary.
+    let specs = [
+        SummarySpec::Moments,
+        SummarySpec::Histogram {
+            lo: 0.0,
+            hi: 100.0,
+            bins: 64,
+        },
+        SummarySpec::EquiDepth {
+            buckets: 32,
+            sample: 512,
+        },
+        SummarySpec::Reservoir { k: 256 },
+        SummarySpec::CountMin {
+            epsilon: 0.001,
+            delta: 0.01,
+        },
+        SummarySpec::Distinct { precision: 12 },
+        SummarySpec::TopK { k: 32 },
+    ];
+    let mut built: Vec<AnySummary> = specs
+        .iter()
+        .map(|s| s.build(rng_factory.derive_seed("e7-sketch")).unwrap())
+        .collect();
+    for i in 0..n {
+        let key = Value::Int(key_stream[i]);
+        let val = Value::Float(value_stream[i]);
+        for (spec, summary) in specs.iter().zip(built.iter_mut()) {
+            match spec {
+                SummarySpec::Moments
+                | SummarySpec::Histogram { .. }
+                | SummarySpec::EquiDepth { .. }
+                | SummarySpec::Reservoir { .. } => summary.observe(&val),
+                _ => summary.observe(&key),
+            }
+        }
+    }
+
+    let mut table = TableBuilder::new(
+        format!("E7 cooking accuracy: {n} tuples, {keys} zipfian keys, raw data discarded after distillation"),
+        &["scheme", "question", "truth", "estimate", "rel_err", "bytes"],
+    );
+    let mut push = |scheme: &str, question: &str, truth: f64, estimate: f64, bytes: usize| {
+        let rel = if truth == 0.0 {
+            0.0
+        } else {
+            (estimate - truth).abs() / truth
+        };
+        table.row(vec![
+            scheme.into(),
+            question.into(),
+            fnum(truth),
+            fnum(estimate),
+            fnum(rel),
+            bytes.to_string(),
+        ]);
+    };
+
+    for summary in &built {
+        match summary {
+            AnySummary::Moments(m) => {
+                push(
+                    "moments",
+                    "count",
+                    count,
+                    m.count() as f64,
+                    approx_bytes(summary),
+                );
+                push("moments", "sum", sum, m.sum(), approx_bytes(summary));
+                push(
+                    "moments",
+                    "mean",
+                    sum / count,
+                    m.mean().unwrap(),
+                    approx_bytes(summary),
+                );
+            }
+            AnySummary::Histogram(h) => {
+                push(
+                    "histogram",
+                    "median",
+                    median,
+                    h.quantile(0.5).unwrap(),
+                    approx_bytes(summary),
+                );
+            }
+            AnySummary::EquiDepth(h) => {
+                push(
+                    "equi-depth",
+                    "median",
+                    median,
+                    h.quantile(0.5).unwrap(),
+                    approx_bytes(summary),
+                );
+            }
+            AnySummary::Reservoir(r) => {
+                push(
+                    "reservoir",
+                    "median",
+                    median,
+                    r.quantile(0.5).unwrap(),
+                    approx_bytes(summary),
+                );
+            }
+            AnySummary::CountMin(c) => {
+                push(
+                    "count-min",
+                    "hot key freq",
+                    hot_count as f64,
+                    c.estimate(&Value::Int(hot_key)) as f64,
+                    approx_bytes(summary),
+                );
+            }
+            AnySummary::Distinct(h) => {
+                push(
+                    "hyperloglog",
+                    "distinct keys",
+                    distinct,
+                    h.estimate(),
+                    approx_bytes(summary),
+                );
+            }
+            AnySummary::TopK(t) => {
+                push(
+                    "top-k",
+                    "hot key freq",
+                    hot_count as f64,
+                    t.estimate(&Value::Int(hot_key)) as f64,
+                    approx_bytes(summary),
+                );
+            }
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scheme_answers_within_tolerance() {
+        let out = run(Scale::Quick);
+        let rows: Vec<Vec<&str>> = out
+            .lines()
+            .skip(2)
+            .map(|l| l.split('\t').collect())
+            .collect();
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            let rel: f64 = r[4].parse().unwrap();
+            let tolerance = match r[0] {
+                "moments" => 1e-9,     // exact
+                "equi-depth" => 0.35,  // sample-backed median
+                "count-min" => 0.05,   // ε-bounded overestimate
+                "hyperloglog" => 0.15, // ±1.04/√4096 ≈ 1.6%, slack ×10
+                "top-k" => 0.05,       // hot key is tracked exactly here
+                _ => 0.35,             // sampled/histogram medians
+            };
+            assert!(
+                rel <= tolerance,
+                "{} / {}: rel err {rel} exceeds {tolerance}",
+                r[0],
+                r[1]
+            );
+            let bytes: usize = r[5].parse().unwrap();
+            assert!(bytes > 0);
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Shared experiment plumbing.
+
+use std::fmt::Write as _;
+
+/// Experiment sizing. `Full` is what EXPERIMENTS.md records; `Quick` keeps
+/// unit tests of the harness itself fast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-scale run (seconds to a few minutes per experiment).
+    Full,
+    /// Miniature run for tests (well under a second).
+    Quick,
+}
+
+impl Scale {
+    /// Picks `full` or `quick` by scale.
+    pub fn pick<T>(self, full: T, quick: T) -> T {
+        match self {
+            Scale::Full => full,
+            Scale::Quick => quick,
+        }
+    }
+}
+
+/// Builds the aligned TSV tables the experiment binaries print.
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    title: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// A table with a title line and column headers.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        TableBuilder {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of already-formatted cells.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        debug_assert_eq!(cells.len(), self.columns.len(), "table arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table: `# title`, a header line, and TAB-separated rows.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = writeln!(out, "{}", self.columns.join("\t"));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", row.join("\t"));
+        }
+        out
+    }
+}
+
+/// Formats a float with 3 decimals, trimming integer-valued cells.
+pub fn fnum(x: f64) -> String {
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Mean of a slice (0 for empty).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// p-th percentile (nearest-rank) of a slice; 0 for empty.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let rank = ((p.clamp(0.0, 1.0) * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Full.pick(100, 5), 100);
+        assert_eq!(Scale::Quick.pick(100, 5), 5);
+    }
+
+    #[test]
+    fn table_renders_tsv() {
+        let mut t = TableBuilder::new("demo", &["a", "b"]);
+        t.row(vec!["1".into(), "x".into()]);
+        t.row(vec!["2".into(), "y".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "# demo");
+        assert_eq!(lines[1], "a\tb");
+        assert_eq!(lines[2], "1\tx");
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn numeric_helpers() {
+        assert_eq!(fnum(3.0), "3");
+        assert_eq!(fnum(1.23456), "1.235");
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&xs, 0.5), 50.0);
+        assert_eq!(percentile(&xs, 0.99), 99.0);
+        assert_eq!(percentile(&xs, 1.0), 100.0);
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+    }
+}

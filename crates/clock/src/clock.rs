@@ -1,0 +1,123 @@
+//! The shared virtual clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use fungus_types::{Tick, TickDelta};
+
+/// A monotonically advancing virtual clock shared by every component of one
+/// database instance.
+///
+/// Cloning a `VirtualClock` yields a handle onto the *same* underlying
+/// counter; all containers of a database observe a single timeline, exactly
+/// as the paper's single periodic clock `T` prescribes.
+///
+/// ```
+/// use fungus_clock::VirtualClock;
+/// use fungus_types::{Tick, TickDelta};
+///
+/// let clock = VirtualClock::new();
+/// let view = clock.clone();
+/// assert_eq!(clock.now(), Tick::ZERO);
+/// clock.advance(TickDelta(3));
+/// assert_eq!(view.now(), Tick(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    ticks: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A clock at the epoch.
+    pub fn new() -> Self {
+        VirtualClock {
+            ticks: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// A clock pre-set to `start` (used when restoring from a snapshot).
+    pub fn starting_at(start: Tick) -> Self {
+        VirtualClock {
+            ticks: Arc::new(AtomicU64::new(start.get())),
+        }
+    }
+
+    /// The current virtual time.
+    #[inline]
+    pub fn now(&self) -> Tick {
+        Tick(self.ticks.load(Ordering::Acquire))
+    }
+
+    /// Advances the clock by one tick and returns the new time.
+    #[inline]
+    pub fn tick(&self) -> Tick {
+        Tick(self.ticks.fetch_add(1, Ordering::AcqRel) + 1)
+    }
+
+    /// Advances the clock by `delta` ticks and returns the new time.
+    pub fn advance(&self, delta: TickDelta) -> Tick {
+        Tick(self.ticks.fetch_add(delta.get(), Ordering::AcqRel) + delta.get())
+    }
+
+    /// Resets the clock to `tick`. Only snapshot restore should use this;
+    /// ordinary operation never moves time backwards.
+    pub fn reset_to(&self, tick: Tick) {
+        self.ticks.store(tick.get(), Ordering::Release);
+    }
+
+    /// True if both handles view the same underlying counter.
+    pub fn same_clock(&self, other: &VirtualClock) -> bool {
+        Arc::ptr_eq(&self.ticks, &other.ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn starts_at_zero_and_ticks() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now(), Tick::ZERO);
+        assert_eq!(c.tick(), Tick(1));
+        assert_eq!(c.tick(), Tick(2));
+        assert_eq!(c.now(), Tick(2));
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(TickDelta(5));
+        assert_eq!(b.now(), Tick(5));
+        assert!(a.same_clock(&b));
+        assert!(!a.same_clock(&VirtualClock::new()));
+    }
+
+    #[test]
+    fn starting_at_and_reset() {
+        let c = VirtualClock::starting_at(Tick(100));
+        assert_eq!(c.now(), Tick(100));
+        c.reset_to(Tick(7));
+        assert_eq!(c.now(), Tick(7));
+    }
+
+    #[test]
+    fn concurrent_ticks_are_all_counted() {
+        let c = VirtualClock::new();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let c = c.clone();
+            handles.push(thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.tick();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), Tick(4000));
+    }
+}

@@ -1,0 +1,193 @@
+//! Simulation driver for experiments.
+//!
+//! [`Simulation`] wraps a [`TickScheduler`] with a per-tick observation
+//! hook. The experiment harness uses it to run a store for N virtual ticks
+//! while sampling metrics (extent size, freshness distribution, rot spots)
+//! into a [`TickTrace`] that the bench binaries print as the paper-style
+//! series.
+
+use fungus_types::Tick;
+
+use crate::clock::VirtualClock;
+use crate::scheduler::TickScheduler;
+
+/// One observed sample: the tick plus a vector of named metric values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickTrace {
+    /// Metric names, shared by every sample row.
+    pub columns: Vec<String>,
+    /// `(tick, metric values)` rows, one per sampled tick.
+    pub rows: Vec<(Tick, Vec<f64>)>,
+}
+
+impl TickTrace {
+    /// An empty trace with the given metric columns.
+    pub fn new(columns: Vec<String>) -> Self {
+        TickTrace {
+            columns,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a sample row. Panics in debug builds if the arity is wrong.
+    pub fn push(&mut self, tick: Tick, values: Vec<f64>) {
+        debug_assert_eq!(values.len(), self.columns.len(), "trace arity mismatch");
+        self.rows.push((tick, values));
+    }
+
+    /// The series for one named metric, as `(tick, value)` pairs.
+    pub fn series(&self, column: &str) -> Option<Vec<(Tick, f64)>> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        Some(self.rows.iter().map(|(t, vs)| (*t, vs[idx])).collect())
+    }
+
+    /// The last value of a named metric, if any rows were recorded.
+    pub fn last(&self, column: &str) -> Option<f64> {
+        let idx = self.columns.iter().position(|c| c == column)?;
+        self.rows.last().map(|(_, vs)| vs[idx])
+    }
+
+    /// Renders the trace as a TSV table (header + rows), the format the
+    /// experiment binaries print and EXPERIMENTS.md records.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::with_capacity(self.rows.len() * 32 + 64);
+        out.push_str("tick");
+        for c in &self.columns {
+            out.push('\t');
+            out.push_str(c);
+        }
+        out.push('\n');
+        for (tick, values) in &self.rows {
+            out.push_str(&tick.get().to_string());
+            for v in values {
+                out.push('\t');
+                // Render integers without the trailing ".0" noise.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v:.4}"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Drives a scheduler for a fixed number of ticks, sampling metrics.
+pub struct Simulation {
+    scheduler: TickScheduler,
+}
+
+impl Simulation {
+    /// A simulation over a fresh clock.
+    pub fn new() -> Self {
+        Simulation {
+            scheduler: TickScheduler::new(VirtualClock::new()),
+        }
+    }
+
+    /// A simulation over an existing scheduler (e.g. a database's).
+    pub fn over(scheduler: TickScheduler) -> Self {
+        Simulation { scheduler }
+    }
+
+    /// The underlying scheduler, for registering decay tasks.
+    pub fn scheduler(&self) -> &TickScheduler {
+        &self.scheduler
+    }
+
+    /// The simulation clock.
+    pub fn clock(&self) -> &VirtualClock {
+        self.scheduler.clock()
+    }
+
+    /// Runs for `ticks` virtual ticks. After each tick, `observe` may return
+    /// a metric row which is recorded every `sample_every` ticks (and always
+    /// at the final tick).
+    ///
+    /// `columns` names the metrics `observe` produces.
+    pub fn run(
+        &self,
+        ticks: u64,
+        sample_every: u64,
+        columns: Vec<String>,
+        mut observe: impl FnMut(Tick) -> Vec<f64>,
+    ) -> TickTrace {
+        let sample_every = sample_every.max(1);
+        let mut trace = TickTrace::new(columns);
+        for i in 0..ticks {
+            let now = self.scheduler.step();
+            if (i + 1) % sample_every == 0 || i + 1 == ticks {
+                trace.push(now, observe(now));
+            }
+        }
+        trace
+    }
+}
+
+impl Default for Simulation {
+    fn default() -> Self {
+        Simulation::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_types::TickDelta;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn run_samples_at_requested_rate() {
+        let sim = Simulation::new();
+        let trace = sim.run(10, 3, vec!["v".into()], |t| vec![t.get() as f64]);
+        // Samples at ticks 3, 6, 9 and the final tick 10.
+        let ticks: Vec<u64> = trace.rows.iter().map(|(t, _)| t.get()).collect();
+        assert_eq!(ticks, vec![3, 6, 9, 10]);
+    }
+
+    #[test]
+    fn run_drives_registered_tasks() {
+        let sim = Simulation::new();
+        let count = Arc::new(AtomicU64::new(0));
+        let c = Arc::clone(&count);
+        sim.scheduler().every("inc", TickDelta(1), move |_| {
+            c.fetch_add(1, Ordering::Relaxed);
+        });
+        sim.run(5, 1, vec![], |_| vec![]);
+        assert_eq!(count.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn series_and_last_extract_columns() {
+        let mut trace = TickTrace::new(vec!["a".into(), "b".into()]);
+        trace.push(Tick(1), vec![1.0, 10.0]);
+        trace.push(Tick(2), vec![2.0, 20.0]);
+        assert_eq!(
+            trace.series("b").unwrap(),
+            vec![(Tick(1), 10.0), (Tick(2), 20.0)]
+        );
+        assert_eq!(trace.last("a"), Some(2.0));
+        assert!(trace.series("missing").is_none());
+        assert!(trace.last("missing").is_none());
+    }
+
+    #[test]
+    fn tsv_renders_header_and_integer_values() {
+        let mut trace = TickTrace::new(vec!["n".into(), "f".into()]);
+        trace.push(Tick(1), vec![5.0, 0.25]);
+        let tsv = trace.to_tsv();
+        let mut lines = tsv.lines();
+        assert_eq!(lines.next(), Some("tick\tn\tf"));
+        assert_eq!(lines.next(), Some("1\t5\t0.2500"));
+    }
+
+    #[test]
+    fn sample_every_zero_is_promoted() {
+        let sim = Simulation::new();
+        let trace = sim.run(3, 0, vec!["v".into()], |_| vec![0.0]);
+        assert_eq!(trace.rows.len(), 3);
+    }
+}

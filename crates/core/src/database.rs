@@ -1,0 +1,993 @@
+//! The database: a catalog of decaying containers on one decay clock.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+
+use fungus_clock::{DeterministicRng, Task, TaskHandle, TickScheduler, VirtualClock};
+use fungus_query::{parse_statement, ResultSet, Statement};
+use fungus_types::{FungusError, Result, Schema, Tick, Tuple, TupleId, Value};
+
+use crate::container::Container;
+use crate::health::{HealthMonitor, HealthReport};
+use crate::policy::ContainerPolicy;
+use crate::route::{Route, RouteSpec, RouteTable};
+
+/// The outcome of [`Database::execute`]: the answer set plus how many
+/// values the consume path distilled into summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryOutcome {
+    /// The query's answer set (and consumed tuples, if any).
+    pub result: ResultSet,
+    /// Values folded into distillation summaries by this statement.
+    pub distilled: u64,
+}
+
+/// A catalog of containers sharing one virtual decay clock.
+///
+/// All stochastic behaviour (fungus seeding, sketch hashing) derives from
+/// the single construction seed, so a `Database` run is reproducible
+/// bit-for-bit.
+pub struct Database {
+    rng: DeterministicRng,
+    scheduler: TickScheduler,
+    containers: BTreeMap<String, Arc<RwLock<Container>>>,
+    decay_tasks: BTreeMap<String, TaskHandle>,
+    routes: BTreeMap<String, RouteTable>,
+}
+
+impl Database {
+    /// An empty database with the given master seed.
+    pub fn new(seed: u64) -> Self {
+        Database {
+            rng: DeterministicRng::new(seed),
+            scheduler: TickScheduler::new(VirtualClock::new()),
+            containers: BTreeMap::new(),
+            decay_tasks: BTreeMap::new(),
+            routes: BTreeMap::new(),
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &VirtualClock {
+        self.scheduler.clock()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Tick {
+        self.scheduler.clock().now()
+    }
+
+    /// The decay scheduler (for registering extra periodic tasks such as
+    /// health probes in experiments).
+    pub fn scheduler(&self) -> &TickScheduler {
+        &self.scheduler
+    }
+
+    /// The master RNG factory.
+    pub fn rng(&self) -> &DeterministicRng {
+        &self.rng
+    }
+
+    /// Creates a container and registers its decay task on the shared
+    /// clock.
+    pub fn create_container(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        policy: ContainerPolicy,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.containers.contains_key(&name) {
+            return Err(FungusError::ContainerExists(name));
+        }
+        let decay_period = policy.decay_period;
+        let container = Container::new(name.clone(), schema, policy, &self.rng)?;
+        self.install(name, container, decay_period);
+        Ok(())
+    }
+
+    /// Registers an already-built container (snapshot restore path).
+    pub fn adopt_container(&mut self, container: Container) -> Result<()> {
+        let name = container.name().to_string();
+        if self.containers.contains_key(&name) {
+            return Err(FungusError::ContainerExists(name));
+        }
+        let decay_period = container.policy().decay_period;
+        self.install(name, container, decay_period);
+        Ok(())
+    }
+
+    /// Shared registration path: wires the container, its (initially empty)
+    /// route table, and its decay task — which evicts, distills, and then
+    /// delivers rotted departures along the routes *after* releasing the
+    /// source lock (deadlock-free even under routing cycles).
+    fn install(
+        &mut self,
+        name: String,
+        container: Container,
+        decay_period: fungus_types::TickDelta,
+    ) {
+        let shared = Arc::new(RwLock::new(container));
+        let route_table: RouteTable = Arc::new(RwLock::new(Vec::new()));
+        let task_target = Arc::clone(&shared);
+        let task_routes = Arc::clone(&route_table);
+        let handle = self.scheduler.register(Task {
+            name: format!("decay/{name}"),
+            period: decay_period,
+            // Decay runs at priority 0; experiment probes registered later
+            // should use positive priorities to observe post-decay state.
+            priority: 0,
+            action: Box::new(move |now| {
+                let evicted = {
+                    let mut guard = task_target.write();
+                    guard.decay_tick_collect(now).1
+                };
+                if !evicted.is_empty() {
+                    let mut routed_any = false;
+                    for route in task_routes.read().iter() {
+                        // Routed inserts can only fail on a schema drift the
+                        // resolve-time validation already excluded.
+                        if matches!(route.deliver(&evicted, true, now), Ok(n) if n > 0) {
+                            routed_any = true;
+                        }
+                    }
+                    if routed_any {
+                        task_target.write().note_rot_routed(evicted.len() as u64);
+                    }
+                }
+            }),
+        });
+        self.decay_tasks.insert(name.clone(), handle);
+        self.routes.insert(name.clone(), route_table);
+        self.containers.insert(name, shared);
+    }
+
+    /// Adds a rot route: departing tuples of `from` (per the spec's
+    /// trigger) are projected and inserted into the spec's target
+    /// container — the paper's "stored in a new container subject to
+    /// different data fungi".
+    ///
+    /// ```
+    /// use fungus_core::{ContainerPolicy, Database, DistillTrigger, RouteSpec};
+    /// use fungus_fungi::FungusSpec;
+    /// use fungus_types::{DataType, Schema};
+    ///
+    /// let mut db = Database::new(1);
+    /// let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+    /// db.create_container(
+    ///     "hot",
+    ///     schema.clone(),
+    ///     ContainerPolicy::new(FungusSpec::Retention { max_age: 2 }),
+    /// )
+    /// .unwrap();
+    /// db.create_container("cold", schema, ContainerPolicy::immortal()).unwrap();
+    /// db.add_route(
+    ///     "hot",
+    ///     RouteSpec {
+    ///         to: "cold".into(),
+    ///         columns: vec!["v".into()],
+    ///         trigger: DistillTrigger::Rotted,
+    ///     },
+    /// )
+    /// .unwrap();
+    ///
+    /// db.execute("INSERT INTO hot VALUES (7)").unwrap();
+    /// db.run_for(3); // the TTL rots it out of `hot`…
+    /// let n = db.execute("SELECT COUNT(*) FROM cold").unwrap();
+    /// assert_eq!(n.result.scalar().unwrap().as_i64(), Some(1)); // …into `cold`.
+    /// ```
+    pub fn add_route(&mut self, from: &str, spec: RouteSpec) -> Result<()> {
+        let source = self.container(from)?;
+        let target = self.container(&spec.to)?;
+        let route = {
+            let guard = source.read();
+            Route::resolve(&spec, guard.schema(), target)?
+        };
+        self.routes
+            .get(from)
+            .expect("route table exists for every container")
+            .write()
+            .push(route);
+        Ok(())
+    }
+
+    /// The route specs' target names installed on `from` (diagnostics).
+    pub fn route_targets(&self, from: &str) -> Vec<String> {
+        self.routes
+            .get(from)
+            .map(|t| t.read().iter().map(|r| r.to_name.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Drops a container and its decay task. Returns true if it existed.
+    pub fn drop_container(&mut self, name: &str) -> bool {
+        if let Some(handle) = self.decay_tasks.remove(name) {
+            self.scheduler.unregister(handle);
+        }
+        self.routes.remove(name);
+        // Routes *into* the dropped container keep their Arc alive but
+        // deliver into a detached store; remove them too.
+        for table in self.routes.values() {
+            table.write().retain(|r| r.to_name != name);
+        }
+        self.containers.remove(name).is_some()
+    }
+
+    /// Shared handle to a container.
+    pub fn container(&self, name: &str) -> Result<Arc<RwLock<Container>>> {
+        self.containers
+            .get(name)
+            .cloned()
+            .ok_or_else(|| FungusError::UnknownContainer(name.to_string()))
+    }
+
+    /// Container names in deterministic (lexicographic) order.
+    pub fn container_names(&self) -> Vec<String> {
+        self.containers.keys().cloned().collect()
+    }
+
+    /// Number of containers.
+    pub fn container_count(&self) -> usize {
+        self.containers.len()
+    }
+
+    /// Inserts one row into a container at the current tick.
+    pub fn insert(&self, container: &str, values: Vec<Value>) -> Result<TupleId> {
+        let c = self.container(container)?;
+        let now = self.now();
+        let id = c.write().insert(values, now)?;
+        Ok(id)
+    }
+
+    /// Inserts a batch of rows into a container at the current tick.
+    pub fn insert_batch(&self, container: &str, rows: Vec<Vec<Value>>) -> Result<Vec<TupleId>> {
+        let c = self.container(container)?;
+        let now = self.now();
+        let mut guard = c.write();
+        guard.insert_batch(rows, now)
+    }
+
+    /// Parses and executes one SQL statement, routed to the container named
+    /// in its `FROM` / `INTO` clause.
+    pub fn execute(&self, sql: &str) -> Result<QueryOutcome> {
+        self.run_statement(parse_statement(sql)?)
+    }
+
+    fn run_statement(&self, stmt: Statement) -> Result<QueryOutcome> {
+        let now = self.now();
+        match stmt {
+            Statement::Select(stmt) => {
+                let c = self.container(&stmt.table)?;
+                let (result, distilled) = {
+                    let mut guard = c.write();
+                    let plan = guard.plan(&stmt)?;
+                    let before = guard.metrics().distilled;
+                    let result = guard.query(&plan, now)?;
+                    (result, guard.metrics().distilled - before)
+                };
+                // Deliver consumed departures along the routes with the
+                // source lock released.
+                if !result.consumed.is_empty() {
+                    if let Some(table) = self.routes.get(&stmt.table) {
+                        for route in table.read().iter() {
+                            route.deliver(&result.consumed, false, now)?;
+                        }
+                    }
+                }
+                Ok(QueryOutcome { result, distilled })
+            }
+            Statement::Insert { table, rows } => {
+                let c = self.container(&table)?;
+                let mut guard = c.write();
+                let empty_schema = Schema::new(vec![])?;
+                let dummy = Tuple::new(TupleId(0), now, vec![]);
+                let mut inserted = 0i64;
+                for row in rows {
+                    let mut values = Vec::with_capacity(row.len());
+                    for e in row {
+                        e.validate(&empty_schema)?;
+                        values.push(e.eval(&dummy, &empty_schema, now)?);
+                    }
+                    guard.insert(values, now)?;
+                    inserted += 1;
+                }
+                Ok(QueryOutcome {
+                    result: ResultSet {
+                        columns: vec!["inserted".into()],
+                        rows: vec![vec![Value::Int(inserted)]],
+                        consumed: Vec::new(),
+                        scanned: 0,
+                        pruned_segments: 0,
+                        used_index: false,
+                    },
+                    distilled: 0,
+                })
+            }
+            Statement::Explain(stmt) => {
+                let c = self.container(&stmt.table)?;
+                let mut guard = c.write();
+                let result =
+                    fungus_query::execute_parsed(Statement::Explain(stmt), guard.store_mut(), now)?;
+                Ok(QueryOutcome {
+                    result,
+                    distilled: 0,
+                })
+            }
+            Statement::Delete { table, predicate } => {
+                let c = self.container(&table)?;
+                let mut guard = c.write();
+                let result = fungus_query::execute_parsed(
+                    Statement::Delete { table, predicate },
+                    guard.store_mut(),
+                    now,
+                )?;
+                Ok(QueryOutcome {
+                    result,
+                    distilled: 0,
+                })
+            }
+            Statement::CreateContainer(_) => Err(FungusError::PlanError(
+                "CREATE CONTAINER needs exclusive catalog access — call Database::execute_ddl"
+                    .into(),
+            )),
+            Statement::CreateIndex {
+                table,
+                column,
+                ordered,
+            } => {
+                let c = self.container(&table)?;
+                if ordered {
+                    c.write().store_mut().create_ord_index(&column)?;
+                } else {
+                    c.write().store_mut().create_index(&column)?;
+                }
+                Ok(QueryOutcome {
+                    result: ResultSet {
+                        columns: vec!["indexed".into()],
+                        rows: vec![vec![Value::Str(column)]],
+                        consumed: Vec::new(),
+                        scanned: 0,
+                        pruned_segments: 0,
+                        used_index: false,
+                    },
+                    distilled: 0,
+                })
+            }
+        }
+    }
+
+    /// Executes a statement that may mutate the catalog (`CREATE
+    /// CONTAINER`); everything else is delegated to
+    /// [`execute`](Self::execute). Needs `&mut self` because the catalog
+    /// map itself changes.
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<QueryOutcome> {
+        match parse_statement(sql)? {
+            Statement::CreateContainer(stmt) => {
+                let (name, schema, policy) = crate::ddl::resolve_create_container(&stmt)?;
+                self.create_container(name.clone(), schema, policy)?;
+                Ok(QueryOutcome {
+                    result: ResultSet {
+                        columns: vec!["created".into()],
+                        rows: vec![vec![Value::Str(name)]],
+                        consumed: Vec::new(),
+                        scanned: 0,
+                        pruned_segments: 0,
+                        used_index: false,
+                    },
+                    distilled: 0,
+                })
+            }
+            stmt => self.run_statement(stmt),
+        }
+    }
+
+    /// Executes a `;`-separated script (DDL included), returning one
+    /// outcome per non-empty statement. Splitting respects single-quoted
+    /// string literals, so `INSERT INTO r VALUES ('a;b')` stays one
+    /// statement. Execution stops at the first error.
+    pub fn execute_script(&mut self, script: &str) -> Result<Vec<QueryOutcome>> {
+        let mut outcomes = Vec::new();
+        for stmt in split_statements(script) {
+            outcomes.push(self.execute_ddl(stmt)?);
+        }
+        Ok(outcomes)
+    }
+
+    /// Advances the decay clock by one tick, firing every due decay task.
+    /// Returns the new time.
+    pub fn tick(&self) -> Tick {
+        self.scheduler.step()
+    }
+
+    /// Advances the clock by `n` ticks.
+    pub fn run_for(&self, n: u64) -> Tick {
+        self.scheduler.step_n(n)
+    }
+
+    /// Binds the virtual decay period to wall time: a background thread
+    /// ticks every `real_period` until the returned handle is dropped.
+    /// This is the paper's literal "periodic clock of T seconds".
+    pub fn spawn_decay_driver(
+        &self,
+        real_period: Duration,
+    ) -> fungus_clock::scheduler::DriverHandle {
+        self.scheduler.spawn_driver(real_period)
+    }
+
+    /// Health report for one container at the current tick.
+    pub fn health(&self, container: &str) -> Result<HealthReport> {
+        let c = self.container(container)?;
+        let guard = c.read();
+        Ok(HealthMonitor::new().inspect(&guard, self.now()))
+    }
+
+    /// Health reports for every container.
+    pub fn health_all(&self) -> Vec<(String, HealthReport)> {
+        let monitor = HealthMonitor::new();
+        let now = self.now();
+        self.containers
+            .iter()
+            .map(|(name, c)| (name.clone(), monitor.inspect(&c.read(), now)))
+            .collect()
+    }
+
+    /// Saves a container's extent to a snapshot file.
+    pub fn save_container(&self, name: &str, path: impl AsRef<std::path::Path>) -> Result<()> {
+        let c = self.container(name)?;
+        let guard = c.read();
+        fungus_storage::save_to_file(guard.store(), path)
+    }
+
+    /// Loads a container extent from a snapshot file and adopts it under
+    /// `name` with the given policy.
+    pub fn load_container(
+        &mut self,
+        name: &str,
+        path: impl AsRef<std::path::Path>,
+        policy: ContainerPolicy,
+    ) -> Result<()> {
+        let store = fungus_storage::load_from_file(path)?;
+        let container = Container::from_store(name, store, policy, &self.rng)?;
+        self.adopt_container(container)
+    }
+
+    /// Checkpoints every container into `dir` (one `<name>.snap` per
+    /// container plus a `MANIFEST` recording the clock and the policies),
+    /// so a whole database can be restored with
+    /// [`restore_checkpoint`](Self::restore_checkpoint).
+    pub fn checkpoint(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut manifest = String::new();
+        manifest.push_str(&format!("clock\t{}\n", self.now().get()));
+        for (name, container) in &self.containers {
+            let guard = container.read();
+            fungus_storage::save_to_file(guard.store(), dir.join(format!("{name}.snap")))?;
+            let policy_json = serde_json_lite(guard.policy())?;
+            manifest.push_str(&format!("container\t{name}\t{policy_json}\n"));
+        }
+        std::fs::write(dir.join("MANIFEST"), manifest)?;
+        Ok(())
+    }
+
+    /// Restores a database from a [`checkpoint`](Self::checkpoint)
+    /// directory: clock position, every container, and its policy. The
+    /// database must be empty (freshly constructed with the original seed
+    /// for identical post-restore decay behaviour).
+    pub fn restore_checkpoint(&mut self, dir: impl AsRef<std::path::Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        if self.container_count() != 0 {
+            return Err(FungusError::InvalidConfig(
+                "restore_checkpoint requires an empty database".into(),
+            ));
+        }
+        let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
+        for line in manifest.lines() {
+            let mut parts = line.splitn(3, '\t');
+            match parts.next() {
+                Some("clock") => {
+                    let tick: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
+                        FungusError::CorruptSnapshot("bad clock line in MANIFEST".into())
+                    })?;
+                    self.scheduler.clock().reset_to(Tick(tick));
+                }
+                Some("container") => {
+                    let name = parts.next().ok_or_else(|| {
+                        FungusError::CorruptSnapshot("missing container name".into())
+                    })?;
+                    let policy_json = parts.next().ok_or_else(|| {
+                        FungusError::CorruptSnapshot("missing container policy".into())
+                    })?;
+                    let policy: ContainerPolicy = serde_json_parse(policy_json)?;
+                    self.load_container(name, dir.join(format!("{name}.snap")), policy)?;
+                }
+                _ => {
+                    return Err(FungusError::CorruptSnapshot(format!(
+                        "unknown MANIFEST line `{line}`"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// Policies are serde types; the workspace deliberately avoids a JSON
+// dependency, so the manifest uses the in-house codec in
+// `fungus_types::json`.
+fn serde_json_lite<T: serde::Serialize>(value: &T) -> Result<String> {
+    fungus_types::json::to_string(value)
+}
+
+fn serde_json_parse<T: for<'de> serde::Deserialize<'de>>(s: &str) -> Result<T> {
+    fungus_types::json::from_str(s)
+}
+
+/// Splits a script on `;` outside single-quoted literals, trimming and
+/// dropping empty fragments.
+fn split_statements(script: &str) -> impl Iterator<Item = &str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let bytes = script.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'\'' => in_string = !in_string,
+            b';' if !in_string => {
+                parts.push(&script[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&script[start..]);
+    parts.into_iter().map(str::trim).filter(|s| !s.is_empty())
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("now", &self.now())
+            .field("containers", &self.container_names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_fungi::FungusSpec;
+    use fungus_types::DataType;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("v", DataType::Int)]).unwrap()
+    }
+
+    fn db_with(policy: ContainerPolicy) -> Database {
+        let mut db = Database::new(11);
+        db.create_container("r", schema(), policy).unwrap();
+        db
+    }
+
+    #[test]
+    fn create_insert_query() {
+        let db = db_with(ContainerPolicy::immortal());
+        db.execute("INSERT INTO r VALUES (1), (2), (3)").unwrap();
+        let out = db.execute("SELECT COUNT(*) FROM r").unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(3));
+        assert_eq!(out.distilled, 0);
+    }
+
+    #[test]
+    fn duplicate_and_unknown_containers() {
+        let mut db = db_with(ContainerPolicy::immortal());
+        let err = db
+            .create_container("r", schema(), ContainerPolicy::immortal())
+            .unwrap_err();
+        assert!(matches!(err, FungusError::ContainerExists(_)));
+        let err = db.execute("SELECT * FROM missing").unwrap_err();
+        assert!(matches!(err, FungusError::UnknownContainer(_)));
+        assert!(db.drop_container("r"));
+        assert!(!db.drop_container("r"));
+        assert_eq!(db.container_count(), 0);
+    }
+
+    #[test]
+    fn ticks_drive_decay() {
+        let db = db_with(ContainerPolicy::new(FungusSpec::Linear { lifetime: 5 }));
+        db.execute("INSERT INTO r VALUES (1), (2)").unwrap();
+        db.run_for(5);
+        assert_eq!(db.now(), Tick(5));
+        let c = db.container("r").unwrap();
+        assert_eq!(
+            c.read().live_count(),
+            0,
+            "linear lifetime 5 → extinct at t5"
+        );
+        assert_eq!(c.read().metrics().decay_passes, 5);
+    }
+
+    #[test]
+    fn decay_period_is_respected() {
+        let policy = ContainerPolicy::new(FungusSpec::Linear { lifetime: 4 })
+            .with_decay_period(fungus_types::TickDelta(2));
+        let db = db_with(policy);
+        db.execute("INSERT INTO r VALUES (1)").unwrap();
+        db.run_for(4);
+        let c = db.container("r").unwrap();
+        // Fired at t2, t4 → two passes of 0.25 → freshness 0.5.
+        assert_eq!(c.read().metrics().decay_passes, 2);
+        assert_eq!(c.read().live_count(), 1);
+    }
+
+    #[test]
+    fn consume_distills_via_policy() {
+        use crate::distill::{DistillSpec, DistillTrigger};
+        use fungus_summary::SummarySpec;
+        let policy = ContainerPolicy::immortal().with_distiller(DistillSpec {
+            name: "v".into(),
+            column: Some("v".into()),
+            summary: SummarySpec::Moments,
+            trigger: DistillTrigger::Consumed,
+        });
+        let db = db_with(policy);
+        db.execute("INSERT INTO r VALUES (10), (20)").unwrap();
+        let out = db.execute("SELECT * FROM r CONSUME").unwrap();
+        assert_eq!(out.result.consumed.len(), 2);
+        assert_eq!(out.distilled, 2);
+        let c = db.container("r").unwrap();
+        assert_eq!(c.read().distiller().absorbed("v"), Some(2));
+    }
+
+    #[test]
+    fn multiple_containers_share_the_clock() {
+        let mut db = Database::new(3);
+        db.create_container(
+            "a",
+            schema(),
+            ContainerPolicy::new(FungusSpec::Linear { lifetime: 2 }),
+        )
+        .unwrap();
+        db.create_container("b", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.execute("INSERT INTO a VALUES (1)").unwrap();
+        db.execute("INSERT INTO b VALUES (1)").unwrap();
+        db.run_for(3);
+        assert_eq!(db.container("a").unwrap().read().live_count(), 0);
+        assert_eq!(db.container("b").unwrap().read().live_count(), 1);
+        assert_eq!(db.container_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn dropped_container_stops_decaying() {
+        let mut db = db_with(ContainerPolicy::new(FungusSpec::Linear { lifetime: 2 }));
+        let c = db.container("r").unwrap();
+        db.execute("INSERT INTO r VALUES (1)").unwrap();
+        db.drop_container("r");
+        db.run_for(10);
+        // Our Arc still sees the container; no decay passes ran after drop.
+        assert_eq!(c.read().metrics().decay_passes, 0);
+        assert_eq!(c.read().live_count(), 1);
+    }
+
+    #[test]
+    fn health_endpoint() {
+        let db = db_with(ContainerPolicy::immortal());
+        db.execute("INSERT INTO r VALUES (1)").unwrap();
+        let report = db.health("r").unwrap();
+        assert_eq!(report.status, crate::health::HealthStatus::Healthy);
+        let all = db.health_all();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, "r");
+        assert!(db.health("missing").is_err());
+    }
+
+    #[test]
+    fn snapshot_roundtrip_through_files() {
+        let mut db = db_with(ContainerPolicy::immortal());
+        db.execute("INSERT INTO r VALUES (1), (2), (3)").unwrap();
+        let dir = std::env::temp_dir().join("fungus-db-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("c-{}.snap", std::process::id()));
+        db.save_container("r", &path).unwrap();
+        db.load_container("r2", &path, ContainerPolicy::immortal())
+            .unwrap();
+        let out = db.execute("SELECT COUNT(*) FROM r2").unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(3));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn same_seed_reproduces_the_whole_run() {
+        let run = |seed: u64| {
+            let mut db = Database::new(seed);
+            db.create_container(
+                "r",
+                schema(),
+                ContainerPolicy::new(FungusSpec::Egi(Default::default())),
+            )
+            .unwrap();
+            for i in 0..50i64 {
+                db.insert("r", vec![Value::Int(i)]).unwrap();
+                db.tick();
+            }
+            db.run_for(5);
+            let c = db.container("r").unwrap();
+            let g = c.read();
+            (
+                g.live_count(),
+                g.store().infected_ids(),
+                g.metrics().tuples_rotted,
+            )
+        };
+        assert_eq!(run(5), run(5));
+        // (Different seeds may coincide on this coarse summary once decay
+        // has consumed most of the extent; seed divergence is asserted at
+        // the fungus level in `fungus-fungi`.)
+    }
+
+    #[test]
+    fn ddl_creates_containers_through_sql() {
+        let mut db = Database::new(8);
+        db.execute_ddl(
+            "CREATE CONTAINER logs (msg TEXT NOT NULL, level INT)              WITH FUNGUS ttl(4) DECAY EVERY 2",
+        )
+        .unwrap();
+        db.execute("INSERT INTO logs VALUES ('hello', 1)").unwrap();
+        db.execute_ddl("CREATE INDEX ON logs (level)").unwrap();
+        let out = db
+            .execute("SELECT COUNT(*) FROM logs WHERE level = 1")
+            .unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(1));
+        assert!(out.result.used_index);
+        // TTL 4, decay every 2 ticks → rotted by tick 6.
+        db.run_for(6);
+        let out = db.execute("SELECT COUNT(*) FROM logs").unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(0));
+        // Plain execute refuses catalog DDL with a pointer to execute_ddl.
+        let err = db.execute("CREATE CONTAINER other (a INT)").unwrap_err();
+        assert!(err.to_string().contains("execute_ddl"));
+        // Duplicate creation errors.
+        assert!(db.execute_ddl("CREATE CONTAINER logs (a INT)").is_err());
+    }
+
+    #[test]
+    fn rot_routes_move_departures_between_containers() {
+        use crate::distill::DistillTrigger;
+        let mut db = Database::new(4);
+        db.create_container(
+            "hot",
+            schema(),
+            ContainerPolicy::new(FungusSpec::Retention { max_age: 3 }),
+        )
+        .unwrap();
+        db.create_container("cold", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.add_route(
+            "hot",
+            RouteSpec {
+                to: "cold".into(),
+                columns: vec!["v".into()],
+                trigger: DistillTrigger::Rotted,
+            },
+        )
+        .unwrap();
+        assert_eq!(db.route_targets("hot"), vec!["cold".to_string()]);
+
+        db.execute("INSERT INTO hot VALUES (1), (2), (3)").unwrap();
+        db.run_for(5); // TTL 3 rots all of them
+        assert_eq!(db.container("hot").unwrap().read().live_count(), 0);
+        let out = db.execute("SELECT COUNT(*) FROM cold").unwrap();
+        assert_eq!(
+            out.result.scalar().unwrap(),
+            &Value::Int(3),
+            "rotted tuples landed in the cold container"
+        );
+        // The cold copies are fresh again (re-inserted, new time axis).
+        let cold = db.container("cold").unwrap();
+        assert!(cold
+            .read()
+            .store()
+            .iter_live()
+            .all(|t| t.meta.freshness.is_full()));
+    }
+
+    #[test]
+    fn consume_routes_flow_through_queries() {
+        use crate::distill::DistillTrigger;
+        let mut db = Database::new(4);
+        db.create_container("hot", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.create_container("archive", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.add_route(
+            "hot",
+            RouteSpec {
+                to: "archive".into(),
+                columns: vec!["v".into()],
+                trigger: DistillTrigger::Consumed,
+            },
+        )
+        .unwrap();
+        db.execute("INSERT INTO hot VALUES (1), (2), (3)").unwrap();
+        db.execute("SELECT * FROM hot WHERE v >= 2 CONSUME")
+            .unwrap();
+        let out = db.execute("SELECT COUNT(*) FROM archive").unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(2));
+        assert_eq!(db.container("hot").unwrap().read().live_count(), 1);
+    }
+
+    #[test]
+    fn route_validation_and_teardown() {
+        use crate::distill::DistillTrigger;
+        let mut db = Database::new(4);
+        db.create_container("a", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.create_container("b", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        // Unknown containers and bad projections are rejected.
+        assert!(db
+            .add_route(
+                "missing",
+                RouteSpec {
+                    to: "b".into(),
+                    columns: vec!["v".into()],
+                    trigger: DistillTrigger::Both,
+                }
+            )
+            .is_err());
+        assert!(db
+            .add_route(
+                "a",
+                RouteSpec {
+                    to: "missing".into(),
+                    columns: vec!["v".into()],
+                    trigger: DistillTrigger::Both,
+                }
+            )
+            .is_err());
+        assert!(db
+            .add_route(
+                "a",
+                RouteSpec {
+                    to: "b".into(),
+                    columns: vec!["zzz".into()],
+                    trigger: DistillTrigger::Both,
+                }
+            )
+            .is_err());
+        db.add_route(
+            "a",
+            RouteSpec {
+                to: "b".into(),
+                columns: vec!["v".into()],
+                trigger: DistillTrigger::Both,
+            },
+        )
+        .unwrap();
+        // Dropping the target removes the dangling route.
+        db.drop_container("b");
+        assert!(db.route_targets("a").is_empty());
+    }
+
+    #[test]
+    fn self_route_is_a_phoenix_container() {
+        use crate::distill::DistillTrigger;
+        // Rotted tuples re-insert into the same container, fully fresh —
+        // a legal (if eccentric) configuration that must not deadlock.
+        let mut db = Database::new(4);
+        db.create_container(
+            "phoenix",
+            schema(),
+            ContainerPolicy::new(FungusSpec::Retention { max_age: 2 }),
+        )
+        .unwrap();
+        db.add_route(
+            "phoenix",
+            RouteSpec {
+                to: "phoenix".into(),
+                columns: vec!["v".into()],
+                trigger: DistillTrigger::Rotted,
+            },
+        )
+        .unwrap();
+        db.execute("INSERT INTO phoenix VALUES (7)").unwrap();
+        db.run_for(10);
+        let c = db.container("phoenix").unwrap();
+        assert_eq!(c.read().live_count(), 1, "the tuple keeps being reborn");
+        assert!(c.read().metrics().tuples_rotted >= 3);
+    }
+
+    #[test]
+    fn scripts_run_statement_by_statement() {
+        let mut db = Database::new(2);
+        let outcomes = db
+            .execute_script(
+                "CREATE CONTAINER r (v INT, s TEXT) WITH FUNGUS ttl(50);
+                 INSERT INTO r VALUES (1, 'a;b'), (2, 'plain');
+                 SELECT COUNT(*) FROM r;",
+            )
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert_eq!(outcomes[2].result.scalar().unwrap(), &Value::Int(2));
+        // The quoted semicolon survived as data.
+        let out = db.execute("SELECT s FROM r WHERE v = 1").unwrap();
+        assert_eq!(out.result.rows[0][0], Value::from("a;b"));
+        // Errors stop the script mid-way.
+        let err = db
+            .execute_script("INSERT INTO r VALUES (3, 'c'); SELECT * FROM missing; INSERT INTO r VALUES (4, 'd')")
+            .unwrap_err();
+        assert!(matches!(err, FungusError::UnknownContainer(_)));
+        let out = db.execute("SELECT COUNT(*) FROM r").unwrap();
+        assert_eq!(
+            out.result.scalar().unwrap(),
+            &Value::Int(3),
+            "stopped before the 4th row"
+        );
+    }
+
+    #[test]
+    fn checkpoint_roundtrips_the_whole_database() {
+        let mut db = Database::new(21);
+        db.create_container(
+            "a",
+            schema(),
+            ContainerPolicy::new(FungusSpec::Retention { max_age: 9 }),
+        )
+        .unwrap();
+        db.create_container("b", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.execute("INSERT INTO a VALUES (1), (2)").unwrap();
+        db.execute("INSERT INTO b VALUES (3)").unwrap();
+        db.run_for(5);
+
+        let dir = std::env::temp_dir().join(format!("fungus-checkpoint-{}", std::process::id()));
+        db.checkpoint(&dir).unwrap();
+
+        let mut restored = Database::new(21);
+        restored.restore_checkpoint(&dir).unwrap();
+        assert_eq!(restored.now(), Tick(5), "clock position restored");
+        assert_eq!(
+            restored.container_names(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        // Policies restored: container `a` still decays with its TTL.
+        assert_eq!(
+            restored.container("a").unwrap().read().policy().fungus,
+            FungusSpec::Retention { max_age: 9 }
+        );
+        let out = restored.execute("SELECT COUNT(*) FROM b").unwrap();
+        assert_eq!(out.result.scalar().unwrap(), &Value::Int(1));
+        // Decay continues where it left off: 5 more ticks exceed the TTL.
+        restored.run_for(5);
+        assert_eq!(restored.container("a").unwrap().read().live_count(), 0);
+
+        // Restoring over a non-empty database is refused.
+        let mut busy = Database::new(1);
+        busy.create_container("x", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        assert!(busy.restore_checkpoint(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wall_clock_driver_decays_in_real_time() {
+        let db = db_with(ContainerPolicy::new(FungusSpec::Linear { lifetime: 3 }));
+        db.execute("INSERT INTO r VALUES (1)").unwrap();
+        let driver = db.spawn_decay_driver(Duration::from_millis(1));
+        let c = db.container("r").unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        while c.read().live_count() > 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        driver.stop();
+        assert_eq!(
+            c.read().live_count(),
+            0,
+            "wall-clock decay should extinguish the row"
+        );
+    }
+}

@@ -1,0 +1,223 @@
+//! DDL interpretation: `CREATE CONTAINER … WITH FUNGUS …`.
+//!
+//! The parser (`fungus-query`) produces a structurally valid
+//! [`CreateContainerStatement`] but deliberately knows nothing about
+//! fungi; this module resolves the type and fungus names into a
+//! [`Schema`] and [`ContainerPolicy`].
+//!
+//! Fungus grammar (`WITH FUNGUS name(args…)`):
+//!
+//! | SQL | spec |
+//! |---|---|
+//! | `none` | [`FungusSpec::Null`] |
+//! | `ttl(n)` | retention of `n` ticks |
+//! | `linear(n)` | linear lifetime of `n` ticks |
+//! | `exp(λ)` / `exp(λ, threshold)` | exponential decay |
+//! | `window(n)` | newest-`n` sliding window |
+//! | `lease(n)` | sliding TTL renewed by reads |
+//! | `stochastic(p)` / `stochastic(p, age_scale)` | random eviction |
+//! | `importance(rate)` / `importance(rate, shield)` | access-aware decay |
+//! | `egi()` / `egi(seeds, spread, rot_rate)` | the paper's fungus |
+
+use fungus_fungi::{EgiConfig, FungusSpec};
+use fungus_query::CreateContainerStatement;
+use fungus_types::{ColumnDef, DataType, FungusError, Result, Schema, TickDelta};
+
+use crate::policy::ContainerPolicy;
+
+fn resolve_type(name: &str) -> Result<DataType> {
+    Ok(match name.to_ascii_uppercase().as_str() {
+        "INT" | "INTEGER" | "BIGINT" => DataType::Int,
+        "FLOAT" | "DOUBLE" | "REAL" => DataType::Float,
+        "STR" | "STRING" | "TEXT" | "VARCHAR" => DataType::Str,
+        "BOOL" | "BOOLEAN" => DataType::Bool,
+        "BYTES" | "BLOB" => DataType::Bytes,
+        other => {
+            return Err(FungusError::InvalidConfig(format!(
+                "unknown column type `{other}`"
+            )))
+        }
+    })
+}
+
+fn arg(args: &[f64], i: usize, what: &str) -> Result<f64> {
+    args.get(i).copied().ok_or_else(|| {
+        FungusError::InvalidConfig(format!("fungus is missing argument {i} ({what})"))
+    })
+}
+
+fn resolve_fungus(name: &str, args: &[f64]) -> Result<FungusSpec> {
+    let spec = match name.to_ascii_lowercase().as_str() {
+        "none" | "null" => FungusSpec::Null,
+        "ttl" | "retention" => FungusSpec::Retention {
+            max_age: arg(args, 0, "max age in ticks")? as u64,
+        },
+        "linear" => FungusSpec::Linear {
+            lifetime: arg(args, 0, "lifetime in ticks")? as u64,
+        },
+        "exp" | "exponential" => FungusSpec::Exponential {
+            lambda: arg(args, 0, "decay constant")?,
+            rot_threshold: args.get(1).copied().unwrap_or(0.01),
+        },
+        "window" => FungusSpec::SlidingWindow {
+            capacity: arg(args, 0, "window size in tuples")? as usize,
+        },
+        "lease" => FungusSpec::Lease {
+            lease: arg(args, 0, "lease in ticks")? as u64,
+        },
+        "stochastic" | "rand" => FungusSpec::Stochastic {
+            eviction_prob: arg(args, 0, "per-tick eviction probability")?,
+            age_scale: args.get(1).copied(),
+        },
+        "importance" => FungusSpec::Importance {
+            base_rate: arg(args, 0, "base decay rate")?,
+            recency_shield: args.get(1).copied().unwrap_or(10.0),
+        },
+        "egi" => {
+            let mut cfg = EgiConfig::default();
+            if let Some(seeds) = args.first() {
+                cfg.seeds_per_tick = *seeds as usize;
+            }
+            if let Some(spread) = args.get(1) {
+                cfg.spread_width = *spread as usize;
+            }
+            if let Some(rot) = args.get(2) {
+                cfg.rot_rate = *rot;
+            }
+            FungusSpec::Egi(cfg)
+        }
+        other => {
+            return Err(FungusError::InvalidConfig(format!(
+                "unknown fungus `{other}`"
+            )))
+        }
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
+/// Resolves a parsed `CREATE CONTAINER` into `(name, schema, policy)`.
+pub fn resolve_create_container(
+    stmt: &CreateContainerStatement,
+) -> Result<(String, Schema, ContainerPolicy)> {
+    let mut cols = Vec::with_capacity(stmt.columns.len());
+    for (name, ty, nullable) in &stmt.columns {
+        cols.push(ColumnDef {
+            name: name.clone(),
+            data_type: resolve_type(ty)?,
+            nullable: *nullable,
+        });
+    }
+    let schema = Schema::new(cols)?;
+    let fungus = match &stmt.fungus {
+        Some((name, args)) => resolve_fungus(name, args)?,
+        None => FungusSpec::Null,
+    };
+    let mut policy = ContainerPolicy::new(fungus);
+    if let Some(every) = stmt.decay_every {
+        policy = policy.with_decay_period(TickDelta(every));
+    }
+    Ok((stmt.name.clone(), schema, policy))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_query::{parse_statement, Statement};
+
+    fn resolve(sql: &str) -> Result<(String, Schema, ContainerPolicy)> {
+        match parse_statement(sql).unwrap() {
+            Statement::CreateContainer(stmt) => resolve_create_container(&stmt),
+            other => panic!("expected CREATE CONTAINER, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_ddl_resolves() {
+        let (name, schema, policy) = resolve(
+            "CREATE CONTAINER readings (sensor INT NOT NULL, v FLOAT, tag TEXT) \
+             WITH FUNGUS ttl(30) DECAY EVERY 5",
+        )
+        .unwrap();
+        assert_eq!(name, "readings");
+        assert_eq!(schema.arity(), 3);
+        assert!(!schema.columns()[0].nullable);
+        assert!(schema.columns()[1].nullable);
+        assert_eq!(policy.fungus, FungusSpec::Retention { max_age: 30 });
+        assert_eq!(policy.decay_period, TickDelta(5));
+    }
+
+    #[test]
+    fn every_fungus_name_resolves() {
+        for (sql, expect) in [
+            ("WITH FUNGUS none", FungusSpec::Null),
+            ("WITH FUNGUS ttl(9)", FungusSpec::Retention { max_age: 9 }),
+            ("WITH FUNGUS linear(4)", FungusSpec::Linear { lifetime: 4 }),
+            (
+                "WITH FUNGUS exp(0.5)",
+                FungusSpec::Exponential {
+                    lambda: 0.5,
+                    rot_threshold: 0.01,
+                },
+            ),
+            (
+                "WITH FUNGUS exp(0.5, 0.1)",
+                FungusSpec::Exponential {
+                    lambda: 0.5,
+                    rot_threshold: 0.1,
+                },
+            ),
+            (
+                "WITH FUNGUS window(7)",
+                FungusSpec::SlidingWindow { capacity: 7 },
+            ),
+            ("WITH FUNGUS lease(6)", FungusSpec::Lease { lease: 6 }),
+            (
+                "WITH FUNGUS stochastic(0.2)",
+                FungusSpec::Stochastic {
+                    eviction_prob: 0.2,
+                    age_scale: None,
+                },
+            ),
+            (
+                "WITH FUNGUS importance(0.1, 20)",
+                FungusSpec::Importance {
+                    base_rate: 0.1,
+                    recency_shield: 20.0,
+                },
+            ),
+        ] {
+            let (_, _, policy) = resolve(&format!("CREATE CONTAINER t (a INT) {sql}")).unwrap();
+            assert_eq!(policy.fungus, expect, "{sql}");
+        }
+        // EGI with positional args.
+        let (_, _, policy) =
+            resolve("CREATE CONTAINER t (a INT) WITH FUNGUS egi(4, 2, 0.25)").unwrap();
+        match policy.fungus {
+            FungusSpec::Egi(cfg) => {
+                assert_eq!(cfg.seeds_per_tick, 4);
+                assert_eq!(cfg.spread_width, 2);
+                assert_eq!(cfg.rot_rate, 0.25);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_ddl_is_rejected() {
+        assert!(resolve("CREATE CONTAINER t (a WIDGET)").is_err());
+        assert!(resolve("CREATE CONTAINER t (a INT) WITH FUNGUS blight(1)").is_err());
+        assert!(resolve("CREATE CONTAINER t (a INT) WITH FUNGUS ttl").is_err());
+        assert!(resolve("CREATE CONTAINER t (a INT) WITH FUNGUS stochastic(7.0)").is_err());
+        assert!(
+            resolve("CREATE CONTAINER t (a INT, a INT)").is_err(),
+            "dup column"
+        );
+    }
+
+    #[test]
+    fn table_is_an_alias_for_container() {
+        let (name, ..) = resolve("CREATE TABLE t (a INT)").unwrap();
+        assert_eq!(name, "t");
+    }
+}

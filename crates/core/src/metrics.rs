@@ -1,0 +1,67 @@
+//! Engine-wide operation counters.
+
+use serde::{Deserialize, Serialize};
+
+/// Monotonic counters describing one container's activity. Cheap to clone;
+/// updated by the engine on every operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct EngineMetrics {
+    /// Tuples inserted.
+    pub inserts: u64,
+    /// Queries executed (SELECT, consuming or not).
+    pub queries: u64,
+    /// Consuming queries executed.
+    pub consuming_queries: u64,
+    /// Tuples consumed by queries.
+    pub tuples_consumed: u64,
+    /// Tuples evicted as rotten.
+    pub tuples_rotted: u64,
+    /// Decay passes applied.
+    pub decay_passes: u64,
+    /// Values folded into distillation summaries.
+    pub distilled: u64,
+    /// Compaction passes executed.
+    pub compactions: u64,
+    /// Segments dropped by compaction.
+    pub segments_dropped: u64,
+    /// Rotted tuples that were delivered along at least one rot route
+    /// (preserved in another container rather than lost).
+    pub rot_routed: u64,
+    /// Rotted tuples folded into at least one distillation summary
+    /// ("turned into summaries for later consumption").
+    pub rot_distilled: u64,
+}
+
+impl EngineMetrics {
+    /// Total tuples that ever left the extent.
+    pub fn total_departed(&self) -> u64 {
+        self.tuples_consumed + self.tuples_rotted
+    }
+
+    /// Fraction of departures that were consumed (read) rather than rotted
+    /// away; 1.0 for a store with no departures (nothing wasted yet).
+    pub fn consumption_ratio(&self) -> f64 {
+        let total = self.total_departed();
+        if total == 0 {
+            1.0
+        } else {
+            self.tuples_consumed as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios() {
+        let mut m = EngineMetrics::default();
+        assert_eq!(m.consumption_ratio(), 1.0);
+        assert_eq!(m.total_departed(), 0);
+        m.tuples_consumed = 3;
+        m.tuples_rotted = 1;
+        assert_eq!(m.total_departed(), 4);
+        assert_eq!(m.consumption_ratio(), 0.75);
+    }
+}

@@ -1,0 +1,180 @@
+//! Fungus combinators.
+//!
+//! The paper envisions data moving between containers "subject to different
+//! data fungi"; within one container it is equally natural to *compose*
+//! fungi — e.g. a gentle exponential background decay plus an EGI attack,
+//! or an aggressive fungus that only wakes up every k-th tick.
+
+use fungus_storage::DecaySurface;
+use fungus_types::{Tick, TickDelta};
+
+use crate::fungus::Fungus;
+
+/// Runs several fungi in sequence each tick.
+///
+/// Order matters: a later fungus observes the freshness/infection state the
+/// earlier ones left behind (all within the same tick; eviction still only
+/// happens after the whole sequence).
+pub struct SequenceFungus {
+    name: String,
+    members: Vec<Box<dyn Fungus>>,
+}
+
+impl SequenceFungus {
+    /// Composes `members`, which run in the given order.
+    pub fn new(members: Vec<Box<dyn Fungus>>) -> Self {
+        let name = format!(
+            "seq[{}]",
+            members
+                .iter()
+                .map(|f| f.name())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        SequenceFungus { name, members }
+    }
+
+    /// Number of composed fungi.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no fungi are composed (a no-op sequence).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Fungus for SequenceFungus {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, surface: &mut dyn DecaySurface, now: Tick) {
+        for member in &mut self.members {
+            member.tick(surface, now);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "seq[{}]",
+            self.members
+                .iter()
+                .map(|f| f.describe())
+                .collect::<Vec<_>>()
+                .join(" + ")
+        )
+    }
+}
+
+/// Rate-limits an inner fungus to every `period`-th tick.
+///
+/// Useful when a container's decay clock runs fast (e.g. per-second ticks)
+/// but an expensive fungus should only act hourly.
+pub struct PeriodicFungus {
+    name: String,
+    inner: Box<dyn Fungus>,
+    period: u64,
+    ticks_seen: u64,
+}
+
+impl PeriodicFungus {
+    /// Wraps `inner`, running it on every `period`-th call (zero promoted
+    /// to 1).
+    pub fn new(inner: Box<dyn Fungus>, period: TickDelta) -> Self {
+        let period = period.get().max(1);
+        PeriodicFungus {
+            name: format!("every{}({})", period, inner.name()),
+            inner,
+            period,
+            ticks_seen: 0,
+        }
+    }
+
+    /// The wrap period.
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+}
+
+impl Fungus for PeriodicFungus {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, surface: &mut dyn DecaySurface, now: Tick) {
+        self.ticks_seen += 1;
+        if self.ticks_seen.is_multiple_of(self.period) {
+            self.inner.tick(surface, now);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("every {} ticks: {}", self.period, self.inner.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::retention::LinearFungus;
+    use crate::testutil::{freshness, table_with};
+    use crate::NullFungus;
+
+    #[test]
+    fn sequence_runs_members_in_order() {
+        let mut table = table_with(2);
+        let mut f = SequenceFungus::new(vec![
+            Box::new(LinearFungus::new(TickDelta(10))),
+            Box::new(LinearFungus::new(TickDelta(10))),
+        ]);
+        f.tick(&mut table, Tick(2));
+        // Two members, each removing 0.1 → 0.8 remaining.
+        assert!((freshness(&table, 0) - 0.8).abs() < 1e-12);
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert!(f.name().contains("linear+linear"));
+    }
+
+    #[test]
+    fn empty_sequence_is_noop() {
+        let mut table = table_with(3);
+        let mut f = SequenceFungus::new(vec![]);
+        f.tick(&mut table, Tick(1));
+        assert!(f.is_empty());
+        assert_eq!(table.live_count(), 3);
+        assert!(table.iter_live().all(|t| t.meta.freshness.is_full()));
+    }
+
+    #[test]
+    fn periodic_fires_every_kth_tick() {
+        let mut table = table_with(1);
+        let mut f = PeriodicFungus::new(Box::new(LinearFungus::new(TickDelta(10))), TickDelta(3));
+        for t in 1..=9u64 {
+            f.tick(&mut table, Tick(t));
+        }
+        // Fired at calls 3, 6, 9 → 0.3 removed.
+        assert!((freshness(&table, 0) - 0.7).abs() < 1e-12);
+        assert_eq!(f.period(), 3);
+    }
+
+    #[test]
+    fn periodic_zero_period_promoted() {
+        let f = PeriodicFungus::new(Box::new(NullFungus), TickDelta(0));
+        assert_eq!(f.period(), 1);
+    }
+
+    #[test]
+    fn describe_composes() {
+        let f = SequenceFungus::new(vec![
+            Box::new(NullFungus),
+            Box::new(LinearFungus::new(TickDelta(5))),
+        ]);
+        let d = f.describe();
+        assert!(d.contains("null"));
+        assert!(d.contains("linear"));
+        let p = PeriodicFungus::new(Box::new(NullFungus), TickDelta(4));
+        assert!(p.describe().contains("every 4 ticks"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Closure-based custom fungi.
+//!
+//! The paper: "many more data fungi can be considered, based on their rate
+//! of decay, what to decay, how to decay." [`FnFungus`] lets downstream
+//! users write one without a new type: any `FnMut(&mut dyn DecaySurface,
+//! Tick)` is a fungus.
+//!
+//! ```
+//! use fungus_fungi::{FnFungus, Fungus};
+//! use fungus_storage::DecaySurface;
+//! use fungus_types::Tick;
+//!
+//! // A fungus that only attacks even tuple ids.
+//! let mut parity = FnFungus::new("parity", |surface, _now| {
+//!     let ids: Vec<_> = surface
+//!         .live_metas()
+//!         .into_iter()
+//!         .filter(|(id, _)| id.get() % 2 == 0)
+//!         .map(|(id, _)| id)
+//!         .collect();
+//!     for id in ids {
+//!         surface.decay(id, 0.25);
+//!     }
+//! });
+//! assert_eq!(parity.name(), "parity");
+//! ```
+
+use fungus_storage::DecaySurface;
+use fungus_types::Tick;
+
+use crate::fungus::Fungus;
+
+/// A fungus defined by a closure.
+///
+/// The closure must honour the [`Fungus`] contract: monotone decay only,
+/// no eviction (the engine evicts after the tick), determinism given its
+/// captured state.
+pub struct FnFungus<F>
+where
+    F: FnMut(&mut dyn DecaySurface, Tick) + Send + Sync,
+{
+    name: String,
+    body: F,
+}
+
+impl<F> FnFungus<F>
+where
+    F: FnMut(&mut dyn DecaySurface, Tick) + Send + Sync,
+{
+    /// Wraps `body` as a fungus named `name`.
+    pub fn new(name: impl Into<String>, body: F) -> Self {
+        FnFungus {
+            name: name.into(),
+            body,
+        }
+    }
+
+    /// Boxes the fungus for use in policies and combinators.
+    pub fn boxed(self) -> Box<dyn Fungus>
+    where
+        F: 'static,
+    {
+        Box::new(self)
+    }
+}
+
+impl<F> Fungus for FnFungus<F>
+where
+    F: FnMut(&mut dyn DecaySurface, Tick) + Send + Sync,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn tick(&mut self, surface: &mut dyn DecaySurface, now: Tick) {
+        (self.body)(surface, now);
+    }
+
+    fn describe(&self) -> String {
+        format!("custom({})", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{freshness, table_with};
+    use crate::SequenceFungus;
+    use fungus_types::TupleId;
+
+    #[test]
+    fn closure_fungus_decays() {
+        let mut table = table_with(4);
+        let mut f = FnFungus::new("halver", |surface: &mut dyn DecaySurface, _| {
+            let ids: Vec<TupleId> = surface.live_metas().into_iter().map(|(id, _)| id).collect();
+            for id in ids {
+                surface.scale_freshness(id, 0.5);
+            }
+        });
+        f.tick(&mut table, fungus_types::Tick(1));
+        f.tick(&mut table, fungus_types::Tick(2));
+        assert!((freshness(&table, 0) - 0.25).abs() < 1e-12);
+        assert_eq!(f.describe(), "custom(halver)");
+    }
+
+    #[test]
+    fn closures_capture_state() {
+        // A fungus that strengthens every tick — rate of decay as captured
+        // mutable state.
+        let mut rate = 0.0;
+        let mut f = FnFungus::new("crescendo", move |surface: &mut dyn DecaySurface, _| {
+            rate += 0.1;
+            let ids: Vec<TupleId> = surface.live_metas().into_iter().map(|(id, _)| id).collect();
+            for id in ids {
+                surface.decay(id, rate);
+            }
+        });
+        let mut table = table_with(1);
+        f.tick(&mut table, fungus_types::Tick(1)); // −0.1
+        f.tick(&mut table, fungus_types::Tick(2)); // −0.2
+        assert!((freshness(&table, 0) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn boxed_composes_with_combinators() {
+        let custom = FnFungus::new("noop", |_: &mut dyn DecaySurface, _| {}).boxed();
+        let seq = SequenceFungus::new(vec![custom]);
+        assert!(seq.name().contains("noop"));
+    }
+}

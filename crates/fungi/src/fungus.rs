@@ -1,0 +1,60 @@
+//! The `Fungus` trait.
+
+use fungus_storage::DecaySurface;
+use fungus_types::Tick;
+
+/// A data fungus: a decay model applied to a container on every decay tick.
+///
+/// The contract mirrors the paper's first natural law:
+///
+/// * a fungus only ever *reduces* freshness (monotone decay);
+/// * it may mark tuples infected (EGI's seeded/spread state) and cure them;
+/// * it never evicts — the engine removes tuples whose freshness reached
+///   zero after the tick, giving distillation a chance to "inspect them
+///   once before removal";
+/// * it must be deterministic given its construction-time RNG seed, so
+///   experiments reproduce bit-for-bit.
+pub trait Fungus: Send + Sync {
+    /// Stable name used in traces, metrics, and error messages.
+    fn name(&self) -> &str;
+
+    /// Applies one decay cycle at time `now`.
+    fn tick(&mut self, surface: &mut dyn DecaySurface, now: Tick);
+
+    /// Human-readable parameter summary (for logs and EXPERIMENTS.md).
+    fn describe(&self) -> String {
+        self.name().to_string()
+    }
+}
+
+/// The do-nothing fungus: the paper's status quo, where data never decays.
+/// Baseline for every storage-bound experiment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullFungus;
+
+impl Fungus for NullFungus {
+    fn name(&self) -> &str {
+        "null"
+    }
+
+    fn tick(&mut self, _surface: &mut dyn DecaySurface, _now: Tick) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::table_with;
+
+    #[test]
+    fn null_fungus_changes_nothing() {
+        let mut table = table_with(10);
+        let mut f = NullFungus;
+        for t in 0..100 {
+            f.tick(&mut table, Tick(t));
+        }
+        assert_eq!(table.live_count(), 10);
+        assert!(table.iter_live().all(|t| t.meta.freshness.is_full()));
+        assert_eq!(f.name(), "null");
+        assert_eq!(f.describe(), "null");
+    }
+}

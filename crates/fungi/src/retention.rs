@@ -1,0 +1,189 @@
+//! Retention (TTL) and linear decay — the "old-fashioned" fungi.
+//!
+//! The paper: "An old-fashioned decay function `F` would be to consider
+//! retention times, where after the data will be discarded."
+
+use fungus_storage::DecaySurface;
+use fungus_types::{Tick, TickDelta, TupleId};
+
+use crate::fungus::Fungus;
+
+/// Hard time-to-live: a tuple older than `max_age` rots instantly.
+///
+/// Between insertion and expiry, freshness degrades linearly with age so
+/// freshness remains an honest remaining-lifetime signal:
+/// `f = 1 − age/max_age`.
+#[derive(Debug, Clone, Copy)]
+pub struct RetentionFungus {
+    max_age: TickDelta,
+}
+
+impl RetentionFungus {
+    /// A TTL fungus discarding tuples older than `max_age` ticks.
+    /// A zero `max_age` is promoted to 1 (everything rots after one tick).
+    pub fn new(max_age: TickDelta) -> Self {
+        RetentionFungus {
+            max_age: TickDelta(max_age.get().max(1)),
+        }
+    }
+
+    /// The configured TTL.
+    pub fn max_age(&self) -> TickDelta {
+        self.max_age
+    }
+}
+
+impl Fungus for RetentionFungus {
+    fn name(&self) -> &str {
+        "retention"
+    }
+
+    fn tick(&mut self, surface: &mut dyn DecaySurface, now: Tick) {
+        let max_age = self.max_age.as_f64();
+        let mut expired: Vec<TupleId> = Vec::new();
+        let mut updates: Vec<(TupleId, f64)> = Vec::new();
+        surface.for_each_live_meta(&mut |id, meta| {
+            let age = meta.age(now).as_f64();
+            if age >= max_age {
+                expired.push(id);
+            } else {
+                let target = 1.0 - age / max_age;
+                let current = meta.freshness.get();
+                if target < current {
+                    updates.push((id, current - target));
+                }
+            }
+        });
+        for (id, amount) in updates {
+            surface.decay(id, amount);
+        }
+        for id in expired {
+            // Drive freshness to zero; the engine evicts after the tick.
+            surface.decay(id, 1.0);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("retention(max_age={})", self.max_age)
+    }
+}
+
+/// Linear decay: every tuple loses `1/lifetime` freshness per tick, so a
+/// tuple inserted at full freshness disappears after `lifetime` ticks of
+/// decay regardless of its age when the fungus was attached.
+#[derive(Debug, Clone, Copy)]
+pub struct LinearFungus {
+    per_tick: f64,
+}
+
+impl LinearFungus {
+    /// A fungus under which untouched tuples live `lifetime` ticks.
+    /// Zero lifetimes are promoted to 1.
+    pub fn new(lifetime: TickDelta) -> Self {
+        LinearFungus {
+            per_tick: 1.0 / lifetime.get().max(1) as f64,
+        }
+    }
+
+    /// Freshness lost per tick.
+    pub fn per_tick(&self) -> f64 {
+        self.per_tick
+    }
+}
+
+impl Fungus for LinearFungus {
+    fn name(&self) -> &str {
+        "linear"
+    }
+
+    fn tick(&mut self, surface: &mut dyn DecaySurface, _now: Tick) {
+        let ids: Vec<TupleId> = {
+            let mut v = Vec::with_capacity(surface.live_count());
+            surface.for_each_live_meta(&mut |id, _| v.push(id));
+            v
+        };
+        for id in ids {
+            surface.decay(id, self.per_tick);
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!("linear(per_tick={:.4})", self.per_tick)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{freshness, table_with};
+    use fungus_types::TupleId;
+
+    #[test]
+    fn retention_expires_old_tuples() {
+        // Tuples inserted at ticks 0..10; TTL 5, observed at tick 7:
+        // ages are 7,6,5,4,... → ids 0,1,2 expire.
+        let mut table = table_with(10);
+        let mut f = RetentionFungus::new(TickDelta(5));
+        f.tick(&mut table, Tick(7));
+        let evicted = table.evict_rotten();
+        let ids: Vec<u64> = evicted.iter().map(|t| t.meta.id.get()).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(table.live_count(), 7);
+    }
+
+    #[test]
+    fn retention_freshness_is_remaining_lifetime() {
+        let mut table = table_with(10);
+        let mut f = RetentionFungus::new(TickDelta(10));
+        f.tick(&mut table, Tick(9));
+        // Tuple 9 was inserted at tick 9 → age 0 → still fully fresh.
+        assert_eq!(freshness(&table, 9), 1.0);
+        // Tuple 4: age 5 of TTL 10 → freshness 0.5.
+        assert!((freshness(&table, 4) - 0.5).abs() < 1e-12);
+        // Tuple 0: age 9 → freshness 0.1.
+        assert!((freshness(&table, 0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retention_never_increases_freshness() {
+        let mut table = table_with(5);
+        // Externally decay tuple 4 below its retention target.
+        table.decay(TupleId(4), 0.9);
+        let mut f = RetentionFungus::new(TickDelta(100));
+        f.tick(&mut table, Tick(4));
+        assert!(
+            freshness(&table, 4) <= 0.1 + 1e-12,
+            "retention must not refresh an already-decayed tuple"
+        );
+    }
+
+    #[test]
+    fn retention_zero_ttl_promoted() {
+        let f = RetentionFungus::new(TickDelta(0));
+        assert_eq!(f.max_age(), TickDelta(1));
+    }
+
+    #[test]
+    fn linear_decay_accumulates_to_rot() {
+        let mut table = table_with(3);
+        let mut f = LinearFungus::new(TickDelta(4));
+        for t in 1..=3u64 {
+            f.tick(&mut table, Tick(t));
+        }
+        assert!((freshness(&table, 0) - 0.25).abs() < 1e-9);
+        f.tick(&mut table, Tick(4));
+        let evicted = table.evict_rotten();
+        assert_eq!(evicted.len(), 3, "whole extent rots after `lifetime` ticks");
+        assert_eq!(
+            table.live_count(),
+            0,
+            "the relation has completely disappeared"
+        );
+    }
+
+    #[test]
+    fn describe_includes_parameters() {
+        assert!(RetentionFungus::new(TickDelta(7)).describe().contains('7'));
+        assert!(LinearFungus::new(TickDelta(4)).describe().contains("0.25"));
+    }
+}

@@ -1,0 +1,330 @@
+//! Segment pruning from predicate analysis.
+//!
+//! The planner extracts conjunctive column/literal constraints from a WHERE
+//! clause; the executor checks them against each segment's zone map and
+//! skips segments that cannot contain a match. Pruning must be
+//! *conservative*: a segment is only skipped when the zone map proves no
+//! tuple in it can satisfy the predicate.
+
+use fungus_types::Value;
+
+use fungus_storage::Segment;
+use fungus_types::Schema;
+
+use crate::expr::{CmpOp, Expr};
+
+/// One provable constraint on a column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnBound {
+    /// `col = v`.
+    Eq {
+        /// Column index in the schema.
+        col: usize,
+        /// The literal.
+        value: Value,
+    },
+    /// `col < v` / `col <= v`.
+    Below {
+        /// Column index.
+        col: usize,
+        /// The bound.
+        value: Value,
+        /// `<=` vs `<`.
+        inclusive: bool,
+    },
+    /// `col > v` / `col >= v`.
+    Above {
+        /// Column index.
+        col: usize,
+        /// The bound.
+        value: Value,
+        /// `>=` vs `>`.
+        inclusive: bool,
+    },
+    /// `col IN (v1, …, vk)` (all literals).
+    OneOf {
+        /// Column index.
+        col: usize,
+        /// The candidate literals.
+        values: Vec<Value>,
+    },
+}
+
+impl ColumnBound {
+    /// Can any value inside `segment` satisfy this bound?
+    fn segment_may_match(&self, segment: &Segment) -> bool {
+        let entry = |col: usize| segment.zone().entry(col);
+        match self {
+            ColumnBound::Eq { col, value } => entry(*col).is_none_or(|e| e.may_contain(value)),
+            ColumnBound::Below {
+                col,
+                value,
+                inclusive,
+            } => entry(*col).is_none_or(|e| e.may_precede(value, *inclusive)),
+            ColumnBound::Above {
+                col,
+                value,
+                inclusive,
+            } => entry(*col).is_none_or(|e| e.may_exceed(value, *inclusive)),
+            ColumnBound::OneOf { col, values } => {
+                entry(*col).is_none_or(|e| values.iter().any(|v| e.may_contain(v)))
+            }
+        }
+    }
+}
+
+/// The conjunction of provable bounds extracted from a predicate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PruningPredicate {
+    bounds: Vec<ColumnBound>,
+}
+
+impl PruningPredicate {
+    /// Extracts bounds from `predicate`. Only top-level conjunctions
+    /// contribute; anything else (OR, NOT, non-literal operands,
+    /// pseudo-columns) is ignored, which keeps pruning sound.
+    pub fn analyze(predicate: Option<&Expr>, schema: &Schema) -> PruningPredicate {
+        let mut bounds = Vec::new();
+        if let Some(p) = predicate {
+            collect(p, schema, &mut bounds);
+        }
+        PruningPredicate { bounds }
+    }
+
+    /// The extracted bounds.
+    pub fn bounds(&self) -> &[ColumnBound] {
+        &self.bounds
+    }
+
+    /// True when no bound could be extracted (every segment must be read).
+    pub fn is_trivial(&self) -> bool {
+        self.bounds.is_empty()
+    }
+
+    /// Could `segment` contain a matching tuple?
+    pub fn segment_may_match(&self, segment: &Segment) -> bool {
+        self.bounds.iter().all(|b| b.segment_may_match(segment))
+    }
+}
+
+fn collect(expr: &Expr, schema: &Schema, out: &mut Vec<ColumnBound>) {
+    match expr {
+        Expr::And(a, b) => {
+            collect(a, schema, out);
+            collect(b, schema, out);
+        }
+        Expr::Compare { left, op, right } => {
+            // col op literal, or literal op col (flipped).
+            if let (Expr::Column(name), Expr::Literal(v)) = (&**left, &**right) {
+                push_bound(schema, name, *op, v, out);
+            } else if let (Expr::Literal(v), Expr::Column(name)) = (&**left, &**right) {
+                push_bound(schema, name, flip(*op), v, out);
+            }
+        }
+        Expr::Between { expr, low, high } => {
+            if let (Expr::Column(name), Expr::Literal(lo), Expr::Literal(hi)) =
+                (&**expr, &**low, &**high)
+            {
+                push_bound(schema, name, CmpOp::Ge, lo, out);
+                push_bound(schema, name, CmpOp::Le, hi, out);
+            }
+        }
+        Expr::InList { expr, list } => {
+            if let Expr::Column(name) = &**expr {
+                let mut values = Vec::with_capacity(list.len());
+                for item in list {
+                    match item {
+                        Expr::Literal(v) if !v.is_null() => values.push(v.clone()),
+                        // A NULL in the list can never *match*, so it is
+                        // safe to drop it from the candidate set.
+                        Expr::Literal(_) => {}
+                        // Non-literal member: cannot prove anything.
+                        _ => return,
+                    }
+                }
+                if let Some(col) = schema.index_of(name) {
+                    out.push(ColumnBound::OneOf { col, values });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        other => other,
+    }
+}
+
+fn push_bound(schema: &Schema, name: &str, op: CmpOp, value: &Value, out: &mut Vec<ColumnBound>) {
+    if value.is_null() {
+        // `col op NULL` never matches; leave pruning to the evaluator.
+        return;
+    }
+    let Some(col) = schema.index_of(name) else {
+        return;
+    };
+    let bound = match op {
+        CmpOp::Eq => ColumnBound::Eq {
+            col,
+            value: value.clone(),
+        },
+        CmpOp::Lt => ColumnBound::Below {
+            col,
+            value: value.clone(),
+            inclusive: false,
+        },
+        CmpOp::Le => ColumnBound::Below {
+            col,
+            value: value.clone(),
+            inclusive: true,
+        },
+        CmpOp::Gt => ColumnBound::Above {
+            col,
+            value: value.clone(),
+            inclusive: false,
+        },
+        CmpOp::Ge => ColumnBound::Above {
+            col,
+            value: value.clone(),
+            inclusive: true,
+        },
+        CmpOp::Ne => return, // a zone rarely proves a ≠, not worth it
+    };
+    out.push(bound);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_expr;
+    use fungus_storage::{StorageConfig, TableStore};
+    use fungus_types::{DataType, Tick};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Str)]).unwrap()
+    }
+
+    /// Segments of 4: values a = 0,10,20,30 | 40,50,60,70 | 80,90.
+    fn table() -> TableStore {
+        let mut t = TableStore::new(
+            schema(),
+            StorageConfig {
+                segment_capacity: 4,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            t.insert(
+                vec![Value::Int(i * 10), Value::from(format!("s{i}"))],
+                Tick(0),
+            )
+            .unwrap();
+        }
+        t
+    }
+
+    fn surviving_segments(pred: &str) -> usize {
+        let t = table();
+        let e = parse_expr(pred).unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        t.segments()
+            .iter()
+            .filter(|s| p.segment_may_match(s))
+            .count()
+    }
+
+    #[test]
+    fn equality_prunes_to_one_segment() {
+        assert_eq!(surviving_segments("a = 50"), 1);
+        assert_eq!(surviving_segments("50 = a"), 1);
+        // 35 falls between segment ranges [0,30], [40,70], [80,90]: all prune.
+        assert_eq!(surviving_segments("a = 35"), 0);
+    }
+
+    #[test]
+    fn range_bounds_prune() {
+        assert_eq!(surviving_segments("a > 70"), 1);
+        assert_eq!(surviving_segments("a >= 70"), 2);
+        assert_eq!(surviving_segments("a < 40"), 1);
+        assert_eq!(surviving_segments("a <= 40"), 2);
+        assert_eq!(surviving_segments("a > 10 AND a < 50"), 2);
+        assert_eq!(surviving_segments("a BETWEEN 45 AND 55"), 1);
+    }
+
+    #[test]
+    fn flipped_literal_side() {
+        assert_eq!(surviving_segments("70 < a"), 1);
+        assert_eq!(surviving_segments("40 > a"), 1);
+    }
+
+    #[test]
+    fn in_list_prunes() {
+        assert_eq!(surviving_segments("a IN (0, 90)"), 2);
+        // Zone maps are ranges: 5 falls inside segment 0's [0,30] envelope.
+        assert_eq!(surviving_segments("a IN (5, NULL)"), 1);
+        // 35 falls between every segment's range: all prune.
+        assert_eq!(surviving_segments("a IN (35, NULL)"), 0);
+    }
+
+    #[test]
+    fn unprunable_shapes_keep_everything() {
+        assert_eq!(
+            surviving_segments("a = 50 OR a = 0"),
+            3,
+            "OR is not analysed"
+        );
+        assert_eq!(surviving_segments("a + 1 = 50"), 3);
+        assert_eq!(surviving_segments("a <> 50"), 3);
+        assert_eq!(surviving_segments("$freshness < 0.5"), 3);
+        assert_eq!(
+            surviving_segments("a IN (0, b)"),
+            3,
+            "non-literal list member"
+        );
+    }
+
+    #[test]
+    fn null_comparisons_extract_nothing() {
+        let e = parse_expr("a = NULL").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert!(p.is_trivial());
+    }
+
+    #[test]
+    fn trivial_predicate() {
+        let p = PruningPredicate::analyze(None, &schema());
+        assert!(p.is_trivial());
+        let t = table();
+        assert!(t.segments().iter().all(|s| p.segment_may_match(s)));
+    }
+
+    #[test]
+    fn conjunction_combines_bounds() {
+        let e = parse_expr("a >= 40 AND a <= 70 AND b = 's5'").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert_eq!(p.bounds().len(), 3);
+        let t = table();
+        let survivors: Vec<usize> = t
+            .segments()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| p.segment_may_match(s))
+            .map(|(i, _)| i)
+            .collect();
+        assert_eq!(survivors, vec![1]);
+    }
+
+    #[test]
+    fn pruning_is_sound_under_string_bounds() {
+        // b ranges: seg0 s0..s3, seg1 s4..s7, seg2 s8..s9.
+        assert_eq!(surviving_segments("b = 's9'"), 1);
+        assert_eq!(surviving_segments("b >= 's8'"), 1);
+    }
+}

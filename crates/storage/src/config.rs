@@ -1,0 +1,91 @@
+//! Storage tuning knobs.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{FungusError, Result};
+
+/// Configuration for a [`TableStore`](crate::table::TableStore).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StorageConfig {
+    /// Tuples per segment. Larger segments amortise zone-map overhead;
+    /// smaller segments prune better and compact cheaper.
+    pub segment_capacity: usize,
+    /// A sealed segment whose live fraction falls below this threshold is
+    /// rewritten by [`compact`](crate::table::TableStore::compact).
+    /// `0.0` disables rewriting (only fully dead segments are dropped);
+    /// `1.0` rewrites any segment with at least one tombstone.
+    pub compact_live_threshold: f64,
+    /// Whether zone maps are maintained. Disabling them is useful for
+    /// isolating their benefit in the ablation benchmarks.
+    pub zone_maps: bool,
+}
+
+impl StorageConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.segment_capacity == 0 {
+            return Err(FungusError::InvalidConfig(
+                "segment_capacity must be at least 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.compact_live_threshold)
+            || self.compact_live_threshold.is_nan()
+        {
+            return Err(FungusError::InvalidConfig(format!(
+                "compact_live_threshold must be in [0,1], got {}",
+                self.compact_live_threshold
+            )));
+        }
+        Ok(())
+    }
+
+    /// A configuration with a small segment size, handy in tests.
+    pub fn for_tests() -> Self {
+        StorageConfig {
+            segment_capacity: 8,
+            ..Default::default()
+        }
+    }
+}
+
+impl Default for StorageConfig {
+    fn default() -> Self {
+        StorageConfig {
+            segment_capacity: 1024,
+            compact_live_threshold: 0.25,
+            zone_maps: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        StorageConfig::default().validate().unwrap();
+        StorageConfig::for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_bad_values() {
+        let c = StorageConfig {
+            segment_capacity: 0,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StorageConfig {
+            compact_live_threshold: 1.5,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+
+        let c = StorageConfig {
+            compact_live_threshold: f64::NAN,
+            ..Default::default()
+        };
+        assert!(c.validate().is_err());
+    }
+}

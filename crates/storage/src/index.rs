@@ -1,0 +1,307 @@
+//! Secondary hash indexes.
+//!
+//! A [`HashIndex`] maps one column's values to the live tuple ids holding
+//! them, letting equality queries skip the scan entirely. Decay interacts
+//! with indexes only through eviction (values never mutate in place), so
+//! the table keeps every index exact by unhooking ids as tuples leave —
+//! whether consumed, rotted, or deleted.
+//!
+//! Ids per key are kept in a `BTreeSet`, so index scans return matches in
+//! insertion order — the same order a full scan would produce, keeping
+//! query results plan-independent.
+
+use std::collections::{BTreeSet, HashMap};
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{TupleId, Value};
+
+/// An exact equality index over one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HashIndex {
+    column: usize,
+    map: HashMap<Value, BTreeSet<TupleId>>,
+    entries: u64,
+}
+
+impl HashIndex {
+    /// An empty index over column `column`.
+    pub fn new(column: usize) -> Self {
+        HashIndex {
+            column,
+            map: HashMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Number of indexed (id, value) entries.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Indexes one tuple's value. NULLs are not indexed (SQL equality can
+    /// never match them).
+    pub fn insert(&mut self, id: TupleId, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        if self.map.entry(value.clone()).or_default().insert(id) {
+            self.entries += 1;
+        }
+    }
+
+    /// Unhooks a departing tuple.
+    pub fn remove(&mut self, id: TupleId, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        if let Some(set) = self.map.get_mut(value) {
+            if set.remove(&id) {
+                self.entries -= 1;
+            }
+            if set.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// The live ids whose column equals `value`, in insertion order.
+    pub fn lookup(&self, value: &Value) -> Vec<TupleId> {
+        if value.is_null() {
+            return Vec::new();
+        }
+        self.map
+            .get(value)
+            .map(|set| set.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Union lookup for `IN`-list probes, deduplicated and ordered.
+    pub fn lookup_any(&self, values: &[Value]) -> Vec<TupleId> {
+        let mut out: BTreeSet<TupleId> = BTreeSet::new();
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            if let Some(set) = self.map.get(v) {
+                out.extend(set.iter().copied());
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+/// An ordered (B-tree) index over one column, answering *range* probes —
+/// the complement to [`HashIndex`]'s equality probes. Useful when range
+/// predicates target a column that is not insertion-clustered (where zone
+/// maps cannot prune).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrdIndex {
+    column: usize,
+    map: std::collections::BTreeMap<Value, BTreeSet<TupleId>>,
+    entries: u64,
+}
+
+impl OrdIndex {
+    /// An empty ordered index over column `column`.
+    pub fn new(column: usize) -> Self {
+        OrdIndex {
+            column,
+            map: std::collections::BTreeMap::new(),
+            entries: 0,
+        }
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Number of indexed entries.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Indexes one tuple's value (NULLs are not indexed).
+    pub fn insert(&mut self, id: TupleId, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        if self.map.entry(value.clone()).or_default().insert(id) {
+            self.entries += 1;
+        }
+    }
+
+    /// Unhooks a departing tuple.
+    pub fn remove(&mut self, id: TupleId, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        if let Some(set) = self.map.get_mut(value) {
+            if set.remove(&id) {
+                self.entries -= 1;
+            }
+            if set.is_empty() {
+                self.map.remove(value);
+            }
+        }
+    }
+
+    /// Ids whose value lies in the range, in insertion order.
+    ///
+    /// `lo`/`hi` are optional bounds with inclusivity flags; `None` means
+    /// unbounded on that side.
+    pub fn range(&self, lo: Option<(&Value, bool)>, hi: Option<(&Value, bool)>) -> Vec<TupleId> {
+        use std::ops::Bound;
+        let lower: Bound<&Value> = match lo {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(v),
+            Some((v, false)) => Bound::Excluded(v),
+        };
+        let upper: Bound<&Value> = match hi {
+            None => Bound::Unbounded,
+            Some((v, true)) => Bound::Included(v),
+            Some((v, false)) => Bound::Excluded(v),
+        };
+        // An inverted range panics in BTreeMap::range; answer empty instead.
+        if let (Some((l, li)), Some((h, hi_inc))) = (lo, hi) {
+            match l.cmp_total(h) {
+                std::cmp::Ordering::Greater => return Vec::new(),
+                std::cmp::Ordering::Equal if !(li && hi_inc) => return Vec::new(),
+                _ => {}
+            }
+        }
+        let mut out = BTreeSet::new();
+        for set in self.map.range::<Value, _>((lower, upper)).map(|(_, s)| s) {
+            out.extend(set.iter().copied());
+        }
+        out.into_iter().collect()
+    }
+
+    /// Equality probe (a degenerate range).
+    pub fn lookup(&self, value: &Value) -> Vec<TupleId> {
+        if value.is_null() {
+            return Vec::new();
+        }
+        self.map
+            .get(value)
+            .map(|s| s.iter().copied().collect())
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove() {
+        let mut idx = HashIndex::new(0);
+        idx.insert(TupleId(1), &Value::Int(7));
+        idx.insert(TupleId(5), &Value::Int(7));
+        idx.insert(TupleId(3), &Value::Int(9));
+        assert_eq!(idx.entries(), 3);
+        assert_eq!(idx.distinct_keys(), 2);
+        assert_eq!(idx.lookup(&Value::Int(7)), vec![TupleId(1), TupleId(5)]);
+        idx.remove(TupleId(1), &Value::Int(7));
+        assert_eq!(idx.lookup(&Value::Int(7)), vec![TupleId(5)]);
+        idx.remove(TupleId(5), &Value::Int(7));
+        assert_eq!(idx.lookup(&Value::Int(7)), Vec::<TupleId>::new());
+        assert_eq!(idx.distinct_keys(), 1, "empty keys are pruned");
+        assert_eq!(idx.entries(), 1);
+    }
+
+    #[test]
+    fn nulls_are_never_indexed() {
+        let mut idx = HashIndex::new(0);
+        idx.insert(TupleId(1), &Value::Null);
+        assert_eq!(idx.entries(), 0);
+        assert!(idx.lookup(&Value::Null).is_empty());
+        idx.remove(TupleId(1), &Value::Null); // no-op, no panic
+    }
+
+    #[test]
+    fn numeric_cross_type_keys_unify() {
+        // Int 7 and Float 7.0 are equal values and must share a key.
+        let mut idx = HashIndex::new(0);
+        idx.insert(TupleId(1), &Value::Int(7));
+        assert_eq!(idx.lookup(&Value::Float(7.0)), vec![TupleId(1)]);
+    }
+
+    #[test]
+    fn duplicate_insert_is_idempotent() {
+        let mut idx = HashIndex::new(0);
+        idx.insert(TupleId(1), &Value::from("k"));
+        idx.insert(TupleId(1), &Value::from("k"));
+        assert_eq!(idx.entries(), 1);
+    }
+
+    #[test]
+    fn ord_index_ranges() {
+        let mut idx = OrdIndex::new(0);
+        for (id, v) in [(1u64, 10i64), (2, 20), (3, 30), (4, 20), (5, 40)] {
+            idx.insert(TupleId(id), &Value::Int(v));
+        }
+        assert_eq!(idx.entries(), 5);
+        // [20, 30]
+        let ids = idx.range(Some((&Value::Int(20), true)), Some((&Value::Int(30), true)));
+        assert_eq!(ids, vec![TupleId(2), TupleId(3), TupleId(4)]);
+        // (20, ∞)
+        let ids = idx.range(Some((&Value::Int(20), false)), None);
+        assert_eq!(ids, vec![TupleId(3), TupleId(5)]);
+        // (-∞, 20)
+        let ids = idx.range(None, Some((&Value::Int(20), false)));
+        assert_eq!(ids, vec![TupleId(1)]);
+        // Unbounded both sides = everything.
+        assert_eq!(idx.range(None, None).len(), 5);
+        // Inverted and empty-point ranges are empty, not a panic.
+        assert!(idx
+            .range(Some((&Value::Int(30), true)), Some((&Value::Int(10), true)))
+            .is_empty());
+        assert!(idx
+            .range(
+                Some((&Value::Int(20), false)),
+                Some((&Value::Int(20), true))
+            )
+            .is_empty());
+        // Point range [20,20] works.
+        let ids = idx.range(Some((&Value::Int(20), true)), Some((&Value::Int(20), true)));
+        assert_eq!(ids, vec![TupleId(2), TupleId(4)]);
+        // Removal.
+        idx.remove(TupleId(4), &Value::Int(20));
+        assert_eq!(idx.lookup(&Value::Int(20)), vec![TupleId(2)]);
+        assert_eq!(idx.entries(), 4);
+    }
+
+    #[test]
+    fn ord_index_mixed_numeric_keys() {
+        let mut idx = OrdIndex::new(0);
+        idx.insert(TupleId(1), &Value::Int(5));
+        idx.insert(TupleId(2), &Value::Float(5.5));
+        let ids = idx.range(
+            Some((&Value::Float(5.0), true)),
+            Some((&Value::Int(6), true)),
+        );
+        assert_eq!(ids, vec![TupleId(1), TupleId(2)]);
+    }
+
+    #[test]
+    fn lookup_any_unions_in_order() {
+        let mut idx = HashIndex::new(0);
+        idx.insert(TupleId(9), &Value::Int(1));
+        idx.insert(TupleId(2), &Value::Int(2));
+        idx.insert(TupleId(5), &Value::Int(1));
+        let ids = idx.lookup_any(&[Value::Int(2), Value::Int(1), Value::Null]);
+        assert_eq!(ids, vec![TupleId(2), TupleId(5), TupleId(9)]);
+    }
+}

@@ -1,0 +1,344 @@
+//! Point-in-time statistics and the rot-spot census.
+//!
+//! [`TableStats`] feeds the health monitor (experiment E10) and the storage
+//! series of experiment E1; [`SpotCensus`] quantifies the paper's "Blue
+//! Cheese" picture for experiment E2 — how many contiguous rotting spots a
+//! fungus has created and how large they have grown.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::Tick;
+
+use crate::segment::TombstoneReason;
+use crate::table::TableStore;
+
+/// Fixed ten-bin histogram over freshness `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FreshnessHistogram {
+    /// `bins[i]` counts tuples with freshness in `[i/10, (i+1)/10)`;
+    /// freshness 1.0 lands in the last bin.
+    pub bins: [u64; 10],
+}
+
+impl FreshnessHistogram {
+    /// Adds one observation.
+    pub fn observe(&mut self, freshness: f64) {
+        let idx = ((freshness.clamp(0.0, 1.0) * 10.0) as usize).min(9);
+        self.bins[idx] += 1;
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.bins.iter().sum()
+    }
+
+    /// Fraction of observations in the lowest bin (nearly rotten tuples).
+    pub fn near_rotten_fraction(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.bins[0] as f64 / total as f64
+        }
+    }
+}
+
+/// A census of contiguous decay structures along the time axis.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpotCensus {
+    /// Number of maximal runs of infected live tuples.
+    pub infected_spots: usize,
+    /// Tuples in the largest infected run.
+    pub largest_infected_spot: usize,
+    /// Total infected live tuples.
+    pub infected_total: usize,
+    /// Number of maximal runs of rot-evicted tombstones ("holes eaten by
+    /// the fungus").
+    pub rot_holes: usize,
+    /// Slots in the largest rot hole.
+    pub largest_rot_hole: usize,
+    /// Total rot-evicted slots.
+    pub rot_hole_total: usize,
+}
+
+impl SpotCensus {
+    /// Walks every allocated slot of the store in id order, classifying
+    /// runs. A rot *spot* is a maximal run of live infected tuples; a rot
+    /// *hole* is a maximal run of `Rotted` tombstones (other tombstone
+    /// reasons break a hole, as do live tuples).
+    pub fn collect(store: &TableStore) -> SpotCensus {
+        let mut census = SpotCensus::default();
+        let mut cur_infected = 0usize;
+        let mut cur_hole = 0usize;
+        let mut last_id: Option<u64> = None;
+
+        let close_infected = |census: &mut SpotCensus, run: &mut usize| {
+            if *run > 0 {
+                census.infected_spots += 1;
+                census.largest_infected_spot = census.largest_infected_spot.max(*run);
+                *run = 0;
+            }
+        };
+        let close_hole = |census: &mut SpotCensus, run: &mut usize| {
+            if *run > 0 {
+                census.rot_holes += 1;
+                census.largest_rot_hole = census.largest_rot_hole.max(*run);
+                *run = 0;
+            }
+        };
+
+        for seg in store.segments() {
+            seg.for_each_slot(|id, slot| {
+                // A gap between segments (dropped segment) breaks runs —
+                // unless the dropped segment was itself rot, which we cannot
+                // know; be conservative and break.
+                if let Some(last) = last_id {
+                    if id.get() != last + 1 {
+                        close_infected(&mut census, &mut cur_infected);
+                        close_hole(&mut census, &mut cur_hole);
+                    }
+                }
+                last_id = Some(id.get());
+                match slot {
+                    Ok(tuple) => {
+                        close_hole(&mut census, &mut cur_hole);
+                        if tuple.meta.infected {
+                            cur_infected += 1;
+                            census.infected_total += 1;
+                        } else {
+                            close_infected(&mut census, &mut cur_infected);
+                        }
+                    }
+                    Err(TombstoneReason::Rotted) => {
+                        close_infected(&mut census, &mut cur_infected);
+                        cur_hole += 1;
+                        census.rot_hole_total += 1;
+                    }
+                    Err(_) => {
+                        close_infected(&mut census, &mut cur_infected);
+                        close_hole(&mut census, &mut cur_hole);
+                    }
+                }
+            });
+        }
+        close_infected(&mut census, &mut cur_infected);
+        close_hole(&mut census, &mut cur_hole);
+        census
+    }
+
+    /// Mean size of infected spots (0 when none).
+    pub fn mean_infected_spot(&self) -> f64 {
+        if self.infected_spots == 0 {
+            0.0
+        } else {
+            self.infected_total as f64 / self.infected_spots as f64
+        }
+    }
+
+    /// Mean size of rot holes (0 when none).
+    pub fn mean_rot_hole(&self) -> f64 {
+        if self.rot_holes == 0 {
+            0.0
+        } else {
+            self.rot_hole_total as f64 / self.rot_holes as f64
+        }
+    }
+}
+
+/// Point-in-time statistics of one store.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Observation time.
+    pub at: Tick,
+    /// Live tuples.
+    pub live_count: usize,
+    /// Tuples ever inserted.
+    pub total_inserted: u64,
+    /// Approximate live heap bytes.
+    pub approx_bytes: usize,
+    /// Number of segments (dense + sparse).
+    pub segment_count: usize,
+    /// Infected live tuples.
+    pub infected_count: usize,
+    /// Mean freshness of live tuples (1.0 for an empty store).
+    pub mean_freshness: f64,
+    /// Minimum freshness among live tuples (1.0 for an empty store).
+    pub min_freshness: f64,
+    /// Mean age of live tuples in ticks.
+    pub mean_age: f64,
+    /// Histogram of live freshness.
+    pub freshness_histogram: FreshnessHistogram,
+    /// Evictions by rot.
+    pub evicted_rotted: u64,
+    /// Evictions by consuming queries.
+    pub evicted_consumed: u64,
+    /// Explicit deletions.
+    pub evicted_deleted: u64,
+    /// Rotted-without-ever-being-read count (the paper's wasted rice).
+    pub rotted_unread: u64,
+}
+
+impl TableStats {
+    /// Collects statistics from `store` at time `now` in one pass.
+    pub fn collect(store: &TableStore, now: Tick) -> TableStats {
+        let mut hist = FreshnessHistogram::default();
+        let mut sum_fresh = 0.0;
+        let mut min_fresh = f64::INFINITY;
+        let mut sum_age = 0.0;
+        let mut n = 0usize;
+        for t in store.iter_live() {
+            let f = t.meta.freshness.get();
+            hist.observe(f);
+            sum_fresh += f;
+            min_fresh = min_fresh.min(f);
+            sum_age += t.meta.age(now).as_f64();
+            n += 1;
+        }
+        TableStats {
+            at: now,
+            live_count: n,
+            total_inserted: store.total_inserted(),
+            approx_bytes: store.approx_bytes(),
+            segment_count: store.segments().len(),
+            infected_count: store.infected_count(),
+            mean_freshness: if n == 0 { 1.0 } else { sum_fresh / n as f64 },
+            min_freshness: if n == 0 { 1.0 } else { min_fresh },
+            mean_age: if n == 0 { 0.0 } else { sum_age / n as f64 },
+            freshness_histogram: hist,
+            evicted_rotted: store.evicted_rotted(),
+            evicted_consumed: store.evicted_consumed(),
+            evicted_deleted: store.evicted_deleted(),
+            rotted_unread: store.rotted_unread(),
+        }
+    }
+
+    /// Fraction of all evictions that rotted away unread — 0 when nothing
+    /// was evicted. This is the waste the paper's fable warns against.
+    pub fn waste_ratio(&self) -> f64 {
+        let evicted = self.evicted_rotted + self.evicted_consumed + self.evicted_deleted;
+        if evicted == 0 {
+            0.0
+        } else {
+            self.rotted_unread as f64 / evicted as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StorageConfig;
+    use crate::segment::TombstoneReason;
+    use fungus_types::{DataType, Schema, TupleId, Value};
+
+    fn table_with(n: u64) -> TableStore {
+        let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+        let mut t = TableStore::new(schema, StorageConfig::for_tests()).unwrap();
+        for i in 0..n {
+            t.insert(vec![Value::Int(i as i64)], Tick(i)).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn histogram_bins_edges() {
+        let mut h = FreshnessHistogram::default();
+        h.observe(0.0);
+        h.observe(0.05);
+        h.observe(0.95);
+        h.observe(1.0);
+        assert_eq!(h.bins[0], 2);
+        assert_eq!(h.bins[9], 2);
+        assert_eq!(h.total(), 4);
+        assert_eq!(h.near_rotten_fraction(), 0.5);
+        assert_eq!(FreshnessHistogram::default().near_rotten_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_on_empty_store() {
+        let t = table_with(0);
+        let s = t.stats(Tick(5));
+        assert_eq!(s.live_count, 0);
+        assert_eq!(s.mean_freshness, 1.0);
+        assert_eq!(s.min_freshness, 1.0);
+        assert_eq!(s.mean_age, 0.0);
+        assert_eq!(s.waste_ratio(), 0.0);
+    }
+
+    #[test]
+    fn stats_track_decay_and_age() {
+        let mut t = table_with(4); // inserted at ticks 0..3
+        t.decay(TupleId(0), 0.5);
+        let s = t.stats(Tick(3));
+        assert_eq!(s.live_count, 4);
+        assert!((s.mean_freshness - 0.875).abs() < 1e-12);
+        assert!((s.min_freshness - 0.5).abs() < 1e-12);
+        // Ages at tick 3: 3,2,1,0 → mean 1.5.
+        assert!((s.mean_age - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn waste_ratio_counts_unread_rot() {
+        let mut t = table_with(4);
+        t.touch(TupleId(0), Tick(1));
+        t.delete(TupleId(0), TombstoneReason::Rotted); // read → not waste
+        t.delete(TupleId(1), TombstoneReason::Rotted); // unread → waste
+        t.delete(TupleId(2), TombstoneReason::Consumed);
+        let s = t.stats(Tick(5));
+        assert_eq!(s.evicted_rotted, 2);
+        assert_eq!(s.rotted_unread, 1);
+        assert!((s.waste_ratio() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn census_counts_infected_runs() {
+        let mut t = table_with(10);
+        // Infect 2,3,4 and 7 → two spots of sizes 3 and 1.
+        for i in [2u64, 3, 4, 7] {
+            t.infect(TupleId(i), Tick(1));
+        }
+        let c = SpotCensus::collect(&t);
+        assert_eq!(c.infected_spots, 2);
+        assert_eq!(c.largest_infected_spot, 3);
+        assert_eq!(c.infected_total, 4);
+        assert_eq!(c.mean_infected_spot(), 2.0);
+        assert_eq!(c.rot_holes, 0);
+    }
+
+    #[test]
+    fn census_counts_rot_holes_and_reason_breaks() {
+        let mut t = table_with(10);
+        t.delete(TupleId(2), TombstoneReason::Rotted);
+        t.delete(TupleId(3), TombstoneReason::Rotted);
+        t.delete(TupleId(4), TombstoneReason::Consumed); // breaks the hole
+        t.delete(TupleId(5), TombstoneReason::Rotted);
+        let c = SpotCensus::collect(&t);
+        assert_eq!(c.rot_holes, 2, "consumed tombstone splits the rot hole");
+        assert_eq!(c.largest_rot_hole, 2);
+        assert_eq!(c.rot_hole_total, 3);
+        assert_eq!(c.mean_rot_hole(), 1.5);
+    }
+
+    #[test]
+    fn census_sees_through_sparse_segments() {
+        let mut t = table_with(16); // two sealed segments of 8
+        for i in 2..7u64 {
+            t.delete(TupleId(i), TombstoneReason::Rotted);
+        }
+        t.compact();
+        let c = SpotCensus::collect(&t);
+        assert_eq!(c.rot_holes, 1);
+        assert_eq!(c.largest_rot_hole, 5);
+    }
+
+    #[test]
+    fn census_runs_span_segment_boundaries() {
+        let mut t = table_with(16); // segments [0..8) and [8..16)
+        for i in 6..10u64 {
+            t.infect(TupleId(i), Tick(1));
+        }
+        let c = SpotCensus::collect(&t);
+        assert_eq!(c.infected_spots, 1, "run crosses the segment boundary");
+        assert_eq!(c.largest_infected_spot, 4);
+    }
+}

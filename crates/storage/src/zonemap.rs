@@ -1,0 +1,205 @@
+//! Per-segment zone maps.
+//!
+//! A [`ZoneMap`] records, for every column of a segment, the minimum and
+//! maximum live value plus a null count. The query planner consults it to
+//! skip whole segments whose value range cannot satisfy a predicate — the
+//! standard small-materialised-aggregate trick, which matters here because
+//! decay constantly punches holes in old segments while queries mostly
+//! target recent ranges.
+//!
+//! Zone entries are maintained *conservatively*: appends widen the range,
+//! deletions do not narrow it (that would require a rescan). Compaction
+//! rebuilds exact entries.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::Value;
+
+/// The min/max/null summary of one column within one segment.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ZoneEntry {
+    /// Minimum non-null value observed (None until a non-null value lands).
+    pub min: Option<Value>,
+    /// Maximum non-null value observed.
+    pub max: Option<Value>,
+    /// Number of NULLs appended (not decremented on delete).
+    pub null_count: u64,
+    /// Number of non-null values appended (not decremented on delete).
+    pub value_count: u64,
+}
+
+impl ZoneEntry {
+    /// Folds one appended value into the entry.
+    pub fn observe(&mut self, value: &Value) {
+        if value.is_null() {
+            self.null_count += 1;
+            return;
+        }
+        self.value_count += 1;
+        match &self.min {
+            Some(m) if value.cmp_total(m) == std::cmp::Ordering::Less => {
+                self.min = Some(value.clone());
+            }
+            None => self.min = Some(value.clone()),
+            _ => {}
+        }
+        match &self.max {
+            Some(m) if value.cmp_total(m) == std::cmp::Ordering::Greater => {
+                self.max = Some(value.clone());
+            }
+            None => self.max = Some(value.clone()),
+            _ => {}
+        }
+    }
+
+    /// Could a value equal to `v` live in this zone? (Conservative: `true`
+    /// unless the range excludes it.)
+    pub fn may_contain(&self, v: &Value) -> bool {
+        if v.is_null() {
+            return self.null_count > 0;
+        }
+        match (&self.min, &self.max) {
+            (Some(min), Some(max)) => {
+                v.cmp_total(min) != std::cmp::Ordering::Less
+                    && v.cmp_total(max) != std::cmp::Ordering::Greater
+            }
+            // No non-null values ever appended: only NULLs can be here.
+            _ => false,
+        }
+    }
+
+    /// Could a value `> v` (or `>= v` when `inclusive`) live here?
+    pub fn may_exceed(&self, v: &Value, inclusive: bool) -> bool {
+        match &self.max {
+            Some(max) => {
+                let ord = max.cmp_total(v);
+                ord == std::cmp::Ordering::Greater
+                    || (inclusive && ord == std::cmp::Ordering::Equal)
+            }
+            None => false,
+        }
+    }
+
+    /// Could a value `< v` (or `<= v` when `inclusive`) live here?
+    pub fn may_precede(&self, v: &Value, inclusive: bool) -> bool {
+        match &self.min {
+            Some(min) => {
+                let ord = min.cmp_total(v);
+                ord == std::cmp::Ordering::Less || (inclusive && ord == std::cmp::Ordering::Equal)
+            }
+            None => false,
+        }
+    }
+}
+
+/// Zone entries for every column of a segment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ZoneMap {
+    entries: Vec<ZoneEntry>,
+}
+
+impl ZoneMap {
+    /// An empty zone map over `arity` columns.
+    pub fn new(arity: usize) -> Self {
+        ZoneMap {
+            entries: vec![ZoneEntry::default(); arity],
+        }
+    }
+
+    /// Folds one appended row into the map. A zero-arity map (zone maps
+    /// disabled by configuration) ignores every row.
+    pub fn observe_row(&mut self, values: &[Value]) {
+        if self.entries.is_empty() {
+            return;
+        }
+        debug_assert_eq!(values.len(), self.entries.len());
+        for (entry, value) in self.entries.iter_mut().zip(values) {
+            entry.observe(value);
+        }
+    }
+
+    /// The entry for column `idx`, if within arity.
+    pub fn entry(&self, idx: usize) -> Option<&ZoneEntry> {
+        self.entries.get(idx)
+    }
+
+    /// Number of columns covered.
+    pub fn arity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_tracks_min_max_and_nulls() {
+        let mut e = ZoneEntry::default();
+        e.observe(&Value::Int(5));
+        e.observe(&Value::Int(2));
+        e.observe(&Value::Null);
+        e.observe(&Value::Int(9));
+        assert_eq!(e.min, Some(Value::Int(2)));
+        assert_eq!(e.max, Some(Value::Int(9)));
+        assert_eq!(e.null_count, 1);
+        assert_eq!(e.value_count, 3);
+    }
+
+    #[test]
+    fn containment_checks() {
+        let mut e = ZoneEntry::default();
+        e.observe(&Value::Int(10));
+        e.observe(&Value::Int(20));
+        assert!(e.may_contain(&Value::Int(15)));
+        assert!(e.may_contain(&Value::Int(10)));
+        assert!(!e.may_contain(&Value::Int(9)));
+        assert!(!e.may_contain(&Value::Int(21)));
+        assert!(!e.may_contain(&Value::Null), "no nulls observed");
+        e.observe(&Value::Null);
+        assert!(e.may_contain(&Value::Null));
+    }
+
+    #[test]
+    fn empty_zone_contains_nothing() {
+        let e = ZoneEntry::default();
+        assert!(!e.may_contain(&Value::Int(1)));
+        assert!(!e.may_exceed(&Value::Int(0), true));
+        assert!(!e.may_precede(&Value::Int(0), true));
+    }
+
+    #[test]
+    fn range_checks_honour_inclusivity() {
+        let mut e = ZoneEntry::default();
+        e.observe(&Value::Int(10));
+        e.observe(&Value::Int(20));
+        // x > 20 impossible, x >= 20 possible.
+        assert!(!e.may_exceed(&Value::Int(20), false));
+        assert!(e.may_exceed(&Value::Int(20), true));
+        assert!(e.may_exceed(&Value::Int(15), false));
+        // x < 10 impossible, x <= 10 possible.
+        assert!(!e.may_precede(&Value::Int(10), false));
+        assert!(e.may_precede(&Value::Int(10), true));
+        assert!(e.may_precede(&Value::Int(15), false));
+    }
+
+    #[test]
+    fn cross_type_numeric_pruning() {
+        let mut e = ZoneEntry::default();
+        e.observe(&Value::Float(1.5));
+        e.observe(&Value::Float(2.5));
+        assert!(e.may_contain(&Value::Int(2)));
+        assert!(!e.may_contain(&Value::Int(3)));
+    }
+
+    #[test]
+    fn map_covers_all_columns() {
+        let mut zm = ZoneMap::new(2);
+        zm.observe_row(&[Value::Int(1), Value::from("b")]);
+        zm.observe_row(&[Value::Int(4), Value::from("a")]);
+        assert_eq!(zm.arity(), 2);
+        assert_eq!(zm.entry(0).unwrap().max, Some(Value::Int(4)));
+        assert_eq!(zm.entry(1).unwrap().min, Some(Value::from("a")));
+        assert!(zm.entry(2).is_none());
+    }
+}

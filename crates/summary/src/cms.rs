@@ -1,0 +1,190 @@
+//! Count-Min sketch for per-key frequencies.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{FungusError, Result, Value};
+
+use crate::hash::hash_value;
+
+/// A Count-Min sketch: `depth` rows of `width` counters; a key's count
+/// estimate is the minimum of its counters, which **never underestimates**
+/// and overestimates by at most `ε·N` with probability `1 − δ` when built
+/// via [`with_error_bounds`](CountMinSketch::with_error_bounds)
+/// (`width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    width: usize,
+    depth: usize,
+    seed: u64,
+    counters: Vec<u64>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// A sketch with explicit dimensions.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Result<Self> {
+        if width == 0 || depth == 0 {
+            return Err(FungusError::InvalidConfig(
+                "count-min sketch needs width ≥ 1 and depth ≥ 1".into(),
+            ));
+        }
+        Ok(CountMinSketch {
+            width,
+            depth,
+            seed,
+            counters: vec![0; width * depth],
+            total: 0,
+        })
+    }
+
+    /// Dimensions from the standard (ε, δ) bounds.
+    pub fn with_error_bounds(epsilon: f64, delta: f64, seed: u64) -> Result<Self> {
+        if !(epsilon > 0.0 && epsilon < 1.0 && delta > 0.0 && delta < 1.0) {
+            return Err(FungusError::InvalidConfig(format!(
+                "count-min bounds must be in (0,1): epsilon={epsilon}, delta={delta}"
+            )));
+        }
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn add(&mut self, key: &Value, count: u64) {
+        for row in 0..self.depth {
+            let idx = self.cell(key, row);
+            self.counters[idx] = self.counters[idx].saturating_add(count);
+        }
+        self.total = self.total.saturating_add(count);
+    }
+
+    /// Adds one occurrence.
+    pub fn observe(&mut self, key: &Value) {
+        self.add(key, 1);
+    }
+
+    /// The count estimate for `key` (never below the true count).
+    pub fn estimate(&self, key: &Value) -> u64 {
+        (0..self.depth)
+            .map(|row| self.counters[self.cell(key, row)])
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sketch width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Sketch depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    fn cell(&self, key: &Value, row: usize) -> usize {
+        let h = hash_value(
+            key,
+            self.seed ^ (row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        row * self.width + (h % self.width as u64) as usize
+    }
+
+    /// Merges a sketch with identical dimensions and seed.
+    pub fn merge(&mut self, other: &CountMinSketch) -> Result<()> {
+        if self.width != other.width || self.depth != other.depth || self.seed != other.seed {
+            return Err(FungusError::SummaryError(
+                "cannot merge count-min sketches with different shapes or seeds".into(),
+            ));
+        }
+        for (a, b) in self.counters.iter_mut().zip(&other.counters) {
+            *a = a.saturating_add(*b);
+        }
+        self.total = self.total.saturating_add(other.total);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(CountMinSketch::new(0, 4, 0).is_err());
+        assert!(CountMinSketch::new(16, 0, 0).is_err());
+        assert!(CountMinSketch::with_error_bounds(0.0, 0.1, 0).is_err());
+        assert!(CountMinSketch::with_error_bounds(0.1, 1.5, 0).is_err());
+        let s = CountMinSketch::with_error_bounds(0.01, 0.01, 0).unwrap();
+        assert!(s.width() >= 272, "e/0.01 ≈ 272");
+        assert!(s.depth() >= 4, "ln(100) ≈ 4.6");
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut s = CountMinSketch::new(64, 4, 1).unwrap();
+        for i in 0..200i64 {
+            s.add(&Value::Int(i % 20), 1);
+        }
+        for i in 0..20i64 {
+            assert!(s.estimate(&Value::Int(i)) >= 10, "true count is 10");
+        }
+        assert_eq!(s.total(), 200);
+    }
+
+    #[test]
+    fn error_bound_holds_on_average() {
+        // ε = 0.01, N = 10_000 → error ≤ 100 for most keys.
+        let mut s = CountMinSketch::with_error_bounds(0.01, 0.01, 7).unwrap();
+        for i in 0..10_000i64 {
+            s.observe(&Value::Int(i % 500));
+        }
+        let mut violations = 0;
+        for i in 0..500i64 {
+            let est = s.estimate(&Value::Int(i));
+            assert!(est >= 20);
+            if est > 20 + 100 {
+                violations += 1;
+            }
+        }
+        assert!(violations <= 5, "ε·N bound violated {violations}/500 times");
+    }
+
+    #[test]
+    fn unseen_keys_estimate_small() {
+        let mut s = CountMinSketch::new(1024, 5, 3).unwrap();
+        for i in 0..100i64 {
+            s.observe(&Value::Int(i));
+        }
+        // An unseen key can collide but with 1024 cells it's very unlikely
+        // in all 5 rows.
+        assert_eq!(s.estimate(&Value::from("unseen")), 0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = CountMinSketch::new(64, 4, 9).unwrap();
+        let mut b = CountMinSketch::new(64, 4, 9).unwrap();
+        a.add(&Value::Int(1), 5);
+        b.add(&Value::Int(1), 7);
+        a.merge(&b).unwrap();
+        assert!(a.estimate(&Value::Int(1)) >= 12);
+        assert_eq!(a.total(), 12);
+        // Shape/seed mismatches refuse.
+        let c = CountMinSketch::new(32, 4, 9).unwrap();
+        assert!(a.merge(&c).is_err());
+        let d = CountMinSketch::new(64, 4, 10).unwrap();
+        assert!(a.merge(&d).is_err());
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut s = CountMinSketch::new(64, 4, 2).unwrap();
+        s.add(&Value::from("k"), 1000);
+        assert!(s.estimate(&Value::from("k")) >= 1000);
+    }
+}

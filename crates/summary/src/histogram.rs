@@ -1,0 +1,228 @@
+//! Equi-width histograms with quantile estimation.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{FungusError, Result};
+
+/// A fixed-range, equal-width histogram over f64 observations.
+///
+/// Out-of-range observations clamp into the first/last bin (counted in
+/// `clamped`), so the histogram always accounts for every observation —
+/// appropriate for decaying stores where the domain drifts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EquiWidthHistogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    count: u64,
+    clamped: u64,
+}
+
+impl EquiWidthHistogram {
+    /// A histogram over `[lo, hi)` with `bins` equal cells.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self> {
+        if !(lo.is_finite() && hi.is_finite()) || lo >= hi {
+            return Err(FungusError::InvalidConfig(format!(
+                "histogram range [{lo}, {hi}) is invalid"
+            )));
+        }
+        if bins == 0 {
+            return Err(FungusError::InvalidConfig(
+                "histogram needs at least one bin".into(),
+            ));
+        }
+        Ok(EquiWidthHistogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+            clamped: 0,
+        })
+    }
+
+    /// Folds one observation (non-finite values are dropped).
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        let idx = if x < self.lo {
+            self.clamped += 1;
+            0
+        } else if x >= self.hi {
+            self.clamped += 1;
+            self.bins.len() - 1
+        } else {
+            let w = (self.hi - self.lo) / self.bins.len() as f64;
+            (((x - self.lo) / w) as usize).min(self.bins.len() - 1)
+        };
+        self.bins[idx] += 1;
+        self.count += 1;
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Observations that fell outside the configured range.
+    pub fn clamped(&self) -> u64 {
+        self.clamped
+    }
+
+    /// The raw bin counts.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The `[lo, hi)` edges of bin `i`.
+    pub fn bin_edges(&self, i: usize) -> (f64, f64) {
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + w * i as f64, self.lo + w * (i + 1) as f64)
+    }
+
+    /// Estimated number of observations `≤ x` assuming uniform spread
+    /// within each bin.
+    pub fn estimate_le(&self, x: f64) -> f64 {
+        if self.count == 0 || x < self.lo {
+            return 0.0;
+        }
+        if x >= self.hi {
+            return self.count as f64;
+        }
+        let w = (self.hi - self.lo) / self.bins.len() as f64;
+        let pos = (x - self.lo) / w;
+        let full = pos.floor() as usize;
+        let frac = pos - full as f64;
+        let mut total: f64 = self.bins[..full].iter().map(|&c| c as f64).sum();
+        if full < self.bins.len() {
+            total += self.bins[full] as f64 * frac;
+        }
+        total
+    }
+
+    /// Estimated q-quantile (`q ∈ [0, 1]`) with linear interpolation inside
+    /// the selected bin. `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut acc = 0.0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            let next = acc + c as f64;
+            if next >= target && c > 0 {
+                let (lo, hi) = self.bin_edges(i);
+                let frac = if c == 0 {
+                    0.0
+                } else {
+                    (target - acc) / c as f64
+                };
+                return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+            }
+            acc = next;
+        }
+        Some(self.hi)
+    }
+
+    /// Merges a histogram with identical configuration.
+    pub fn merge(&mut self, other: &EquiWidthHistogram) -> Result<()> {
+        if self.lo != other.lo || self.hi != other.hi || self.bins.len() != other.bins.len() {
+            return Err(FungusError::SummaryError(
+                "cannot merge histograms with different configurations".into(),
+            ));
+        }
+        for (a, b) in self.bins.iter_mut().zip(&other.bins) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.clamped += other.clamped;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_hist() -> EquiWidthHistogram {
+        let mut h = EquiWidthHistogram::new(0.0, 100.0, 10).unwrap();
+        for i in 0..1000 {
+            h.observe(i as f64 % 100.0);
+        }
+        h
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(EquiWidthHistogram::new(1.0, 1.0, 10).is_err());
+        assert!(EquiWidthHistogram::new(5.0, 1.0, 10).is_err());
+        assert!(EquiWidthHistogram::new(0.0, 1.0, 0).is_err());
+        assert!(EquiWidthHistogram::new(f64::NAN, 1.0, 4).is_err());
+        assert!(EquiWidthHistogram::new(0.0, f64::INFINITY, 4).is_err());
+    }
+
+    #[test]
+    fn uniform_data_fills_bins_evenly() {
+        let h = uniform_hist();
+        assert_eq!(h.count(), 1000);
+        assert!(h.bins().iter().all(|&c| c == 100));
+        assert_eq!(h.clamped(), 0);
+    }
+
+    #[test]
+    fn out_of_range_clamps_to_edge_bins() {
+        let mut h = EquiWidthHistogram::new(0.0, 10.0, 2).unwrap();
+        h.observe(-5.0);
+        h.observe(15.0);
+        h.observe(f64::NAN);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.clamped(), 2);
+        assert_eq!(h.bins(), &[1, 1]);
+    }
+
+    #[test]
+    fn quantiles_on_uniform_data() {
+        let h = uniform_hist();
+        let median = h.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 5.0, "median {median}");
+        let p90 = h.quantile(0.9).unwrap();
+        assert!((p90 - 90.0).abs() < 5.0, "p90 {p90}");
+        assert!(h.quantile(0.0).unwrap() <= h.quantile(1.0).unwrap());
+        assert_eq!(
+            EquiWidthHistogram::new(0.0, 1.0, 4).unwrap().quantile(0.5),
+            None
+        );
+    }
+
+    #[test]
+    fn estimate_le_interpolates() {
+        let h = uniform_hist();
+        assert_eq!(h.estimate_le(-1.0), 0.0);
+        assert_eq!(h.estimate_le(200.0), 1000.0);
+        let half = h.estimate_le(50.0);
+        assert!((half - 500.0).abs() < 1.0, "≤50 estimate {half}");
+        let quarter = h.estimate_le(25.0);
+        assert!((quarter - 250.0).abs() < 10.0, "≤25 estimate {quarter}");
+    }
+
+    #[test]
+    fn merge_requires_same_shape() {
+        let mut a = uniform_hist();
+        let b = uniform_hist();
+        a.merge(&b).unwrap();
+        assert_eq!(a.count(), 2000);
+        assert!(a.bins().iter().all(|&c| c == 200));
+        let other = EquiWidthHistogram::new(0.0, 50.0, 10).unwrap();
+        assert!(a.merge(&other).is_err());
+        let other = EquiWidthHistogram::new(0.0, 100.0, 20).unwrap();
+        assert!(a.merge(&other).is_err());
+    }
+
+    #[test]
+    fn bin_edges_cover_range() {
+        let h = EquiWidthHistogram::new(0.0, 10.0, 4).unwrap();
+        assert_eq!(h.bin_edges(0), (0.0, 2.5));
+        assert_eq!(h.bin_edges(3), (7.5, 10.0));
+    }
+}

@@ -1,0 +1,194 @@
+//! HyperLogLog distinct counting.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{FungusError, Result, Value};
+
+use crate::hash::hash_value;
+
+/// A HyperLogLog cardinality estimator with `2^precision` registers.
+///
+/// Standard error is `1.04 / √(2^precision)` — about 3.25% at the default
+/// precision of 10 (1024 registers, 1 KiB).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HyperLogLog {
+    precision: u8,
+    seed: u64,
+    registers: Vec<u8>,
+}
+
+impl HyperLogLog {
+    /// An estimator with `2^precision` registers (`4 ≤ precision ≤ 16`).
+    pub fn new(precision: u8, seed: u64) -> Result<Self> {
+        if !(4..=16).contains(&precision) {
+            return Err(FungusError::InvalidConfig(format!(
+                "hyperloglog precision must be in [4,16], got {precision}"
+            )));
+        }
+        Ok(HyperLogLog {
+            precision,
+            seed,
+            registers: vec![0; 1 << precision],
+        })
+    }
+
+    /// Folds one observation.
+    pub fn observe(&mut self, value: &Value) {
+        let h = hash_value(value, self.seed);
+        let idx = (h >> (64 - self.precision)) as usize;
+        let rest = h << self.precision;
+        // Rank: position of the leftmost 1 in the remaining bits, 1-based;
+        // all-zero remainder gets the maximum rank.
+        let rank = (rest.leading_zeros() as u8).min(64 - self.precision) + 1;
+        if rank > self.registers[idx] {
+            self.registers[idx] = rank;
+        }
+    }
+
+    /// The cardinality estimate with small/large-range corrections.
+    pub fn estimate(&self) -> f64 {
+        let m = self.registers.len() as f64;
+        let sum: f64 = self
+            .registers
+            .iter()
+            .map(|&r| 2f64.powi(-i32::from(r)))
+            .sum();
+        let alpha = match self.registers.len() {
+            16 => 0.673,
+            32 => 0.697,
+            64 => 0.709,
+            m => 0.7213 / (1.0 + 1.079 / m as f64),
+        };
+        let raw = alpha * m * m / sum;
+        if raw <= 2.5 * m {
+            // Small-range correction: linear counting on empty registers.
+            let zeros = self.registers.iter().filter(|&&r| r == 0).count();
+            if zeros > 0 {
+                return m * (m / zeros as f64).ln();
+            }
+        }
+        raw
+    }
+
+    /// Number of registers.
+    pub fn registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// The configured precision.
+    pub fn precision(&self) -> u8 {
+        self.precision
+    }
+
+    /// Merges an estimator with identical precision and seed (register-wise
+    /// max, giving the estimator of the union).
+    pub fn merge(&mut self, other: &HyperLogLog) -> Result<()> {
+        if self.precision != other.precision || self.seed != other.seed {
+            return Err(FungusError::SummaryError(
+                "cannot merge hyperloglogs with different precision or seed".into(),
+            ));
+        }
+        for (a, b) in self.registers.iter_mut().zip(&other.registers) {
+            *a = (*a).max(*b);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn relative_error(estimate: f64, truth: f64) -> f64 {
+        (estimate - truth).abs() / truth
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(HyperLogLog::new(3, 0).is_err());
+        assert!(HyperLogLog::new(17, 0).is_err());
+        let h = HyperLogLog::new(10, 0).unwrap();
+        assert_eq!(h.registers(), 1024);
+        assert_eq!(h.precision(), 10);
+    }
+
+    #[test]
+    fn empty_estimates_zero() {
+        let h = HyperLogLog::new(10, 0).unwrap();
+        assert!(h.estimate() < 1.0);
+    }
+
+    #[test]
+    fn small_cardinalities_are_nearly_exact() {
+        let mut h = HyperLogLog::new(10, 1).unwrap();
+        for i in 0..50i64 {
+            h.observe(&Value::Int(i));
+        }
+        let est = h.estimate();
+        assert!(relative_error(est, 50.0) < 0.05, "estimate {est} for 50");
+    }
+
+    #[test]
+    fn large_cardinalities_within_error_bound() {
+        let mut h = HyperLogLog::new(10, 2).unwrap();
+        for i in 0..100_000i64 {
+            h.observe(&Value::Int(i));
+        }
+        let est = h.estimate();
+        // Standard error 3.25%; allow 3σ.
+        assert!(
+            relative_error(est, 100_000.0) < 0.10,
+            "estimate {est} for 100k"
+        );
+    }
+
+    #[test]
+    fn duplicates_do_not_inflate() {
+        let mut h = HyperLogLog::new(10, 3).unwrap();
+        for _ in 0..10 {
+            for i in 0..1000i64 {
+                h.observe(&Value::Int(i));
+            }
+        }
+        let est = h.estimate();
+        assert!(
+            relative_error(est, 1000.0) < 0.10,
+            "estimate {est} for 1000 distinct"
+        );
+    }
+
+    #[test]
+    fn merge_estimates_union() {
+        let mut a = HyperLogLog::new(10, 4).unwrap();
+        let mut b = HyperLogLog::new(10, 4).unwrap();
+        for i in 0..5000i64 {
+            a.observe(&Value::Int(i));
+        }
+        for i in 2500..7500i64 {
+            b.observe(&Value::Int(i));
+        }
+        a.merge(&b).unwrap();
+        let est = a.estimate();
+        assert!(
+            relative_error(est, 7500.0) < 0.10,
+            "union estimate {est} for 7500"
+        );
+        // Mismatches refuse.
+        let c = HyperLogLog::new(11, 4).unwrap();
+        assert!(a.merge(&c).is_err());
+        let d = HyperLogLog::new(10, 5).unwrap();
+        assert!(a.merge(&d).is_err());
+    }
+
+    #[test]
+    fn mixed_value_types_count_distinctly() {
+        let mut h = HyperLogLog::new(10, 6).unwrap();
+        h.observe(&Value::from("a"));
+        h.observe(&Value::from("b"));
+        h.observe(&Value::Int(1));
+        h.observe(&Value::Bool(true));
+        h.observe(&Value::from("a")); // dup
+        let est = h.estimate();
+        assert!((3.0..5.5).contains(&est), "≈4 distinct, got {est}");
+    }
+}

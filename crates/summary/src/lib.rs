@@ -1,0 +1,45 @@
+//! # fungus-summary
+//!
+//! "Cooking" schemes: bounded-size summaries that preserve answers after
+//! the raw data has rotted away.
+//!
+//! The paper's second natural law demands that data taken out of a relation
+//! be "distilled into useful knowledge, summary, consumed by the user, or
+//! stored in a new container subject to different data fungi", and its
+//! conclusion calls for "better (datamining) 'cooking' schemes". This crate
+//! supplies the standard toolbox:
+//!
+//! | Summary | answers | space |
+//! |---|---|---|
+//! | [`StreamingMoments`] | count / sum / mean / variance / min / max | O(1) |
+//! | [`EquiWidthHistogram`] | range counts, quantiles over a known domain | O(bins) |
+//! | [`ReservoirSample`] | arbitrary quantiles, sample-based anything | O(k) |
+//! | [`CountMinSketch`] | per-key frequencies (overestimate, ε/δ bounds) | O(w·d) |
+//! | [`HyperLogLog`] | distinct count (±1.04/√m) | O(2^p) |
+//! | [`SpaceSaving`] | top-k heavy hitters | O(k) |
+//!
+//! All summaries are mergeable (so per-epoch summaries can be rolled up)
+//! and deterministic: hashing uses seeded FNV-style functions, never
+//! `RandomState`.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod cms;
+pub mod equidepth;
+pub mod hash;
+pub mod histogram;
+pub mod hll;
+pub mod moments;
+pub mod reservoir;
+pub mod spec;
+pub mod topk;
+
+pub use cms::CountMinSketch;
+pub use equidepth::EquiDepthHistogram;
+pub use histogram::EquiWidthHistogram;
+pub use hll::HyperLogLog;
+pub use moments::StreamingMoments;
+pub use reservoir::ReservoirSample;
+pub use spec::{AnySummary, SummarySpec};
+pub use topk::SpaceSaving;

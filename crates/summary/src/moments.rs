@@ -1,0 +1,208 @@
+//! Streaming moments: count, sum, min, max, mean, variance.
+
+use serde::{Deserialize, Serialize};
+
+/// O(1)-space running moments over a stream of f64 observations, using
+/// Welford's algorithm for numerically stable variance.
+///
+/// ```
+/// use fungus_summary::StreamingMoments;
+///
+/// let mut m = StreamingMoments::new();
+/// for x in [2.0, 4.0, 6.0] {
+///     m.observe(x);
+/// }
+/// assert_eq!(m.count(), 3);
+/// assert_eq!(m.mean(), Some(4.0));
+/// assert_eq!(m.min(), Some(2.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct StreamingMoments {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl StreamingMoments {
+    /// An empty summary.
+    pub fn new() -> Self {
+        StreamingMoments {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Folds one observation. Non-finite values are ignored (they would
+    /// poison every downstream statistic).
+    pub fn observe(&mut self, x: f64) {
+        if !x.is_finite() {
+            return;
+        }
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Observations folded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean, `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.mean)
+    }
+
+    /// Minimum, `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Maximum, `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population variance, `None` when empty.
+    pub fn variance(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.m2 / self.count as f64)
+    }
+
+    /// Sample variance (n−1 denominator), `None` with fewer than two
+    /// observations.
+    pub fn sample_variance(&self) -> Option<f64> {
+        (self.count > 1).then(|| self.m2 / (self.count - 1) as f64)
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Merges another summary into this one (Chan's parallel update).
+    pub fn merge(&mut self, other: &StreamingMoments) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_answers_none() {
+        let m = StreamingMoments::new();
+        assert_eq!(m.count(), 0);
+        assert_eq!(m.mean(), None);
+        assert_eq!(m.min(), None);
+        assert_eq!(m.max(), None);
+        assert_eq!(m.variance(), None);
+        assert_eq!(m.sample_variance(), None);
+    }
+
+    #[test]
+    fn matches_direct_computation() {
+        let xs: Vec<f64> = (1..=100).map(|i| i as f64 * 0.5).collect();
+        let mut m = StreamingMoments::new();
+        for &x in &xs {
+            m.observe(x);
+        }
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        assert_eq!(m.count(), 100);
+        assert!((m.mean().unwrap() - mean).abs() < 1e-9);
+        assert!((m.variance().unwrap() - var).abs() < 1e-9);
+        assert_eq!(m.min(), Some(0.5));
+        assert_eq!(m.max(), Some(50.0));
+        assert!((m.sum() - xs.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn merge_equals_single_stream() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 37) % 113) as f64).collect();
+        let mut whole = StreamingMoments::new();
+        for &x in &xs {
+            whole.observe(x);
+        }
+        let mut left = StreamingMoments::new();
+        let mut right = StreamingMoments::new();
+        for &x in &xs[..400] {
+            left.observe(x);
+        }
+        for &x in &xs[400..] {
+            right.observe(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean().unwrap() - whole.mean().unwrap()).abs() < 1e-9);
+        assert!((left.variance().unwrap() - whole.variance().unwrap()).abs() < 1e-6);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = StreamingMoments::new();
+        a.observe(3.0);
+        let b = StreamingMoments::new();
+        let before = a.clone();
+        a.merge(&b);
+        assert_eq!(a, before);
+        let mut c = StreamingMoments::new();
+        c.merge(&before);
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn non_finite_observations_are_skipped() {
+        let mut m = StreamingMoments::new();
+        m.observe(f64::NAN);
+        m.observe(f64::INFINITY);
+        m.observe(2.0);
+        assert_eq!(m.count(), 1);
+        assert_eq!(m.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn variance_is_numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: large mean, small spread.
+        let mut m = StreamingMoments::new();
+        for x in [1e9 + 4.0, 1e9 + 7.0, 1e9 + 13.0, 1e9 + 16.0] {
+            m.observe(x);
+        }
+        assert!((m.variance().unwrap() - 22.5).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,215 @@
+//! Reservoir sampling (Vitter's Algorithm R).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Deserializer, Serialize};
+
+use fungus_types::Value;
+
+/// A uniform random sample of up to `k` values from an unbounded stream.
+///
+/// After `n ≥ k` observations each element of the stream is present with
+/// probability exactly `k/n`. Deterministic given the construction seed.
+///
+/// Serialisation note: `SmallRng` state cannot be persisted, so a
+/// deserialised reservoir re-derives its stream from `(seed, seen)` — the
+/// continued draws stay deterministic (two restores behave identically)
+/// but differ from the draws an uninterrupted instance would have made.
+/// The sampling guarantee is unaffected either way.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReservoirSample {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<Value>,
+    seed: u64,
+    #[serde(skip)]
+    rng: SmallRng,
+}
+
+impl<'de> Deserialize<'de> for ReservoirSample {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        #[derive(Deserialize)]
+        struct Wire {
+            capacity: usize,
+            seen: u64,
+            sample: Vec<Value>,
+            seed: u64,
+        }
+        let w = Wire::deserialize(deserializer)?;
+        Ok(ReservoirSample {
+            rng: SmallRng::seed_from_u64(w.seed ^ w.seen.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            capacity: w.capacity.max(1),
+            seen: w.seen,
+            sample: w.sample,
+            seed: w.seed,
+        })
+    }
+}
+
+impl PartialEq for ReservoirSample {
+    fn eq(&self, other: &Self) -> bool {
+        self.capacity == other.capacity && self.seen == other.seen && self.sample == other.sample
+    }
+}
+
+impl ReservoirSample {
+    /// A reservoir of `capacity` values (zero promoted to 1).
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        let capacity = capacity.max(1);
+        ReservoirSample {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity),
+            seed,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Folds one observation.
+    pub fn observe(&mut self, value: Value) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(value);
+            return;
+        }
+        let j = self.rng.gen_range(0..self.seen);
+        if (j as usize) < self.capacity {
+            self.sample[j as usize] = value;
+        }
+    }
+
+    /// Stream length so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The current sample (unordered).
+    pub fn sample(&self) -> &[Value] {
+        &self.sample
+    }
+
+    /// Sample capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Estimated q-quantile of the numeric observations in the sample
+    /// (non-numeric values are ignored). `None` when no numeric values.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let mut xs: Vec<f64> = self.sample.iter().filter_map(Value::as_f64).collect();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("filtered finite"));
+        let q = q.clamp(0.0, 1.0);
+        let pos = q * (xs.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let frac = pos - lo as f64;
+        Some(xs[lo] + (xs[hi] - xs[lo]) * frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_stays_at_capacity() {
+        let mut r = ReservoirSample::new(10, 1);
+        for i in 0..100i64 {
+            r.observe(Value::Int(i));
+        }
+        assert_eq!(r.sample().len(), 10);
+        assert_eq!(r.seen(), 100);
+        assert_eq!(r.capacity(), 10);
+    }
+
+    #[test]
+    fn short_streams_are_kept_exactly() {
+        let mut r = ReservoirSample::new(10, 1);
+        for i in 0..5i64 {
+            r.observe(Value::Int(i));
+        }
+        assert_eq!(r.sample().len(), 5);
+        let vals: Vec<i64> = r.sample().iter().filter_map(Value::as_i64).collect();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        // Insert 0..1000, sample 100, repeat over seeds; the mean sampled
+        // value should be near 500.
+        let mut grand_total = 0.0;
+        for seed in 0..20u64 {
+            let mut r = ReservoirSample::new(100, seed);
+            for i in 0..1000i64 {
+                r.observe(Value::Int(i));
+            }
+            let mean: f64 = r.sample().iter().filter_map(Value::as_f64).sum::<f64>() / 100.0;
+            grand_total += mean;
+        }
+        let grand_mean = grand_total / 20.0;
+        assert!(
+            (450.0..550.0).contains(&grand_mean),
+            "grand mean {grand_mean} should be ≈ 500"
+        );
+    }
+
+    #[test]
+    fn quantile_estimates_from_sample() {
+        let mut r = ReservoirSample::new(200, 7);
+        for i in 0..10_000i64 {
+            r.observe(Value::Int(i % 100));
+        }
+        let median = r.quantile(0.5).unwrap();
+        assert!((median - 50.0).abs() < 10.0, "median {median}");
+        assert!(r.quantile(0.0).unwrap() <= r.quantile(1.0).unwrap());
+    }
+
+    #[test]
+    fn non_numeric_values_skip_quantiles() {
+        let mut r = ReservoirSample::new(10, 1);
+        r.observe(Value::from("a"));
+        assert_eq!(r.quantile(0.5), None);
+        r.observe(Value::Int(5));
+        assert_eq!(r.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut r = ReservoirSample::new(5, seed);
+            for i in 0..50i64 {
+                r.observe(Value::Int(i));
+            }
+            r.sample().to_vec()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+
+    #[test]
+    fn deserialised_reservoir_continues_deterministically() {
+        let mut r = ReservoirSample::new(4, 9);
+        for i in 0..100i64 {
+            r.observe(Value::Int(i));
+        }
+        let json = fungus_types::json::to_string(&r).unwrap();
+        let mut a: ReservoirSample = fungus_types::json::from_str(&json).unwrap();
+        let mut b: ReservoirSample = fungus_types::json::from_str(&json).unwrap();
+        assert_eq!(a, r, "sample and counters survive the round trip");
+        for i in 100..200i64 {
+            a.observe(Value::Int(i));
+            b.observe(Value::Int(i));
+        }
+        assert_eq!(a.sample(), b.sample(), "two restores draw identically");
+        assert_eq!(a.seen(), 200);
+    }
+
+    #[test]
+    fn zero_capacity_promoted() {
+        let r = ReservoirSample::new(0, 1);
+        assert_eq!(r.capacity(), 1);
+    }
+}

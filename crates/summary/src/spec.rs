@@ -1,0 +1,310 @@
+//! Declarative summary specifications and the type-erased wrapper.
+//!
+//! Distillation pipelines in `fungus-core` are configured as data: a
+//! [`SummarySpec`] names the cooking scheme and its parameters, and
+//! [`AnySummary`] gives every scheme a uniform `observe(&Value)` surface
+//! while keeping scheme-specific queries available by matching.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{Result, Value};
+
+use crate::cms::CountMinSketch;
+use crate::equidepth::EquiDepthHistogram;
+use crate::histogram::EquiWidthHistogram;
+use crate::hll::HyperLogLog;
+use crate::moments::StreamingMoments;
+use crate::reservoir::ReservoirSample;
+use crate::topk::SpaceSaving;
+
+/// A serialisable description of a summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SummarySpec {
+    /// Running count/sum/mean/variance/min/max of a numeric column.
+    Moments,
+    /// Equi-width histogram over `[lo, hi)`.
+    Histogram {
+        /// Domain lower bound.
+        lo: f64,
+        /// Domain upper bound.
+        hi: f64,
+        /// Number of bins.
+        bins: usize,
+    },
+    /// Equi-depth histogram built from a deterministic sample.
+    EquiDepth {
+        /// Number of equal-mass buckets.
+        buckets: usize,
+        /// Reservoir sample size the boundaries derive from.
+        sample: usize,
+    },
+    /// Uniform reservoir sample of `k` values.
+    Reservoir {
+        /// Sample size.
+        k: usize,
+    },
+    /// Count-Min frequency sketch with (ε, δ) bounds.
+    CountMin {
+        /// Additive error fraction.
+        epsilon: f64,
+        /// Failure probability.
+        delta: f64,
+    },
+    /// HyperLogLog distinct counter.
+    Distinct {
+        /// Register precision (4–16).
+        precision: u8,
+    },
+    /// SpaceSaving top-k tracker.
+    TopK {
+        /// Counter capacity.
+        k: usize,
+    },
+}
+
+impl SummarySpec {
+    /// Builds the summary with a deterministic seed.
+    pub fn build(&self, seed: u64) -> Result<AnySummary> {
+        Ok(match self {
+            SummarySpec::Moments => AnySummary::Moments(StreamingMoments::new()),
+            SummarySpec::Histogram { lo, hi, bins } => {
+                AnySummary::Histogram(EquiWidthHistogram::new(*lo, *hi, *bins)?)
+            }
+            SummarySpec::EquiDepth { buckets, sample } => {
+                AnySummary::EquiDepth(EquiDepthHistogram::new(*buckets, *sample, seed)?)
+            }
+            SummarySpec::Reservoir { k } => AnySummary::Reservoir(ReservoirSample::new(*k, seed)),
+            SummarySpec::CountMin { epsilon, delta } => {
+                AnySummary::CountMin(CountMinSketch::with_error_bounds(*epsilon, *delta, seed)?)
+            }
+            SummarySpec::Distinct { precision } => {
+                AnySummary::Distinct(HyperLogLog::new(*precision, seed)?)
+            }
+            SummarySpec::TopK { k } => AnySummary::TopK(SpaceSaving::new(*k)),
+        })
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(&self) -> String {
+        match self {
+            SummarySpec::Moments => "moments".into(),
+            SummarySpec::Histogram { bins, .. } => format!("hist-{bins}"),
+            SummarySpec::EquiDepth { buckets, .. } => format!("eqdepth-{buckets}"),
+            SummarySpec::Reservoir { k } => format!("sample-{k}"),
+            SummarySpec::CountMin { epsilon, .. } => format!("cms-{epsilon}"),
+            SummarySpec::Distinct { precision } => format!("hll-{precision}"),
+            SummarySpec::TopK { k } => format!("topk-{k}"),
+        }
+    }
+}
+
+/// A type-erased summary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AnySummary {
+    /// Streaming moments.
+    Moments(StreamingMoments),
+    /// Equi-width histogram.
+    Histogram(EquiWidthHistogram),
+    /// Equi-depth histogram.
+    EquiDepth(EquiDepthHistogram),
+    /// Reservoir sample.
+    Reservoir(ReservoirSample),
+    /// Count-Min sketch.
+    CountMin(CountMinSketch),
+    /// HyperLogLog.
+    Distinct(HyperLogLog),
+    /// SpaceSaving.
+    TopK(SpaceSaving),
+}
+
+impl AnySummary {
+    /// Folds one value. Numeric summaries ignore non-numeric values; NULLs
+    /// are ignored everywhere (SQL aggregate convention).
+    pub fn observe(&mut self, value: &Value) {
+        if value.is_null() {
+            return;
+        }
+        match self {
+            AnySummary::Moments(m) => {
+                if let Some(x) = value.as_f64() {
+                    m.observe(x);
+                }
+            }
+            AnySummary::Histogram(h) => {
+                if let Some(x) = value.as_f64() {
+                    h.observe(x);
+                }
+            }
+            AnySummary::EquiDepth(h) => {
+                if let Some(x) = value.as_f64() {
+                    h.observe(x);
+                }
+            }
+            AnySummary::Reservoir(r) => r.observe(value.clone()),
+            AnySummary::CountMin(c) => c.observe(value),
+            AnySummary::Distinct(h) => h.observe(value),
+            AnySummary::TopK(t) => t.observe(value),
+        }
+    }
+
+    /// Observations absorbed (approximate for mergeable sketches: the
+    /// number of non-null values offered).
+    pub fn observed(&self) -> u64 {
+        match self {
+            AnySummary::Moments(m) => m.count(),
+            AnySummary::Histogram(h) => h.count(),
+            AnySummary::EquiDepth(h) => h.count(),
+            AnySummary::Reservoir(r) => r.seen(),
+            AnySummary::CountMin(c) => c.total(),
+            // HLL does not track a raw count; report its estimate.
+            AnySummary::Distinct(h) => h.estimate() as u64,
+            AnySummary::TopK(t) => t.total(),
+        }
+    }
+
+    /// The spec label this summary was built from.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AnySummary::Moments(_) => "moments",
+            AnySummary::Histogram(_) => "histogram",
+            AnySummary::EquiDepth(_) => "equi-depth",
+            AnySummary::Reservoir(_) => "reservoir",
+            AnySummary::CountMin(_) => "count-min",
+            AnySummary::Distinct(_) => "distinct",
+            AnySummary::TopK(_) => "top-k",
+        }
+    }
+
+    /// Merges a summary built from the same spec and seed.
+    pub fn merge(&mut self, other: &AnySummary) -> Result<()> {
+        use fungus_types::FungusError;
+        match (self, other) {
+            (AnySummary::Moments(a), AnySummary::Moments(b)) => {
+                a.merge(b);
+                Ok(())
+            }
+            (AnySummary::Histogram(a), AnySummary::Histogram(b)) => a.merge(b),
+            (AnySummary::CountMin(a), AnySummary::CountMin(b)) => a.merge(b),
+            (AnySummary::Distinct(a), AnySummary::Distinct(b)) => a.merge(b),
+            _ => Err(FungusError::SummaryError(
+                "cannot merge summaries of different kinds (reservoir and top-k do not merge)"
+                    .into(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_spec_builds_and_observes() {
+        let specs = [
+            SummarySpec::Moments,
+            SummarySpec::Histogram {
+                lo: 0.0,
+                hi: 100.0,
+                bins: 10,
+            },
+            SummarySpec::EquiDepth {
+                buckets: 4,
+                sample: 64,
+            },
+            SummarySpec::Reservoir { k: 8 },
+            SummarySpec::CountMin {
+                epsilon: 0.01,
+                delta: 0.01,
+            },
+            SummarySpec::Distinct { precision: 10 },
+            SummarySpec::TopK { k: 4 },
+        ];
+        for spec in specs {
+            let mut s = spec.build(42).unwrap();
+            for i in 0..100i64 {
+                s.observe(&Value::Int(i % 10));
+            }
+            s.observe(&Value::Null); // ignored everywhere
+            assert!(s.observed() > 0, "{} observed nothing", s.kind());
+        }
+    }
+
+    #[test]
+    fn bad_specs_fail_to_build() {
+        assert!(SummarySpec::Histogram {
+            lo: 5.0,
+            hi: 1.0,
+            bins: 4
+        }
+        .build(0)
+        .is_err());
+        assert!(SummarySpec::CountMin {
+            epsilon: 2.0,
+            delta: 0.1
+        }
+        .build(0)
+        .is_err());
+        assert!(SummarySpec::Distinct { precision: 99 }.build(0).is_err());
+        assert!(SummarySpec::EquiDepth {
+            buckets: 0,
+            sample: 10
+        }
+        .build(0)
+        .is_err());
+    }
+
+    #[test]
+    fn non_numeric_values_skip_numeric_summaries() {
+        let mut m = SummarySpec::Moments.build(0).unwrap();
+        m.observe(&Value::from("not a number"));
+        assert_eq!(m.observed(), 0);
+        let mut h = SummarySpec::Histogram {
+            lo: 0.0,
+            hi: 1.0,
+            bins: 2,
+        }
+        .build(0)
+        .unwrap();
+        h.observe(&Value::from("nope"));
+        assert_eq!(h.observed(), 0);
+    }
+
+    #[test]
+    fn merge_same_kind_works_cross_kind_fails() {
+        let spec = SummarySpec::Distinct { precision: 10 };
+        let mut a = spec.build(1).unwrap();
+        let mut b = spec.build(1).unwrap();
+        for i in 0..100i64 {
+            a.observe(&Value::Int(i));
+            b.observe(&Value::Int(i + 100));
+        }
+        a.merge(&b).unwrap();
+        if let AnySummary::Distinct(h) = &a {
+            let est = h.estimate();
+            assert!((170.0..230.0).contains(&est), "union ≈ 200, got {est}");
+        } else {
+            panic!("wrong kind");
+        }
+        let other = SummarySpec::Moments.build(0).unwrap();
+        assert!(a.merge(&other).is_err());
+        // Reservoirs refuse to merge.
+        let mut r1 = SummarySpec::Reservoir { k: 4 }.build(0).unwrap();
+        let r2 = SummarySpec::Reservoir { k: 4 }.build(0).unwrap();
+        assert!(r1.merge(&r2).is_err());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(SummarySpec::Moments.label(), "moments");
+        assert_eq!(SummarySpec::TopK { k: 5 }.label(), "topk-5");
+        assert_eq!(
+            SummarySpec::Histogram {
+                lo: 0.0,
+                hi: 1.0,
+                bins: 20
+            }
+            .label(),
+            "hist-20"
+        );
+    }
+}

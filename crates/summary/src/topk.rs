@@ -1,0 +1,210 @@
+//! SpaceSaving heavy hitters.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::Value;
+
+/// The SpaceSaving algorithm (Metwally et al.): tracks at most `capacity`
+/// counters; when a new key arrives at a full table it evicts the minimum
+/// counter and inherits its count as overestimation error.
+///
+/// Guarantee: any key with true frequency above `N / capacity` is present,
+/// and each reported count overestimates by at most its recorded `error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: HashMap<Value, Counter>,
+    total: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Counter {
+    count: u64,
+    error: u64,
+}
+
+/// One reported heavy hitter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeavyHitter {
+    /// The key.
+    pub key: Value,
+    /// Estimated count (true count ≤ `count`, ≥ `count − error`).
+    pub count: u64,
+    /// Maximum overestimation.
+    pub error: u64,
+}
+
+impl SpaceSaving {
+    /// A tracker with `capacity` counters (zero promoted to 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpaceSaving {
+            capacity,
+            counters: HashMap::with_capacity(capacity),
+            total: 0,
+        }
+    }
+
+    /// Folds one observation.
+    pub fn observe(&mut self, key: &Value) {
+        self.add(key, 1);
+    }
+
+    /// Adds `weight` occurrences of `key`.
+    pub fn add(&mut self, key: &Value, weight: u64) {
+        self.total += weight;
+        if let Some(c) = self.counters.get_mut(key) {
+            c.count += weight;
+            return;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(
+                key.clone(),
+                Counter {
+                    count: weight,
+                    error: 0,
+                },
+            );
+            return;
+        }
+        // Evict the minimum counter; the newcomer inherits its count as
+        // error. Ties break on the key's total order for determinism.
+        let (min_key, min_counter) = self
+            .counters
+            .iter()
+            .min_by(|(ka, ca), (kb, cb)| ca.count.cmp(&cb.count).then_with(|| ka.cmp_total(kb)))
+            .map(|(k, c)| (k.clone(), *c))
+            .expect("capacity ≥ 1");
+        self.counters.remove(&min_key);
+        self.counters.insert(
+            key.clone(),
+            Counter {
+                count: min_counter.count + weight,
+                error: min_counter.count,
+            },
+        );
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Estimated count for `key` (0 if not tracked).
+    pub fn estimate(&self, key: &Value) -> u64 {
+        self.counters.get(key).map_or(0, |c| c.count)
+    }
+
+    /// The top `k` heavy hitters, sorted by estimated count descending
+    /// (key order breaks ties deterministically).
+    pub fn top(&self, k: usize) -> Vec<HeavyHitter> {
+        let mut all: Vec<HeavyHitter> = self
+            .counters
+            .iter()
+            .map(|(key, c)| HeavyHitter {
+                key: key.clone(),
+                count: c.count,
+                error: c.error,
+            })
+            .collect();
+        all.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.key.cmp_total(&b.key)));
+        all.truncate(k);
+        all
+    }
+
+    /// Number of live counters.
+    pub fn tracked(&self) -> usize {
+        self.counters.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_when_under_capacity() {
+        let mut s = SpaceSaving::new(10);
+        for i in 0..5i64 {
+            for _ in 0..=i {
+                s.observe(&Value::Int(i));
+            }
+        }
+        assert_eq!(s.tracked(), 5);
+        assert_eq!(s.estimate(&Value::Int(4)), 5);
+        assert_eq!(s.estimate(&Value::Int(0)), 1);
+        assert_eq!(s.estimate(&Value::Int(99)), 0);
+        let top = s.top(2);
+        assert_eq!(top[0].key, Value::Int(4));
+        assert_eq!(top[0].count, 5);
+        assert_eq!(top[0].error, 0);
+        assert_eq!(top[1].key, Value::Int(3));
+    }
+
+    #[test]
+    fn heavy_hitters_survive_eviction_pressure() {
+        // Zipf-ish: key 0 appears 1000×, keys 1..500 once each; capacity 50.
+        let mut s = SpaceSaving::new(50);
+        for i in 1..=500i64 {
+            s.observe(&Value::Int(i));
+            s.observe(&Value::Int(0));
+            s.observe(&Value::Int(0));
+        }
+        let top = s.top(1);
+        assert_eq!(top[0].key, Value::Int(0));
+        assert!(
+            top[0].count >= 1000,
+            "true count 1000, estimate {}",
+            top[0].count
+        );
+        // Overestimate bound: count − error ≤ true ≤ count.
+        assert!(top[0].count - top[0].error <= 1000);
+    }
+
+    #[test]
+    fn guarantee_frequency_above_n_over_k_is_present() {
+        let mut s = SpaceSaving::new(10);
+        // One key with 30% of a 1000-element stream.
+        for i in 0..1000i64 {
+            if i % 10 < 3 {
+                s.observe(&Value::from("hot"));
+            } else {
+                s.observe(&Value::Int(i));
+            }
+        }
+        assert!(s.estimate(&Value::from("hot")) >= 300);
+        let top = s.top(10);
+        assert!(top.iter().any(|h| h.key == Value::from("hot")));
+        assert_eq!(s.total(), 1000);
+    }
+
+    #[test]
+    fn weighted_adds() {
+        let mut s = SpaceSaving::new(4);
+        s.add(&Value::from("a"), 100);
+        s.add(&Value::from("b"), 1);
+        assert_eq!(s.estimate(&Value::from("a")), 100);
+        assert_eq!(s.total(), 101);
+    }
+
+    #[test]
+    fn deterministic_tiebreaks() {
+        let run = || {
+            let mut s = SpaceSaving::new(3);
+            for i in 0..20i64 {
+                s.observe(&Value::Int(i % 5));
+            }
+            s.top(3)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_capacity_promoted() {
+        let mut s = SpaceSaving::new(0);
+        s.observe(&Value::Int(1));
+        assert_eq!(s.tracked(), 1);
+    }
+}

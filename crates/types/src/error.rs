@@ -1,0 +1,151 @@
+//! Engine-wide error type.
+//!
+//! Every crate in the workspace reports failures through [`FungusError`] so
+//! that errors compose across the storage, query, and scheduling layers
+//! without boxing.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Workspace-wide result alias.
+pub type Result<T, E = FungusError> = std::result::Result<T, E>;
+
+/// The error type shared by every `spacefungus` crate.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FungusError {
+    /// A tuple's arity did not match the schema it was inserted under.
+    ArityMismatch {
+        /// Number of columns the schema defines.
+        expected: usize,
+        /// Number of values the tuple carried.
+        actual: usize,
+    },
+    /// A value's type did not match the column it was bound to.
+    TypeMismatch {
+        /// Column name the value was destined for.
+        column: String,
+        /// The type the schema requires.
+        expected: DataType,
+        /// The type that was actually supplied.
+        actual: DataType,
+    },
+    /// A column name was not found in a schema.
+    UnknownColumn(String),
+    /// A container (table) name was not found in the database catalog.
+    UnknownContainer(String),
+    /// A container with this name already exists.
+    ContainerExists(String),
+    /// An expression could not be evaluated (e.g. `1 + 'a'`).
+    EvalError(String),
+    /// The SQL-ish text could not be parsed.
+    ParseError {
+        /// Human-readable description of what went wrong.
+        message: String,
+        /// Byte offset into the input where the error was detected.
+        offset: usize,
+    },
+    /// A logical plan could not be built or optimised.
+    PlanError(String),
+    /// A configuration value was outside its legal domain.
+    InvalidConfig(String),
+    /// Persistence encoding or decoding failed.
+    CorruptSnapshot(String),
+    /// An I/O error occurred during persistence (message only — `std::io::Error`
+    /// is not `Clone`, so the error text is captured instead).
+    Io(String),
+    /// The background scheduler is not running or already stopped.
+    SchedulerStopped,
+    /// A summary/sketch was asked for something it cannot answer.
+    SummaryError(String),
+}
+
+impl fmt::Display for FungusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FungusError::ArityMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "arity mismatch: schema has {expected} columns, tuple has {actual}"
+                )
+            }
+            FungusError::TypeMismatch {
+                column,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch for column `{column}`: expected {expected}, got {actual}"
+                )
+            }
+            FungusError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            FungusError::UnknownContainer(name) => write!(f, "unknown container `{name}`"),
+            FungusError::ContainerExists(name) => {
+                write!(f, "container `{name}` already exists")
+            }
+            FungusError::EvalError(msg) => write!(f, "evaluation error: {msg}"),
+            FungusError::ParseError { message, offset } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            FungusError::PlanError(msg) => write!(f, "plan error: {msg}"),
+            FungusError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            FungusError::CorruptSnapshot(msg) => write!(f, "corrupt snapshot: {msg}"),
+            FungusError::Io(msg) => write!(f, "i/o error: {msg}"),
+            FungusError::SchedulerStopped => write!(f, "decay scheduler is not running"),
+            FungusError::SummaryError(msg) => write!(f, "summary error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FungusError {}
+
+impl From<std::io::Error> for FungusError {
+    fn from(e: std::io::Error) -> Self {
+        FungusError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = FungusError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("2"));
+
+        let e = FungusError::TypeMismatch {
+            column: "temp".into(),
+            expected: DataType::Float,
+            actual: DataType::Str,
+        };
+        assert!(e.to_string().contains("temp"));
+        assert!(e.to_string().contains("Float"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: FungusError = io.into();
+        assert!(matches!(e, FungusError::Io(_)));
+        assert!(e.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            FungusError::UnknownColumn("a".into()),
+            FungusError::UnknownColumn("a".into())
+        );
+        assert_ne!(
+            FungusError::UnknownColumn("a".into()),
+            FungusError::UnknownColumn("b".into())
+        );
+    }
+}

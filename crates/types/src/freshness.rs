@@ -1,0 +1,236 @@
+//! The freshness scalar `f ∈ [0.0, 1.0]`.
+//!
+//! The paper attaches to every tuple "a freshness property `f ∈ (0.0−1.0)`
+//! initially set to 1.0"; when freshness reaches zero the tuple is discarded.
+//! [`Freshness`] encodes that invariant in the type: every constructor and
+//! every arithmetic operation clamps to `[0.0, 1.0]`, so no fungus can drive
+//! a tuple's freshness out of range, and `NaN` can never be stored.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A clamped freshness value in `[0.0, 1.0]`.
+///
+/// `Freshness` is a total order (`NaN` is rejected at construction), so it can
+/// be used as a sort key and compared with `==` safely.
+///
+/// ```
+/// use fungus_types::Freshness;
+///
+/// let f = Freshness::FULL;
+/// let g = f.decayed(0.3);
+/// assert!(g < f);
+/// assert_eq!(g.get(), 0.7);
+/// assert!(!g.is_rotten());
+/// assert!(g.decayed(2.0).is_rotten()); // clamps at zero
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Freshness(f64);
+
+impl Freshness {
+    /// Fully fresh — the state of every newly inserted tuple.
+    pub const FULL: Freshness = Freshness(1.0);
+    /// Fully rotten — tuples at this state are discarded by the engine.
+    pub const ROTTEN: Freshness = Freshness(0.0);
+
+    /// Creates a freshness value, clamping into `[0.0, 1.0]`.
+    ///
+    /// `NaN` is mapped to `0.0` (a tuple with undefined freshness is treated
+    /// as rotten rather than poisoning comparisons).
+    /// Values within `1e-12` of zero snap to exactly zero, so repeated
+    /// fractional decay (e.g. five passes of 0.2) reliably reaches the
+    /// rotten state despite floating-point accumulation.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        if value.is_nan() || value < 1e-12 {
+            Freshness(0.0)
+        } else {
+            Freshness(value.clamp(0.0, 1.0))
+        }
+    }
+
+    /// Returns the inner value, guaranteed to be in `[0.0, 1.0]` and not NaN.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    /// True once freshness has hit zero; the engine discards such tuples.
+    #[inline]
+    pub fn is_rotten(self) -> bool {
+        self.0 <= 0.0
+    }
+
+    /// True only for completely fresh tuples.
+    #[inline]
+    pub fn is_full(self) -> bool {
+        self.0 >= 1.0
+    }
+
+    /// Returns this freshness reduced by `amount` (clamped at zero).
+    ///
+    /// Negative `amount`s are treated as zero: fungi only ever *decrease*
+    /// freshness (the paper's first natural law is monotone decay).
+    #[inline]
+    #[must_use]
+    pub fn decayed(self, amount: f64) -> Self {
+        let amount = if amount.is_nan() {
+            0.0
+        } else {
+            amount.max(0.0)
+        };
+        Freshness::new(self.0 - amount)
+    }
+
+    /// Returns this freshness multiplied by `factor` (clamped into range).
+    ///
+    /// Used by exponential fungi: `f ← f · e^(-λ)`. Factors above 1 are
+    /// clamped to 1 so decay stays monotone.
+    #[inline]
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        let factor = if factor.is_nan() {
+            0.0
+        } else {
+            factor.clamp(0.0, 1.0)
+        };
+        Freshness::new(self.0 * factor)
+    }
+
+    /// Linear interpolation between two freshness values.
+    ///
+    /// `t` is clamped to `[0,1]`. Useful when merging summaries of partially
+    /// decayed containers.
+    #[inline]
+    #[must_use]
+    pub fn lerp(self, other: Freshness, t: f64) -> Self {
+        let t = if t.is_nan() { 0.0 } else { t.clamp(0.0, 1.0) };
+        Freshness::new(self.0 + (other.0 - self.0) * t)
+    }
+
+    /// The pointwise minimum of two freshness values.
+    #[inline]
+    #[must_use]
+    pub fn min(self, other: Freshness) -> Self {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The pointwise maximum of two freshness values.
+    #[inline]
+    #[must_use]
+    pub fn max(self, other: Freshness) -> Self {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Freshness {
+    /// New tuples are fully fresh.
+    fn default() -> Self {
+        Freshness::FULL
+    }
+}
+
+impl Eq for Freshness {}
+
+impl PartialOrd for Freshness {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Freshness {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Construction guarantees the payload is never NaN, so this total
+        // order is safe.
+        self.0
+            .partial_cmp(&other.0)
+            .expect("Freshness is never NaN")
+    }
+}
+
+impl fmt::Display for Freshness {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}", self.0)
+    }
+}
+
+impl From<f64> for Freshness {
+    fn from(v: f64) -> Self {
+        Freshness::new(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_clamps() {
+        assert_eq!(Freshness::new(1.5).get(), 1.0);
+        assert_eq!(Freshness::new(-0.5).get(), 0.0);
+        assert_eq!(Freshness::new(0.25).get(), 0.25);
+    }
+
+    #[test]
+    fn nan_is_rotten() {
+        assert!(Freshness::new(f64::NAN).is_rotten());
+        assert!(Freshness::FULL.decayed(f64::NAN) == Freshness::FULL);
+        assert!(Freshness::FULL.scaled(f64::NAN).is_rotten());
+    }
+
+    #[test]
+    fn decay_is_monotone() {
+        let f = Freshness::new(0.6);
+        assert_eq!(f.decayed(0.1).get(), 0.5);
+        assert_eq!(f.decayed(-5.0), f, "negative decay must be a no-op");
+        assert!(f.decayed(10.0).is_rotten());
+    }
+
+    #[test]
+    fn scaling_clamps_factor() {
+        let f = Freshness::new(0.5);
+        assert_eq!(f.scaled(0.5).get(), 0.25);
+        assert_eq!(f.scaled(2.0), f, "scaling can never increase freshness");
+        assert!(f.scaled(0.0).is_rotten());
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = [
+            Freshness::new(0.9),
+            Freshness::new(0.1),
+            Freshness::new(0.5),
+        ];
+        v.sort();
+        assert_eq!(v[0].get(), 0.1);
+        assert_eq!(v[2].get(), 0.9);
+        assert_eq!(Freshness::new(0.3).min(Freshness::new(0.7)).get(), 0.3);
+        assert_eq!(Freshness::new(0.3).max(Freshness::new(0.7)).get(), 0.7);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Freshness::new(0.2);
+        let b = Freshness::new(0.8);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert!((a.lerp(b, 0.5).get() - 0.5).abs() < 1e-12);
+        assert_eq!(a.lerp(b, 7.0), b, "t clamps to [0,1]");
+    }
+
+    #[test]
+    fn display_renders_three_decimals() {
+        assert_eq!(Freshness::new(0.5).to_string(), "0.500");
+    }
+}

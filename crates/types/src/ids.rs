@@ -1,0 +1,127 @@
+//! Strongly typed identifiers.
+//!
+//! Tuples, segments, and containers each get a newtype id so they cannot be
+//! mixed up at call sites. Tuple ids are *stable for the life of the store*:
+//! they are allocated monotonically at insertion and never reused, which lets
+//! the EGI fungus track infected tuples across compactions, and lets
+//! experiments replay ground truth against decayed stores.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identity of a tuple within one container.
+///
+/// Monotonically allocated at insertion time; encodes insertion order, which
+/// is the paper's "time axis" along which EGI rot spreads.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct TupleId(pub u64);
+
+/// Identity of a storage segment within one container.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct SegmentId(pub u64);
+
+/// Identity of a container (table) within the database catalog.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct ContainerId(pub u32);
+
+impl TupleId {
+    /// Raw id.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The immediately preceding tuple in insertion order, if any.
+    ///
+    /// This is the "direct neighbouring tuple" towards the past on the
+    /// paper's time axis.
+    #[inline]
+    pub fn pred(self) -> Option<TupleId> {
+        self.0.checked_sub(1).map(TupleId)
+    }
+
+    /// The immediately following tuple in insertion order.
+    ///
+    /// The neighbour towards the future on the time axis. Always defined
+    /// syntactically; whether such a tuple exists is a storage question.
+    #[inline]
+    pub fn succ(self) -> TupleId {
+        TupleId(self.0.saturating_add(1))
+    }
+}
+
+impl SegmentId {
+    /// Raw id.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl ContainerId {
+    /// Raw id.
+    #[inline]
+    pub fn get(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl fmt::Display for SegmentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "seg{}", self.0)
+    }
+}
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbours_along_time_axis() {
+        let t = TupleId(5);
+        assert_eq!(t.pred(), Some(TupleId(4)));
+        assert_eq!(t.succ(), TupleId(6));
+        assert_eq!(
+            TupleId(0).pred(),
+            None,
+            "the oldest tuple has no past neighbour"
+        );
+    }
+
+    #[test]
+    fn ids_order_by_insertion() {
+        assert!(TupleId(1) < TupleId(2));
+        let mut v = vec![TupleId(3), TupleId(1), TupleId(2)];
+        v.sort();
+        assert_eq!(v, vec![TupleId(1), TupleId(2), TupleId(3)]);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(TupleId(9).to_string(), "#9");
+        assert_eq!(SegmentId(2).to_string(), "seg2");
+        assert_eq!(ContainerId(1).to_string(), "c1");
+    }
+}

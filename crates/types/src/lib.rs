@@ -1,0 +1,52 @@
+//! # fungus-types
+//!
+//! Foundational data model for the `spacefungus` engine, a reproduction of
+//! *Big Data Space Fungus* (M. Kersten, CIDR 2015).
+//!
+//! The paper models a single relation `R(t, f, A1..An)` where every tuple
+//! carries the real-world insertion time `t` and a freshness value
+//! `f ∈ (0.0, 1.0]`. This crate provides:
+//!
+//! * [`Value`] / [`DataType`] — the dynamically typed cell model for the
+//!   attributes `A1..An`;
+//! * [`Schema`] / [`ColumnDef`] — relation schemas;
+//! * [`Freshness`] — the clamped freshness scalar with decay arithmetic;
+//! * [`Tick`] / [`TickDelta`] — virtual time (the paper's "periodic clock of
+//!   `T` seconds" is driven in virtual ticks for reproducibility);
+//! * [`Tuple`] — an attribute row together with its decay metadata;
+//! * [`FungusError`] — the engine-wide error type.
+//!
+//! Everything here is deliberately free of storage or scheduling concerns so
+//! the higher crates (`fungus-storage`, `fungus-fungi`, …) can share one
+//! vocabulary.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod error;
+pub mod freshness;
+pub mod ids;
+pub mod json;
+pub mod schema;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use error::{FungusError, Result};
+pub use freshness::Freshness;
+pub use ids::{ContainerId, SegmentId, TupleId};
+pub use schema::{ColumnDef, Schema};
+pub use time::{Tick, TickDelta};
+pub use tuple::{Tuple, TupleMeta};
+pub use value::{DataType, Value};
+
+/// Convenience prelude re-exporting the most commonly used items.
+pub mod prelude {
+    pub use crate::error::{FungusError, Result};
+    pub use crate::freshness::Freshness;
+    pub use crate::ids::{ContainerId, SegmentId, TupleId};
+    pub use crate::schema::{ColumnDef, Schema};
+    pub use crate::time::{Tick, TickDelta};
+    pub use crate::tuple::{Tuple, TupleMeta};
+    pub use crate::value::{DataType, Value};
+}

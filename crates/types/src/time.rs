@@ -1,0 +1,184 @@
+//! Virtual time.
+//!
+//! The paper's first natural law decays a relation "with a periodic clock of
+//! `T` seconds". For reproducible experiments the engine runs on *virtual*
+//! time: a monotonically increasing [`Tick`] counter advanced by the decay
+//! scheduler (`fungus-clock`). A tick corresponds to one period `T`; binding
+//! ticks to wall-clock seconds is the scheduler's concern, not the data
+//! model's.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, measured in decay periods since the epoch.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Tick(pub u64);
+
+/// A span of virtual time (a number of decay periods).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct TickDelta(pub u64);
+
+impl Tick {
+    /// The origin of virtual time.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Raw tick counter.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The next tick (saturating).
+    #[inline]
+    #[must_use]
+    pub fn next(self) -> Tick {
+        Tick(self.0.saturating_add(1))
+    }
+
+    /// Age of an event that happened at `birth`, observed at `self`.
+    ///
+    /// If `birth` is in the future (clock skew between containers) the age is
+    /// zero rather than wrapping.
+    #[inline]
+    pub fn age_since(self, birth: Tick) -> TickDelta {
+        TickDelta(self.0.saturating_sub(birth.0))
+    }
+
+    /// Saturating tick arithmetic used by window computations.
+    #[inline]
+    #[must_use]
+    pub fn saturating_sub(self, delta: TickDelta) -> Tick {
+        Tick(self.0.saturating_sub(delta.0))
+    }
+}
+
+impl TickDelta {
+    /// The empty span.
+    pub const ZERO: TickDelta = TickDelta(0);
+
+    /// Raw number of periods.
+    #[inline]
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The span as a floating-point number of periods (for decay math).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add<TickDelta> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn add(self, rhs: TickDelta) -> Tick {
+        Tick(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<TickDelta> for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: TickDelta) {
+        self.0 = self.0.saturating_add(rhs.0);
+    }
+}
+
+impl Sub<Tick> for Tick {
+    type Output = TickDelta;
+    /// `later - earlier` = elapsed span; saturates at zero if reversed.
+    #[inline]
+    fn sub(self, rhs: Tick) -> TickDelta {
+        TickDelta(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for TickDelta {
+    type Output = TickDelta;
+    #[inline]
+    fn add(self, rhs: TickDelta) -> TickDelta {
+        TickDelta(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl From<u64> for Tick {
+    fn from(v: u64) -> Self {
+        Tick(v)
+    }
+}
+
+impl From<u64> for TickDelta {
+    fn from(v: u64) -> Self {
+        TickDelta(v)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Display for TickDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn age_saturates() {
+        let now = Tick(5);
+        assert_eq!(now.age_since(Tick(2)), TickDelta(3));
+        assert_eq!(
+            now.age_since(Tick(9)),
+            TickDelta(0),
+            "future births have zero age"
+        );
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = Tick(10) + TickDelta(5);
+        assert_eq!(t, Tick(15));
+        assert_eq!(t - Tick(10), TickDelta(5));
+        assert_eq!(
+            Tick(3) - Tick(10),
+            TickDelta(0),
+            "reverse subtraction saturates"
+        );
+    }
+
+    #[test]
+    fn add_assign_and_next() {
+        let mut t = Tick::ZERO;
+        t += TickDelta(2);
+        assert_eq!(t, Tick(2));
+        assert_eq!(t.next(), Tick(3));
+        assert_eq!(Tick(u64::MAX).next(), Tick(u64::MAX), "next saturates");
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Tick(1) < Tick(2));
+        assert_eq!(Tick(7).to_string(), "t7");
+        assert_eq!(TickDelta(7).to_string(), "7 ticks");
+    }
+
+    #[test]
+    fn saturating_sub_window() {
+        assert_eq!(Tick(10).saturating_sub(TickDelta(3)), Tick(7));
+        assert_eq!(Tick(2).saturating_sub(TickDelta(5)), Tick(0));
+    }
+}

@@ -1,0 +1,121 @@
+//! Named baseline container policies for comparison experiments.
+
+use fungus_core::ContainerPolicy;
+use fungus_fungi::{EgiConfig, FungusSpec};
+use fungus_types::TickDelta;
+
+/// One named system configuration in a comparison table.
+#[derive(Debug, Clone)]
+pub struct BaselineSpec {
+    /// Row label in the experiment table.
+    pub name: &'static str,
+    /// What this baseline models.
+    pub description: &'static str,
+    /// The container policy implementing it.
+    pub policy: ContainerPolicy,
+}
+
+/// The systems every comparison experiment (E1, E8) runs against, in
+/// table order:
+///
+/// 1. `no-decay` — the status quo the paper attacks: collect everything;
+/// 2. `ttl` — the "old-fashioned" retention baseline;
+/// 3. `egi` — the paper's fungus, defaults;
+/// 4. `exponential` — uniform geometric decay at a rate matched to the
+///    TTL's mean lifetime.
+///
+/// `horizon` parameterises how long data should live (the TTL, EGI's
+/// aggressiveness, and the exponential half-life are all matched to it so
+/// the comparison is rate-fair).
+pub fn baseline_policies(horizon: u64) -> Vec<BaselineSpec> {
+    let horizon = horizon.max(2);
+    vec![
+        BaselineSpec {
+            name: "no-decay",
+            description: "keep everything (the data-deluge status quo)",
+            policy: ContainerPolicy::immortal(),
+        },
+        BaselineSpec {
+            name: "ttl",
+            description: "hard retention window (old-fashioned decay)",
+            policy: ContainerPolicy::new(FungusSpec::Retention { max_age: horizon }),
+        },
+        BaselineSpec {
+            name: "egi",
+            description: "Evict Grouped Individuals (the paper's fungus)",
+            policy: ContainerPolicy::new(FungusSpec::Egi(EgiConfig {
+                // Rot-rate such that a spot core survives ≈ horizon/4 ticks
+                // once seeded; seeding paced to chew through the extent on
+                // the order of the horizon.
+                rot_rate: 4.0 / horizon as f64,
+                ..EgiConfig::default()
+            })),
+        },
+        BaselineSpec {
+            name: "exponential",
+            description: "uniform geometric decay, half-life = horizon/2",
+            policy: ContainerPolicy::new(FungusSpec::Exponential {
+                lambda: std::f64::consts::LN_2 / (horizon as f64 / 2.0),
+                rot_threshold: 0.05,
+            }),
+        },
+    ]
+}
+
+/// A decay cadence helper: all baselines decaying every `period` ticks.
+pub fn with_period(mut specs: Vec<BaselineSpec>, period: TickDelta) -> Vec<BaselineSpec> {
+    for s in &mut specs {
+        s.policy.decay_period = period;
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_baselines_in_table_order() {
+        let specs = baseline_policies(100);
+        let names: Vec<&str> = specs.iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["no-decay", "ttl", "egi", "exponential"]);
+        for s in &specs {
+            s.policy
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", s.name));
+        }
+    }
+
+    #[test]
+    fn horizon_parameterises_rates() {
+        let fast = baseline_policies(10);
+        let slow = baseline_policies(1000);
+        match (&fast[1].policy.fungus, &slow[1].policy.fungus) {
+            (FungusSpec::Retention { max_age: a }, FungusSpec::Retention { max_age: b }) => {
+                assert!(a < b)
+            }
+            other => panic!("unexpected fungi {other:?}"),
+        }
+        match (&fast[3].policy.fungus, &slow[3].policy.fungus) {
+            (
+                FungusSpec::Exponential { lambda: a, .. },
+                FungusSpec::Exponential { lambda: b, .. },
+            ) => assert!(a > b, "shorter horizon decays faster"),
+            other => panic!("unexpected fungi {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_horizons_are_promoted() {
+        let specs = baseline_policies(0);
+        for s in specs {
+            s.policy.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn with_period_applies_everywhere() {
+        let specs = with_period(baseline_policies(50), TickDelta(5));
+        assert!(specs.iter().all(|s| s.policy.decay_period == TickDelta(5)));
+    }
+}

@@ -1,0 +1,54 @@
+//! # fungus-workload
+//!
+//! Workload generators, query mixes, ground truth, and baseline policies
+//! for the spacefungus experiment suite.
+//!
+//! The paper has no evaluation section; these generators stand in for the
+//! production traces a full paper would have used (see DESIGN.md's
+//! substitution table). Everything is seeded and deterministic:
+//!
+//! * [`SensorStream`] — the IoT-style append workload the paper's data
+//!   deluge argument evokes: many sensors, drifting values, steady rate;
+//! * [`LogEventStream`] — bursty log analytics: Zipfian services, skewed
+//!   level mix, heavy-tailed latencies;
+//! * [`Zipf`] — the shared skew sampler;
+//! * [`QueryMix`] — recency-biased point/range/aggregate query generator;
+//! * [`GroundTruth`] — a keep-everything shadow copy used to measure the
+//!   recall a decaying store gives up;
+//! * [`Trace`] — record a session's statements with their virtual times
+//!   and replay them reproducibly against a fresh database;
+//! * [`baselines`] — the named container policies every comparison
+//!   experiment runs against.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod baselines;
+pub mod logs;
+pub mod queries;
+pub mod sensor;
+pub mod trace;
+pub mod truth;
+pub mod zipf;
+
+pub use baselines::{baseline_policies, BaselineSpec};
+pub use logs::LogEventStream;
+pub use queries::{QueryKind, QueryMix};
+pub use sensor::SensorStream;
+pub use trace::{ReplayReport, Trace, TraceEvent};
+pub use truth::GroundTruth;
+pub use zipf::Zipf;
+
+use fungus_types::{Schema, Tick, Value};
+
+/// A deterministic stream of rows arriving over virtual time.
+pub trait Workload {
+    /// The schema rows conform to.
+    fn schema(&self) -> &Schema;
+
+    /// The rows arriving at `now` (possibly empty on quiet ticks).
+    fn rows_at(&mut self, now: Tick) -> Vec<Vec<Value>>;
+
+    /// Long-run average rows per tick (used by experiments to size runs).
+    fn mean_rate(&self) -> f64;
+}

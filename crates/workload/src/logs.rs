@@ -1,0 +1,216 @@
+//! The bursty log-analytics workload.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fungus_clock::DeterministicRng;
+use fungus_types::{DataType, Schema, Tick, Value};
+
+use crate::zipf::Zipf;
+use crate::Workload;
+
+/// Log events from a fleet of services: Zipfian service popularity, a
+/// skewed level mix (most events are INFO, errors are rare but bursty),
+/// and log-normal-ish latencies. Arrivals alternate between calm and burst
+/// phases, stressing decay under uneven load.
+///
+/// Schema: `(service Str, level Str, latency_ms Float, status Int)`.
+#[derive(Debug)]
+pub struct LogEventStream {
+    schema: Schema,
+    services: Vec<String>,
+    service_dist: Zipf,
+    base_rate: usize,
+    burst_rate: usize,
+    burst_period: u64,
+    burst_len: u64,
+    rng: SmallRng,
+}
+
+impl LogEventStream {
+    /// A stream over `services` services with `base_rate` events per calm
+    /// tick and `burst_rate` per burst tick; bursts of `burst_len` ticks
+    /// start every `burst_period` ticks.
+    pub fn new(
+        services: usize,
+        base_rate: usize,
+        burst_rate: usize,
+        rng: &DeterministicRng,
+    ) -> Self {
+        let services_n = services.max(1);
+        LogEventStream {
+            schema: Schema::from_pairs(&[
+                ("service", DataType::Str),
+                ("level", DataType::Str),
+                ("latency_ms", DataType::Float),
+                ("status", DataType::Int),
+            ])
+            .expect("static schema is valid"),
+            services: (0..services_n).map(|i| format!("svc-{i}")).collect(),
+            service_dist: Zipf::new(services_n, 1.1),
+            base_rate: base_rate.max(1),
+            burst_rate: burst_rate.max(base_rate.max(1)),
+            burst_period: 50,
+            burst_len: 5,
+            rng: rng.stream("workload/logs"),
+        }
+    }
+
+    /// Whether `now` falls inside a burst phase.
+    pub fn in_burst(&self, now: Tick) -> bool {
+        now.get() % self.burst_period < self.burst_len
+    }
+
+    fn level(&mut self) -> (&'static str, i64) {
+        let roll: f64 = self.rng.gen();
+        if roll < 0.80 {
+            ("INFO", 200)
+        } else if roll < 0.93 {
+            ("WARN", 200)
+        } else if roll < 0.99 {
+            ("ERROR", 500)
+        } else {
+            ("FATAL", 503)
+        }
+    }
+}
+
+impl Workload for LogEventStream {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn rows_at(&mut self, now: Tick) -> Vec<Vec<Value>> {
+        let rate = if self.in_burst(now) {
+            self.burst_rate
+        } else {
+            self.base_rate
+        };
+        let mut rows = Vec::with_capacity(rate);
+        for _ in 0..rate {
+            let svc = self.service_dist.sample(&mut self.rng);
+            let (level, status) = self.level();
+            // Heavy-tailed latency: exp(N(3, 1)) ms ≈ median 20ms with a
+            // long tail.
+            let z: f64 = {
+                // Box-Muller from two uniforms.
+                let u1: f64 = self.rng.gen_range(1e-12..1.0);
+                let u2: f64 = self.rng.gen();
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+            };
+            let latency = (3.0 + z).exp();
+            rows.push(vec![
+                Value::Str(self.services[svc].clone()),
+                Value::Str(level.to_string()),
+                Value::float(latency),
+                Value::Int(status),
+            ]);
+        }
+        rows
+    }
+
+    fn mean_rate(&self) -> f64 {
+        let burst_frac = self.burst_len as f64 / self.burst_period as f64;
+        self.base_rate as f64 * (1.0 - burst_frac) + self.burst_rate as f64 * burst_frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::new(9)
+    }
+
+    #[test]
+    fn rows_conform_to_schema() {
+        let mut w = LogEventStream::new(10, 5, 50, &rng());
+        for t in 0..60u64 {
+            for row in w.rows_at(Tick(t)) {
+                w.schema().check_row(&row).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn bursts_inflate_the_rate() {
+        let mut w = LogEventStream::new(10, 5, 50, &rng());
+        assert!(w.in_burst(Tick(0)));
+        assert!(w.in_burst(Tick(4)));
+        assert!(!w.in_burst(Tick(10)));
+        assert_eq!(w.rows_at(Tick(0)).len(), 50, "burst tick");
+        assert_eq!(w.rows_at(Tick(10)).len(), 5, "calm tick");
+        let mean = w.mean_rate();
+        assert!((mean - (5.0 * 0.9 + 50.0 * 0.1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level_mix_is_skewed_to_info() {
+        let mut w = LogEventStream::new(5, 100, 100, &rng());
+        let mut info = 0usize;
+        let mut error = 0usize;
+        let mut total = 0usize;
+        for t in 0..20u64 {
+            for row in w.rows_at(Tick(t)) {
+                total += 1;
+                match row[1].as_str().unwrap() {
+                    "INFO" => info += 1,
+                    "ERROR" | "FATAL" => error += 1,
+                    _ => {}
+                }
+            }
+        }
+        let info_frac = info as f64 / total as f64;
+        let err_frac = error as f64 / total as f64;
+        assert!(info_frac > 0.7, "INFO fraction {info_frac}");
+        assert!(err_frac < 0.15, "error fraction {err_frac}");
+    }
+
+    #[test]
+    fn service_popularity_is_zipfian() {
+        let mut w = LogEventStream::new(100, 100, 100, &rng());
+        let mut svc0 = 0usize;
+        let mut total = 0usize;
+        for t in 0..50u64 {
+            for row in w.rows_at(Tick(t)) {
+                total += 1;
+                if row[0].as_str() == Some("svc-0") {
+                    svc0 += 1;
+                }
+            }
+        }
+        let frac = svc0 as f64 / total as f64;
+        assert!(frac > 0.05, "rank-0 service should dominate: {frac}");
+    }
+
+    #[test]
+    fn latencies_are_positive_and_heavy_tailed() {
+        let mut w = LogEventStream::new(5, 200, 200, &rng());
+        let mut latencies: Vec<f64> = Vec::new();
+        for t in 0..10u64 {
+            for row in w.rows_at(Tick(t)) {
+                latencies.push(row[2].as_f64().unwrap());
+            }
+        }
+        assert!(latencies.iter().all(|&l| l > 0.0));
+        let mean = latencies.iter().sum::<f64>() / latencies.len() as f64;
+        let mut sorted = latencies.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(
+            mean > median,
+            "heavy tail ⇒ mean {mean} above median {median}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut w = LogEventStream::new(5, 3, 10, &DeterministicRng::new(seed));
+            (0..10).flat_map(|t| w.rows_at(Tick(t))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+}

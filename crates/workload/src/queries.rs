@@ -1,0 +1,255 @@
+//! Recency-biased query generation.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fungus_clock::DeterministicRng;
+use fungus_types::Tick;
+
+use crate::zipf::Zipf;
+
+/// The query shapes the mix draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryKind {
+    /// Point lookup on a Zipfian key.
+    Point,
+    /// Scan over a recent age window.
+    RecentRange,
+    /// Global aggregate over a recent window.
+    Aggregate,
+    /// Distill the nearly-rotten fraction (`$freshness < τ CONSUME`).
+    Harvest,
+}
+
+/// Generates a stream of SQL statements against a sensor-style container:
+/// point lookups on hot keys, range scans over recent data, windowed
+/// aggregates, and "harvest" queries that consume nearly-rotten tuples.
+///
+/// Recency bias is the empirical heart of the paper's argument — queries
+/// overwhelmingly target fresh data, so old data can rot without anyone
+/// noticing. `recent_window` bounds the ages the range/aggregate shapes
+/// touch.
+#[derive(Debug)]
+pub struct QueryMix {
+    table: String,
+    key_column: String,
+    value_column: String,
+    key_dist: Zipf,
+    recent_window: u64,
+    point_w: f64,
+    range_w: f64,
+    agg_w: f64,
+    harvest_w: f64,
+    consume_reads: bool,
+    rng: SmallRng,
+}
+
+impl QueryMix {
+    /// A mix over `table(key_column, value_column, …)` with `keys` distinct
+    /// Zipfian keys and a `recent_window`-tick recency horizon.
+    pub fn new(
+        table: impl Into<String>,
+        key_column: impl Into<String>,
+        value_column: impl Into<String>,
+        keys: usize,
+        recent_window: u64,
+        rng: &DeterministicRng,
+    ) -> Self {
+        QueryMix {
+            table: table.into(),
+            key_column: key_column.into(),
+            value_column: value_column.into(),
+            key_dist: Zipf::new(keys.max(1), 1.0),
+            recent_window: recent_window.max(1),
+            point_w: 0.4,
+            range_w: 0.3,
+            agg_w: 0.2,
+            harvest_w: 0.1,
+            consume_reads: false,
+            rng: rng.stream("workload/queries"),
+        }
+    }
+
+    /// Makes point and range reads consuming (`CONSUME`), turning the mix
+    /// into a second-natural-law pipeline.
+    #[must_use]
+    pub fn with_consuming_reads(mut self, consume: bool) -> Self {
+        self.consume_reads = consume;
+        self
+    }
+
+    /// Overrides the shape weights (normalised internally).
+    #[must_use]
+    pub fn with_weights(mut self, point: f64, range: f64, agg: f64, harvest: f64) -> Self {
+        let total = (point + range + agg + harvest).max(1e-12);
+        self.point_w = point / total;
+        self.range_w = range / total;
+        self.agg_w = agg / total;
+        self.harvest_w = harvest / total;
+        self
+    }
+
+    /// Draws the next statement's kind.
+    pub fn next_kind(&mut self) -> QueryKind {
+        let roll: f64 = self.rng.gen();
+        if roll < self.point_w {
+            QueryKind::Point
+        } else if roll < self.point_w + self.range_w {
+            QueryKind::RecentRange
+        } else if roll < self.point_w + self.range_w + self.agg_w {
+            QueryKind::Aggregate
+        } else {
+            QueryKind::Harvest
+        }
+    }
+
+    /// Generates one SQL statement of the given kind at time `now`.
+    pub fn statement_of(&mut self, kind: QueryKind, _now: Tick) -> String {
+        let consume = if self.consume_reads { " CONSUME" } else { "" };
+        match kind {
+            QueryKind::Point => {
+                let key = self.key_dist.sample(&mut self.rng);
+                format!(
+                    "SELECT * FROM {} WHERE {} = {}{}",
+                    self.table, self.key_column, key, consume
+                )
+            }
+            QueryKind::RecentRange => {
+                let horizon = self.rng.gen_range(1..=self.recent_window);
+                format!(
+                    "SELECT {} FROM {} WHERE $age <= {}{}",
+                    self.value_column, self.table, horizon, consume
+                )
+            }
+            QueryKind::Aggregate => {
+                let horizon = self.rng.gen_range(1..=self.recent_window);
+                format!(
+                    "SELECT COUNT(*), AVG({}) FROM {} WHERE $age <= {}",
+                    self.value_column, self.table, horizon
+                )
+            }
+            QueryKind::Harvest => {
+                // Harvests always consume: their whole point is distilling
+                // nearly-rotten data before the fungus wins.
+                format!(
+                    "SELECT {} FROM {} WHERE $freshness < 0.2 CONSUME",
+                    self.value_column, self.table
+                )
+            }
+        }
+    }
+
+    /// Draws the next statement.
+    pub fn next_statement(&mut self, now: Tick) -> (QueryKind, String) {
+        let kind = self.next_kind();
+        let sql = self.statement_of(kind, now);
+        (kind, sql)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_query::parse_statement;
+
+    fn mix() -> QueryMix {
+        QueryMix::new(
+            "sensors",
+            "sensor",
+            "reading",
+            100,
+            50,
+            &DeterministicRng::new(2),
+        )
+    }
+
+    #[test]
+    fn every_generated_statement_parses() {
+        let mut m = mix();
+        for t in 0..200u64 {
+            let (_, sql) = m.next_statement(Tick(t));
+            parse_statement(&sql).unwrap_or_else(|e| panic!("`{sql}` failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn kinds_follow_the_weights() {
+        let mut m = mix().with_weights(1.0, 0.0, 0.0, 0.0);
+        for _ in 0..50 {
+            assert_eq!(m.next_kind(), QueryKind::Point);
+        }
+        let mut m = mix().with_weights(0.0, 0.0, 0.0, 1.0);
+        for _ in 0..50 {
+            assert_eq!(m.next_kind(), QueryKind::Harvest);
+        }
+    }
+
+    #[test]
+    fn consuming_mode_adds_consume_to_reads() {
+        let mut m = mix().with_consuming_reads(true);
+        let sql = m.statement_of(QueryKind::Point, Tick(0));
+        assert!(sql.ends_with("CONSUME"), "{sql}");
+        let sql = m.statement_of(QueryKind::Aggregate, Tick(0));
+        assert!(
+            !sql.contains("CONSUME"),
+            "aggregates never consume in the mix: {sql}"
+        );
+        let mut m = mix();
+        let sql = m.statement_of(QueryKind::Point, Tick(0));
+        assert!(!sql.contains("CONSUME"), "{sql}");
+        let sql = m.statement_of(QueryKind::Harvest, Tick(0));
+        assert!(sql.contains("CONSUME"), "harvests always consume: {sql}");
+    }
+
+    #[test]
+    fn range_queries_respect_the_window() {
+        let mut m = mix();
+        for _ in 0..100 {
+            let sql = m.statement_of(QueryKind::RecentRange, Tick(1000));
+            let horizon: u64 = sql
+                .split("$age <= ")
+                .nth(1)
+                .unwrap()
+                .split(|c: char| !c.is_ascii_digit())
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert!((1..=50).contains(&horizon), "horizon {horizon}");
+        }
+    }
+
+    #[test]
+    fn point_lookups_hit_hot_keys_most() {
+        let mut m = mix();
+        let mut hot = 0;
+        for _ in 0..500 {
+            let sql = m.statement_of(QueryKind::Point, Tick(0));
+            let key: usize = sql
+                .split("= ")
+                .nth(1)
+                .unwrap()
+                .split(' ')
+                .next()
+                .unwrap()
+                .parse()
+                .unwrap();
+            if key < 10 {
+                hot += 1;
+            }
+        }
+        assert!(hot > 150, "zipfian keys should favour the head: {hot}/500");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut m = QueryMix::new("t", "k", "v", 10, 20, &DeterministicRng::new(seed));
+            (0..20)
+                .map(|t| m.next_statement(Tick(t)).1)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(1), run(1));
+        assert_ne!(run(1), run(2));
+    }
+}

@@ -1,0 +1,172 @@
+//! Ground truth: the keep-everything shadow store.
+//!
+//! Recall experiments (E6, E8) need to know what a query *would* have
+//! returned had nothing decayed. [`GroundTruth`] keeps every inserted row
+//! (with its insertion tick) in plain vectors and answers predicates by
+//! brute force — the oracle a decaying store is measured against.
+
+use fungus_query::Expr;
+use fungus_types::{Result, Schema, Tick, Tuple, TupleId, Value};
+
+/// A keep-everything copy of a container's insert stream.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    schema: Schema,
+    rows: Vec<(Tick, Vec<Value>)>,
+}
+
+impl GroundTruth {
+    /// An empty oracle for `schema`.
+    pub fn new(schema: Schema) -> Self {
+        GroundTruth {
+            schema,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Records one inserted row.
+    pub fn record(&mut self, values: Vec<Value>, at: Tick) {
+        self.rows.push((at, values));
+    }
+
+    /// Records a batch.
+    pub fn record_all(&mut self, rows: &[Vec<Value>], at: Tick) {
+        for row in rows {
+            self.rows.push((at, row.clone()));
+        }
+    }
+
+    /// Total rows recorded.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Counts rows matching `predicate` as observed at `now`. The oracle
+    /// rebuilds each row as a fully fresh tuple (ground truth never decays)
+    /// with its true insertion tick, so `$age` predicates behave.
+    pub fn count_matching(&self, predicate: &Expr, now: Tick) -> Result<usize> {
+        let mut n = 0;
+        for (i, (at, values)) in self.rows.iter().enumerate() {
+            let tuple = Tuple::new(TupleId(i as u64), *at, values.clone());
+            if predicate.eval_predicate(&tuple, &self.schema, now)? {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// The recall of an observed answer of `observed` rows against the
+    /// true match count: `min(observed, true)/true`, or 1.0 when nothing
+    /// truly matches. (A decayed store can only under-report; `min` guards
+    /// against consuming queries re-counting.)
+    pub fn recall(&self, predicate: &Expr, now: Tick, observed: usize) -> Result<f64> {
+        let truth = self.count_matching(predicate, now)?;
+        if truth == 0 {
+            Ok(1.0)
+        } else {
+            Ok(observed.min(truth) as f64 / truth as f64)
+        }
+    }
+
+    /// Exact aggregate over the numeric column `idx` for rows matching
+    /// `predicate`: `(count, sum)`.
+    pub fn aggregate_matching(
+        &self,
+        predicate: &Expr,
+        column: usize,
+        now: Tick,
+    ) -> Result<(usize, f64)> {
+        let mut count = 0;
+        let mut sum = 0.0;
+        for (i, (at, values)) in self.rows.iter().enumerate() {
+            let tuple = Tuple::new(TupleId(i as u64), *at, values.clone());
+            if predicate.eval_predicate(&tuple, &self.schema, now)? {
+                count += 1;
+                if let Some(x) = values.get(column).and_then(Value::as_f64) {
+                    sum += x;
+                }
+            }
+        }
+        Ok((count, sum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_query::parse_expr;
+    use fungus_types::DataType;
+
+    fn truth() -> GroundTruth {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("v", DataType::Float)]).unwrap();
+        let mut g = GroundTruth::new(schema);
+        for i in 0..10i64 {
+            g.record(
+                vec![Value::Int(i % 3), Value::Float(i as f64)],
+                Tick(i as u64),
+            );
+        }
+        g
+    }
+
+    #[test]
+    fn counts_match_brute_force() {
+        let g = truth();
+        assert_eq!(g.len(), 10);
+        let p = parse_expr("k = 0").unwrap();
+        assert_eq!(g.count_matching(&p, Tick(10)).unwrap(), 4); // 0,3,6,9
+        let p = parse_expr("v >= 5").unwrap();
+        assert_eq!(g.count_matching(&p, Tick(10)).unwrap(), 5);
+    }
+
+    #[test]
+    fn age_predicates_use_true_insertion_ticks() {
+        let g = truth();
+        let p = parse_expr("$age <= 3").unwrap();
+        // At now=9: rows inserted at 6,7,8,9 have age ≤ 3.
+        assert_eq!(g.count_matching(&p, Tick(9)).unwrap(), 4);
+    }
+
+    #[test]
+    fn recall_semantics() {
+        let g = truth();
+        let p = parse_expr("k = 0").unwrap();
+        assert_eq!(g.recall(&p, Tick(10), 4).unwrap(), 1.0);
+        assert_eq!(g.recall(&p, Tick(10), 2).unwrap(), 0.5);
+        assert_eq!(g.recall(&p, Tick(10), 0).unwrap(), 0.0);
+        // Over-reporting clamps at 1.
+        assert_eq!(g.recall(&p, Tick(10), 100).unwrap(), 1.0);
+        // Nothing truly matches → recall 1 by convention.
+        let p = parse_expr("k = 99").unwrap();
+        assert_eq!(g.recall(&p, Tick(10), 0).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn aggregates_match() {
+        let g = truth();
+        let p = parse_expr("k = 1").unwrap(); // rows 1,4,7 → v = 1,4,7
+        let (count, sum) = g.aggregate_matching(&p, 1, Tick(10)).unwrap();
+        assert_eq!(count, 3);
+        assert_eq!(sum, 12.0);
+    }
+
+    #[test]
+    fn record_all_batches() {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let mut g = GroundTruth::new(schema);
+        assert!(g.is_empty());
+        g.record_all(&[vec![Value::Int(1)], vec![Value::Int(2)]], Tick(0));
+        assert_eq!(g.len(), 2);
+        assert!(!g.is_empty());
+    }
+}

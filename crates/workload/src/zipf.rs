@@ -1,0 +1,136 @@
+//! Zipfian sampling.
+
+use rand::RngCore;
+
+/// A Zipf distribution over ranks `0..n` with exponent `s`:
+/// `P(rank k) ∝ 1/(k+1)^s`. Sampling is a binary search over the
+/// precomputed CDF — O(log n) per draw after O(n) setup.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A distribution over `n` ranks (n promoted to at least 1) with skew
+    /// `s ≥ 0` (`s = 0` is uniform; NaN/negative clamp to 0).
+    pub fn new(n: usize, s: f64) -> Self {
+        let n = n.max(1);
+        let s = if s.is_finite() && s > 0.0 { s } else { 0.0 };
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 0..n {
+            acc += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws a rank in `0..n`.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> usize {
+        // Uniform in [0, 1): use 53 random mantissa bits.
+        let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k >= self.cdf.len() {
+            return 0.0;
+        }
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_clock::DeterministicRng;
+
+    #[test]
+    fn pmf_sums_to_one_and_is_monotone() {
+        let z = Zipf::new(100, 1.0);
+        let total: f64 = (0..100).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..100 {
+            assert!(
+                z.pmf(k) <= z.pmf(k - 1) + 1e-12,
+                "pmf must be non-increasing"
+            );
+        }
+        assert_eq!(z.pmf(100), 0.0);
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = DeterministicRng::new(1).stream("zipf");
+        let mut head = 0;
+        const DRAWS: usize = 10_000;
+        for _ in 0..DRAWS {
+            if z.sample(&mut rng) < 10 {
+                head += 1;
+            }
+        }
+        let frac = head as f64 / DRAWS as f64;
+        assert!(
+            frac > 0.5,
+            "top-10 of 1000 should get most mass at s=1.2: {frac}"
+        );
+    }
+
+    #[test]
+    fn zero_skew_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for k in 0..10 {
+            assert!((z.pmf(k) - 0.1).abs() < 1e-12);
+        }
+        // NaN and negative skew degrade to uniform.
+        let z = Zipf::new(10, f64::NAN);
+        assert!((z.pmf(0) - 0.1).abs() < 1e-12);
+        let z = Zipf::new(10, -5.0);
+        assert!((z.pmf(9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn samples_cover_the_support() {
+        let z = Zipf::new(5, 0.5);
+        let mut rng = DeterministicRng::new(2).stream("zipf");
+        let mut seen = [false; 5];
+        for _ in 0..10_000 {
+            seen[z.sample(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all ranks eventually drawn");
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let z = Zipf::new(0, 1.0);
+        assert_eq!(z.n(), 1);
+        let mut rng = DeterministicRng::new(3).stream("zipf");
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let z = Zipf::new(50, 1.0);
+        let draw = |seed: u64| {
+            let mut rng = DeterministicRng::new(seed).stream("zipf");
+            (0..20).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7));
+        assert_ne!(draw(7), draw(8));
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: the two natural laws in twenty lines.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use spacefungus::prelude::*;
+
+fn main() -> Result<()> {
+    // A deterministic database: same seed, same run.
+    let mut db = Database::new(42);
+
+    // Law 1 — attach a data fungus. Readings older than 10 decay cycles rot.
+    let schema = Schema::from_pairs(&[("sensor", DataType::Int), ("reading", DataType::Float)])?;
+    db.create_container(
+        "readings",
+        schema,
+        ContainerPolicy::new(FungusSpec::Retention { max_age: 10 }),
+    )?;
+
+    // Ingest a little history.
+    for i in 0..20 {
+        db.execute(&format!(
+            "INSERT INTO readings VALUES ({}, {})",
+            i % 4,
+            15.0 + i as f64
+        ))?;
+        db.tick(); // one decay cycle per insert
+    }
+
+    // The fungus has eaten everything older than 10 ticks.
+    let out = db.execute("SELECT COUNT(*) FROM readings")?;
+    println!("live after 20 ticks with TTL 10 : {}", out.result.scalar()?);
+
+    // Freshness is queryable as a pseudo-column.
+    let out = db.execute(
+        "SELECT sensor, reading, $freshness FROM readings ORDER BY $freshness DESC LIMIT 3",
+    )?;
+    println!("\nfreshest three rows:");
+    for row in &out.result.rows {
+        println!(
+            "  sensor={} reading={} freshness={}",
+            row[0], row[1], row[2]
+        );
+    }
+
+    // Law 2 — reading with CONSUME removes what you read.
+    let out = db.execute("SELECT reading FROM readings WHERE sensor = 1 CONSUME")?;
+    println!("\nconsumed {} rows for sensor 1", out.result.consumed.len());
+    let out = db.execute("SELECT COUNT(*) FROM readings WHERE sensor = 1")?;
+    println!("rows left for sensor 1         : {}", out.result.scalar()?);
+
+    // The health monitor tells you how well you are tending the store.
+    let report = db.health("readings")?;
+    println!("\nhealth score {:.2} ({:?})", report.score, report.status);
+    for r in &report.recommendations {
+        println!("  advice: {r}");
+    }
+    Ok(())
+}

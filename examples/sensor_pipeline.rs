@@ -1,0 +1,73 @@
+//! An IoT ingestion pipeline with decay and distillation.
+//!
+//! A fleet of sensors streams readings into a container with a sliding
+//! retention horizon. Departing tuples — whether consumed by dashboards or
+//! rotted away — are distilled into bounded summaries, so long-run
+//! statistics survive even though raw data lives only briefly.
+//!
+//! ```text
+//! cargo run --example sensor_pipeline
+//! ```
+
+use spacefungus::prelude::*;
+
+fn main() -> Result<()> {
+    let mut db = Database::new(7);
+    let mut fleet = SensorStream::new(25, 40, db.rng());
+
+    // Raw readings live ~60 cycles; everything leaving the extent feeds
+    // two summaries: running moments of the reading, and a distinct count
+    // of the sensors ever seen.
+    let policy = ContainerPolicy::new(FungusSpec::Retention { max_age: 60 })
+        .with_distiller(DistillSpec {
+            name: "reading-stats".into(),
+            column: Some("reading".into()),
+            summary: SummarySpec::Moments,
+            trigger: DistillTrigger::Both,
+        })
+        .with_distiller(DistillSpec {
+            name: "sensors-seen".into(),
+            column: Some("sensor".into()),
+            summary: SummarySpec::Distinct { precision: 12 },
+            trigger: DistillTrigger::Both,
+        });
+    db.create_container("readings", fleet.schema().clone(), policy)?;
+
+    println!("tick | live rows | dashboard avg (window 20) | health");
+    println!("-----+-----------+---------------------------+-------");
+    for t in 1..=300u64 {
+        db.tick();
+        let rows = fleet.rows_at(Tick(t));
+        db.insert_batch("readings", rows)?;
+
+        if t % 50 == 0 {
+            let out = db.execute("SELECT AVG(reading) FROM readings WHERE $age <= 20")?;
+            let health = db.health("readings")?;
+            let live = db.container("readings")?.read().live_count();
+            println!(
+                "{t:>4} | {live:>9} | {:>25} | {:.2}",
+                out.result.scalar()?,
+                health.score
+            );
+        }
+    }
+
+    // Raw data from the early run is long gone — the summaries remember.
+    let container = db.container("readings")?;
+    let guard = container.read();
+    println!("\ninserted in total : {}", guard.metrics().inserts);
+    println!("live right now    : {}", guard.live_count());
+    if let Some(AnySummary::Moments(m)) = guard.distiller().summary("reading-stats") {
+        println!(
+            "departed readings : n={} mean={:.2} min={:.2} max={:.2}",
+            m.count(),
+            m.mean().unwrap_or(0.0),
+            m.min().unwrap_or(0.0),
+            m.max().unwrap_or(0.0),
+        );
+    }
+    if let Some(AnySummary::Distinct(h)) = guard.distiller().summary("sensors-seen") {
+        println!("distinct sensors  : ≈{:.0}", h.estimate());
+    }
+    Ok(())
+}

@@ -1,0 +1,319 @@
+//! An interactive shell over a spacefungus database.
+//!
+//! ```text
+//! cargo run --example shell
+//! ```
+//!
+//! SQL statements run against the live database; `.`-commands manage it:
+//!
+//! ```text
+//! .create <name> <col:type,…> [fungus]   create a container
+//! .tick [n]                              advance the decay clock
+//! .health [name]                         health report(s)
+//! .stats <name>                          storage statistics
+//! .census <name>                         rot-spot census
+//! .save <dir> / .load <dir>              checkpoint / restore
+//! .tables                                list containers
+//! .help / .quit
+//! ```
+//!
+//! Fungus shorthands: `none`, `ttl:<ticks>`, `linear:<ticks>`,
+//! `exp:<lambda>`, `window:<n>`, `egi`, `lease:<ticks>`.
+
+use std::io::{self, BufRead, Write};
+
+use spacefungus::prelude::*;
+
+fn parse_fungus(spec: &str) -> Result<FungusSpec> {
+    let (kind, arg) = match spec.split_once(':') {
+        Some((k, a)) => (k, Some(a)),
+        None => (spec, None),
+    };
+    let num = |a: Option<&str>| -> Result<f64> {
+        a.and_then(|s| s.parse().ok()).ok_or_else(|| {
+            FungusError::InvalidConfig(format!("fungus `{spec}` needs a numeric parameter"))
+        })
+    };
+    Ok(match kind {
+        "none" => FungusSpec::Null,
+        "ttl" => FungusSpec::Retention {
+            max_age: num(arg)? as u64,
+        },
+        "linear" => FungusSpec::Linear {
+            lifetime: num(arg)? as u64,
+        },
+        "exp" => FungusSpec::Exponential {
+            lambda: num(arg)?,
+            rot_threshold: 0.01,
+        },
+        "window" => FungusSpec::SlidingWindow {
+            capacity: num(arg)? as usize,
+        },
+        "lease" => FungusSpec::Lease {
+            lease: num(arg)? as u64,
+        },
+        "egi" => FungusSpec::egi_default(),
+        other => {
+            return Err(FungusError::InvalidConfig(format!(
+                "unknown fungus `{other}`"
+            )))
+        }
+    })
+}
+
+fn parse_schema(spec: &str) -> Result<Schema> {
+    let mut cols = Vec::new();
+    for part in spec.split(',') {
+        let (name, ty) = part.split_once(':').ok_or_else(|| {
+            FungusError::InvalidConfig(format!("column `{part}` must be name:type"))
+        })?;
+        let data_type = match ty.to_ascii_lowercase().as_str() {
+            "int" => DataType::Int,
+            "float" => DataType::Float,
+            "str" | "string" | "text" => DataType::Str,
+            "bool" => DataType::Bool,
+            other => {
+                return Err(FungusError::InvalidConfig(format!(
+                    "unknown type `{other}`"
+                )))
+            }
+        };
+        cols.push(ColumnDef::nullable(name, data_type));
+    }
+    Schema::new(cols)
+}
+
+fn print_result(result: &ResultSet) {
+    println!("{}", result.columns.join("\t"));
+    for row in &result.rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join("\t"));
+    }
+    let mut notes = vec![format!("{} row(s)", result.rows.len())];
+    if !result.consumed.is_empty() {
+        notes.push(format!("{} consumed", result.consumed.len()));
+    }
+    if result.pruned_segments > 0 {
+        notes.push(format!("{} segment(s) pruned", result.pruned_segments));
+    }
+    println!("-- {}", notes.join(", "));
+}
+
+fn dispatch(db: &mut Database, trace: &mut Trace, line: &str) -> Result<bool> {
+    let line = line.trim();
+    if line.is_empty() {
+        return Ok(true);
+    }
+    if !line.starts_with('.') {
+        let now = db.now();
+        let out = db.execute_ddl(line)?;
+        trace.record(now, line)?;
+        print_result(&out.result);
+        if out.distilled > 0 {
+            println!("-- {} value(s) distilled", out.distilled);
+        }
+        return Ok(true);
+    }
+    let mut parts = line.split_whitespace();
+    match parts.next().unwrap_or_default() {
+        ".quit" | ".exit" => return Ok(false),
+        ".help" => {
+            println!(
+                ".create <name> <col:type,…> [fungus]\n.tick [n]\n.health [name]\n\
+                 .stats <name>\n.census <name>\n.save <dir>\n.load <dir>\n\
+                 .explain <select …>\n.save-trace <file>\n.replay <file>\n.tables\n.quit"
+            );
+        }
+        ".save-trace" => {
+            let path = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".save-trace needs a file path".into())
+            })?;
+            trace.save(path)?;
+            println!("saved {} statement(s) to {path}", trace.len());
+        }
+        ".replay" => {
+            let path = parts
+                .next()
+                .ok_or_else(|| FungusError::InvalidConfig(".replay needs a file path".into()))?;
+            let recorded = Trace::load(path)?;
+            let report = recorded.replay(db)?;
+            println!(
+                "replayed {} statement(s) over {} tick(s): {} row(s), {} consumed",
+                report.statements,
+                report.ticks_advanced,
+                report.rows_returned,
+                report.tuples_consumed
+            );
+        }
+        ".route" => {
+            let from = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".route needs a source container".into())
+            })?;
+            let to = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".route needs a target container".into())
+            })?;
+            let columns: Vec<String> = parts
+                .next()
+                .ok_or_else(|| FungusError::InvalidConfig(".route needs a column list".into()))?
+                .split(',')
+                .map(str::to_string)
+                .collect();
+            let trigger = match parts.next().unwrap_or("rotted") {
+                "rotted" => DistillTrigger::Rotted,
+                "consumed" => DistillTrigger::Consumed,
+                "both" => DistillTrigger::Both,
+                other => {
+                    return Err(FungusError::InvalidConfig(format!(
+                        "unknown trigger `{other}`"
+                    )))
+                }
+            };
+            db.add_route(
+                from,
+                spacefungus::fungus_core::RouteSpec {
+                    to: to.into(),
+                    columns,
+                    trigger,
+                },
+            )?;
+            println!("routing {from} departures to {to}");
+        }
+        ".explain" => {
+            let sql = line.trim_start_matches(".explain").trim();
+            match parse_statement(sql)? {
+                Statement::Select(stmt) => {
+                    let c = db.container(&stmt.table)?;
+                    let plan = c.read().plan(&stmt)?;
+                    println!("{plan}");
+                }
+                _ => println!("only SELECT statements can be explained"),
+            }
+        }
+        ".tables" => {
+            for name in db.container_names() {
+                let c = db.container(&name)?;
+                let guard = c.read();
+                println!(
+                    "{name}\t{} live\t{}\t{}",
+                    guard.live_count(),
+                    guard.schema(),
+                    guard.fungus_description()
+                );
+            }
+        }
+        ".create" => {
+            let name = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".create needs a container name".into())
+            })?;
+            let schema = parse_schema(
+                parts
+                    .next()
+                    .ok_or_else(|| FungusError::InvalidConfig(".create needs a schema".into()))?,
+            )?;
+            let fungus = match parts.next() {
+                Some(spec) => parse_fungus(spec)?,
+                None => FungusSpec::Null,
+            };
+            db.create_container(name, schema, ContainerPolicy::new(fungus))?;
+            println!("created `{name}`");
+        }
+        ".tick" => {
+            let n: u64 = parts.next().and_then(|s| s.parse().ok()).unwrap_or(1);
+            let now = db.run_for(n);
+            println!("clock at {now}");
+        }
+        ".health" => {
+            let reports = match parts.next() {
+                Some(name) => vec![(name.to_string(), db.health(name)?)],
+                None => db.health_all(),
+            };
+            for (name, r) in reports {
+                println!(
+                    "{name}: score {:.2} ({:?}), waste {:.2}, near-rotten {:.2}",
+                    r.score, r.status, r.waste_ratio, r.near_rotten_fraction
+                );
+                for advice in &r.recommendations {
+                    println!("  {advice}");
+                }
+            }
+        }
+        ".stats" => {
+            let name = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".stats needs a container name".into())
+            })?;
+            let c = db.container(name)?;
+            let guard = c.read();
+            let s = guard.stats(db.now());
+            println!(
+                "live {} of {} inserted, {:.1} KiB in {} segment(s)",
+                s.live_count,
+                s.total_inserted,
+                s.approx_bytes as f64 / 1024.0,
+                s.segment_count
+            );
+            println!(
+                "freshness mean {:.3} min {:.3}; infected {}; rotted {} (unread {}), consumed {}",
+                s.mean_freshness,
+                s.min_freshness,
+                s.infected_count,
+                s.evicted_rotted,
+                s.rotted_unread,
+                s.evicted_consumed
+            );
+        }
+        ".census" => {
+            let name = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".census needs a container name".into())
+            })?;
+            let c = db.container(name)?;
+            let census = c.read().spot_census();
+            println!(
+                "{} rotting spot(s) (largest {}, mean {:.1}); {} hole(s) eaten (largest {})",
+                census.infected_spots,
+                census.largest_infected_spot,
+                census.mean_infected_spot(),
+                census.rot_holes,
+                census.largest_rot_hole
+            );
+        }
+        ".save" => {
+            let dir = parts
+                .next()
+                .ok_or_else(|| FungusError::InvalidConfig(".save needs a directory".into()))?;
+            db.checkpoint(dir)?;
+            println!("checkpointed to {dir}");
+        }
+        ".load" => {
+            let dir = parts
+                .next()
+                .ok_or_else(|| FungusError::InvalidConfig(".load needs a directory".into()))?;
+            db.restore_checkpoint(dir)?;
+            println!("restored from {dir}");
+        }
+        other => {
+            return Err(FungusError::InvalidConfig(format!(
+                "unknown command `{other}` (try .help)"
+            )))
+        }
+    }
+    Ok(true)
+}
+
+fn main() {
+    let mut db = Database::new(2015);
+    let mut trace = Trace::new();
+    println!("spacefungus shell — data decays by design. Try .help");
+    let stdin = io::stdin();
+    let mut lines = stdin.lock().lines();
+    loop {
+        print!("fungus> ");
+        io::stdout().flush().ok();
+        let Some(Ok(line)) = lines.next() else { break };
+        match dispatch(&mut db, &mut trace, &line) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("goodbye — don't forget to eat your rice.");
+}

@@ -1,0 +1,301 @@
+//! Property tests over the query layer: parser round-trips, pruning
+//! soundness, consume-law algebra, and aggregate consistency.
+
+use proptest::prelude::*;
+
+use spacefungus::fungus_query::{execute_statement, parse_expr, CmpOp, Expr};
+use spacefungus::fungus_storage::TableStore;
+use spacefungus::prelude::*;
+
+// ------------------------------------------------------------ strategies --
+
+/// Expressions over columns a (Int), b (Float), s (Str), with literals
+/// chosen so every expression is well-typed for evaluation.
+fn arb_num_operand() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        Just(Expr::col("a")),
+        Just(Expr::col("b")),
+        (-100i64..100).prop_map(Expr::lit),
+        (-100.0f64..100.0).prop_map(Expr::lit),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Expr> {
+    let leaf =
+        (arb_num_operand(), arb_num_operand(), arb_cmp()).prop_map(|(l, r, op)| l.cmp(op, r));
+    leaf.prop_recursive(3, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.and(b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| a.or(b)),
+            inner.prop_map(|e| Expr::Not(Box::new(e))),
+        ]
+    })
+}
+
+fn arb_cmp() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+}
+
+fn test_table(rows: &[(i64, f64)]) -> TableStore {
+    let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]).unwrap();
+    let mut t = TableStore::new(
+        schema,
+        StorageConfig {
+            segment_capacity: 8,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for (i, (a, b)) in rows.iter().enumerate() {
+        t.insert(vec![Value::Int(*a), Value::float(*b)], Tick(i as u64))
+            .unwrap();
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The parser never panics, whatever bytes it is fed — it either
+    /// produces a statement or a clean `ParseError` with an offset.
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in "\\PC{0,60}") {
+        let _ = spacefungus::fungus_query::parse_statement(&input);
+        let _ = parse_expr(&input);
+    }
+
+    /// SQL-looking garbage (keyword soup) also parses or fails cleanly,
+    /// and parse errors carry in-bounds offsets.
+    #[test]
+    fn parser_fails_cleanly_on_keyword_soup(
+        words in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "CONSUME", "AND", "OR", "NOT",
+                "GROUP", "BY", "ORDER", "LIMIT", "IN", "BETWEEN", "LIKE",
+                "IS", "NULL", "COUNT", "(", ")", ",", "*", "=", "<", "a",
+                "r", "1", "0.5", "'s'", "$freshness", "$age",
+            ]),
+            0..12,
+        )
+    ) {
+        let input = words.join(" ");
+        if let Err(FungusError::ParseError { offset, .. }) =
+            spacefungus::fungus_query::parse_statement(&input)
+        {
+            prop_assert!(offset <= input.len(), "offset {offset} beyond input");
+        }
+    }
+
+    /// Display → parse is the identity on expression trees.
+    #[test]
+    fn parser_roundtrips_pretty_printed_expressions(e in arb_predicate()) {
+        let printed = e.to_string();
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("`{printed}` failed to reparse: {err}"));
+        prop_assert_eq!(reparsed, e);
+    }
+
+    /// Zone-map pruning never changes an answer: a full SELECT with a
+    /// prunable predicate returns exactly the brute-force filter.
+    #[test]
+    fn pruning_is_sound(
+        rows in proptest::collection::vec((-50i64..50, -50.0f64..50.0), 0..100),
+        lo in -60i64..60,
+        width in 0i64..40,
+    ) {
+        let mut table = test_table(&rows);
+        let hi = lo + width;
+        let sql = format!("SELECT a, b FROM t WHERE a BETWEEN {lo} AND {hi}");
+        let result = execute_statement(&sql, &mut table, Tick(100)).unwrap();
+        let expected: Vec<(i64, f64)> = rows
+            .iter()
+            .copied()
+            .filter(|(a, _)| *a >= lo && *a <= hi)
+            .collect();
+        prop_assert_eq!(result.len(), expected.len());
+        for (row, (a, b)) in result.rows.iter().zip(expected) {
+            prop_assert_eq!(&row[0], &Value::Int(a));
+            prop_assert_eq!(row[1].sql_eq(&Value::float(b)), Some(true));
+        }
+        // The zone-maps-off ablation gives identical answers (just no
+        // segment skipping).
+        let schema =
+            Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]).unwrap();
+        let mut unzoned = TableStore::new(
+            schema,
+            StorageConfig { segment_capacity: 8, zone_maps: false, ..Default::default() },
+        )
+        .unwrap();
+        for (i, (a, b)) in rows.iter().enumerate() {
+            unzoned.insert(vec![Value::Int(*a), Value::float(*b)], Tick(i as u64)).unwrap();
+        }
+        let unpruned = execute_statement(&sql, &mut unzoned, Tick(100)).unwrap();
+        prop_assert_eq!(&unpruned.rows, &result.rows);
+        prop_assert_eq!(unpruned.pruned_segments, 0, "nothing to prune without zones");
+    }
+
+    /// Law 2 algebra: after `CONSUME`, extent = old extent − answer set,
+    /// and nothing matching the predicate remains.
+    #[test]
+    fn consume_law_partitions_the_extent(
+        rows in proptest::collection::vec((-20i64..20, -50.0f64..50.0), 0..60),
+        pivot in -25i64..25,
+    ) {
+        let mut table = test_table(&rows);
+        let before = table.live_count();
+        let sql = format!("SELECT a FROM t WHERE a >= {pivot} CONSUME");
+        let result = execute_statement(&sql, &mut table, Tick(100)).unwrap();
+        prop_assert_eq!(result.consumed.len(), result.len());
+        prop_assert_eq!(table.live_count(), before - result.len());
+        // σ_P(R) is gone.
+        let check = format!("SELECT COUNT(*) FROM t WHERE a >= {pivot}");
+        let rest = execute_statement(&check, &mut table, Tick(100)).unwrap();
+        prop_assert_eq!(rest.scalar().unwrap(), &Value::Int(0));
+        // And the complement survives intact.
+        let complement = rows.iter().filter(|(a, _)| *a < pivot).count();
+        prop_assert_eq!(table.live_count(), complement);
+    }
+
+    /// Aggregates agree with directly computed values for any data.
+    #[test]
+    fn aggregates_match_direct_computation(
+        rows in proptest::collection::vec((-20i64..20, -50.0f64..50.0), 1..80),
+    ) {
+        let mut table = test_table(&rows);
+        let result = execute_statement(
+            "SELECT COUNT(*), SUM(b), MIN(a), MAX(a), AVG(b) FROM t",
+            &mut table,
+            Tick(0),
+        )
+        .unwrap();
+        let row = &result.rows[0];
+        let n = rows.len() as i64;
+        let sum: f64 = rows.iter().map(|(_, b)| *b).sum();
+        let min = rows.iter().map(|(a, _)| *a).min().unwrap();
+        let max = rows.iter().map(|(a, _)| *a).max().unwrap();
+        prop_assert_eq!(&row[0], &Value::Int(n));
+        prop_assert!((row[1].as_f64().unwrap() - sum).abs() < 1e-6);
+        prop_assert_eq!(&row[2], &Value::Int(min));
+        prop_assert_eq!(&row[3], &Value::Int(max));
+        prop_assert!((row[4].as_f64().unwrap() - sum / n as f64).abs() < 1e-6);
+    }
+
+    /// GROUP BY partitions: per-group COUNT(*)s sum to the total count and
+    /// every group key is distinct.
+    #[test]
+    fn group_by_partitions_rows(
+        rows in proptest::collection::vec((-5i64..5, -50.0f64..50.0), 0..80),
+    ) {
+        let mut table = test_table(&rows);
+        let result = execute_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a",
+            &mut table,
+            Tick(0),
+        )
+        .unwrap();
+        let total: i64 = result.rows.iter().map(|r| r[1].as_i64().unwrap()).sum();
+        prop_assert_eq!(total, rows.len() as i64);
+        let mut keys: Vec<&Value> = result.rows.iter().map(|r| &r[0]).collect();
+        let before = keys.len();
+        keys.sort();
+        keys.dedup();
+        prop_assert_eq!(keys.len(), before, "group keys are unique");
+    }
+
+    /// ORDER BY + LIMIT returns the true top-k.
+    #[test]
+    fn order_by_limit_is_top_k(
+        rows in proptest::collection::vec((-100i64..100, -50.0f64..50.0), 0..60),
+        k in 0usize..10,
+    ) {
+        let mut table = test_table(&rows);
+        let sql = format!("SELECT a FROM t ORDER BY a DESC LIMIT {k}");
+        let result = execute_statement(&sql, &mut table, Tick(0)).unwrap();
+        let mut expected: Vec<i64> = rows.iter().map(|(a, _)| *a).collect();
+        expected.sort_unstable_by(|x, y| y.cmp(x));
+        expected.truncate(k);
+        let got: Vec<i64> = result.rows.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A secondary index never changes an answer: identical tables with
+    /// and without an index on `a` agree on every equality/IN query, and
+    /// consume-through-index removes the same tuples.
+    #[test]
+    fn index_scan_is_transparent(
+        rows in proptest::collection::vec((-10i64..10, -50.0f64..50.0), 0..60),
+        probe in -12i64..12,
+        consume in proptest::bool::ANY,
+    ) {
+        let mut indexed = test_table(&rows);
+        let mut plain = test_table(&rows);
+        indexed.create_index("a").unwrap();
+        let sql = format!(
+            "SELECT a, b FROM t WHERE a = {probe}{}",
+            if consume { " CONSUME" } else { "" }
+        );
+        let r1 = execute_statement(&sql, &mut indexed, Tick(5)).unwrap();
+        let r2 = execute_statement(&sql, &mut plain, Tick(5)).unwrap();
+        prop_assert_eq!(&r1.rows, &r2.rows);
+        prop_assert_eq!(r1.used_index, !rows.is_empty() || r1.used_index);
+        prop_assert_eq!(indexed.live_count(), plain.live_count());
+        // After consuming, both stores agree the probe rows are gone.
+        if consume {
+            let count = format!("SELECT COUNT(*) FROM t WHERE a = {probe}");
+            let c1 = execute_statement(&count, &mut indexed, Tick(5)).unwrap();
+            prop_assert_eq!(c1.scalar().unwrap(), &Value::Int(0));
+        }
+    }
+
+    /// An ordered index never changes an answer on range queries.
+    #[test]
+    fn ordered_index_is_transparent(
+        rows in proptest::collection::vec((-10i64..10, -50.0f64..50.0), 0..60),
+        lo in -12i64..12,
+        width in 0i64..10,
+    ) {
+        let mut indexed = test_table(&rows);
+        let mut plain = test_table(&rows);
+        indexed.create_ord_index("a").unwrap();
+        let hi = lo + width;
+        for sql in [
+            format!("SELECT a, b FROM t WHERE a BETWEEN {lo} AND {hi}"),
+            format!("SELECT a FROM t WHERE a > {lo}"),
+            format!("SELECT a FROM t WHERE a <= {hi}"),
+            format!("SELECT COUNT(*) FROM t WHERE a >= {lo} AND a < {hi}"),
+        ] {
+            let r1 = execute_statement(&sql, &mut indexed, Tick(5)).unwrap();
+            let r2 = execute_statement(&sql, &mut plain, Tick(5)).unwrap();
+            prop_assert_eq!(&r1.rows, &r2.rows, "{}", sql);
+            prop_assert!(r1.used_index || rows.is_empty(), "{}", sql);
+        }
+    }
+
+    /// Arbitrary well-typed predicates evaluate identically through the
+    /// engine and through direct brute-force evaluation.
+    #[test]
+    fn engine_matches_brute_force_for_random_predicates(
+        rows in proptest::collection::vec((-20i64..20, -20.0f64..20.0), 0..40),
+        pred in arb_predicate(),
+    ) {
+        let mut table = test_table(&rows);
+        let schema = table.schema().clone();
+        let sql = format!("SELECT a, b FROM t WHERE {pred}");
+        let result = execute_statement(&sql, &mut table, Tick(1000)).unwrap();
+        // Brute force over the same tuples.
+        let mut expected = 0usize;
+        for t in table.iter_live() {
+            if pred.eval_predicate(t, &schema, Tick(1000)).unwrap() {
+                expected += 1;
+            }
+        }
+        prop_assert_eq!(result.len(), expected);
+    }
+}

@@ -1,0 +1,274 @@
+//! Model-based property tests: the segmented [`TableStore`] against a
+//! naive `BTreeMap` reference model under random operation sequences,
+//! plus snapshot/WAL round-trip properties.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+
+use spacefungus::fungus_storage::{decode_table, encode_table, TombstoneReason};
+use spacefungus::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    Delete(usize),
+    Decay(usize, f64),
+    Infect(usize),
+    Cure(usize),
+    Touch(usize),
+    EvictRotten,
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<i64>().prop_map(Op::Insert),
+        2 => any::<usize>().prop_map(Op::Delete),
+        3 => (any::<usize>(), 0.0f64..1.5).prop_map(|(i, a)| Op::Decay(i, a)),
+        1 => any::<usize>().prop_map(Op::Infect),
+        1 => any::<usize>().prop_map(Op::Cure),
+        1 => any::<usize>().prop_map(Op::Touch),
+        1 => Just(Op::EvictRotten),
+        1 => Just(Op::Compact),
+    ]
+}
+
+/// Reference model: id → (value, freshness, infected, accesses).
+#[derive(Debug, Default)]
+struct Model {
+    rows: BTreeMap<u64, (i64, f64, bool, u32)>,
+    next_id: u64,
+}
+
+fn small_store() -> TableStore {
+    let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+    TableStore::new(
+        schema,
+        StorageConfig {
+            segment_capacity: 4,
+            compact_live_threshold: 0.5,
+            zone_maps: true,
+        },
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any op sequence the store agrees with the reference model on
+    /// membership, values, freshness, infection, and access counts.
+    #[test]
+    fn store_matches_reference_model(ops in proptest::collection::vec(arb_op(), 1..120)) {
+        let mut store = small_store();
+        let mut model = Model::default();
+        let now = Tick(1);
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let id = store.insert(vec![Value::Int(v)], now).unwrap();
+                    prop_assert_eq!(id.get(), model.next_id);
+                    model.rows.insert(model.next_id, (v, 1.0, false, 0));
+                    model.next_id += 1;
+                }
+                Op::Delete(i) => {
+                    let target = pick(&model, i);
+                    if let Some(id) = target {
+                        store.delete(TupleId(id), TombstoneReason::Deleted);
+                        model.rows.remove(&id);
+                    }
+                }
+                Op::Decay(i, amount) => {
+                    if let Some(id) = pick(&model, i) {
+                        let f = store.decay(TupleId(id), amount).unwrap();
+                        let m = model.rows.get_mut(&id).unwrap();
+                        m.1 = (m.1 - amount.max(0.0)).max(0.0);
+                        if m.1 < 1e-12 { m.1 = 0.0; }
+                        prop_assert!((f.get() - m.1).abs() < 1e-9);
+                    }
+                }
+                Op::Infect(i) => {
+                    if let Some(id) = pick(&model, i) {
+                        prop_assert!(store.infect(TupleId(id), now));
+                        model.rows.get_mut(&id).unwrap().2 = true;
+                    }
+                }
+                Op::Cure(i) => {
+                    if let Some(id) = pick(&model, i) {
+                        store.cure(TupleId(id));
+                        model.rows.get_mut(&id).unwrap().2 = false;
+                    }
+                }
+                Op::Touch(i) => {
+                    if let Some(id) = pick(&model, i) {
+                        store.touch(TupleId(id), now);
+                        model.rows.get_mut(&id).unwrap().3 += 1;
+                    }
+                }
+                Op::EvictRotten => {
+                    let evicted = store.evict_rotten();
+                    for t in &evicted {
+                        let m = model.rows.remove(&t.meta.id.get());
+                        prop_assert!(m.is_some());
+                        prop_assert_eq!(m.unwrap().1, 0.0, "only rotten rows evict");
+                    }
+                    prop_assert!(model.rows.values().all(|r| r.1 > 0.0));
+                }
+                Op::Compact => {
+                    store.compact();
+                }
+            }
+
+            // Full-state comparison after every op.
+            prop_assert_eq!(store.live_count(), model.rows.len());
+            for (&id, &(v, f, infected, accesses)) in &model.rows {
+                let t = store.get(TupleId(id));
+                prop_assert!(t.is_some(), "id {} missing", id);
+                let t = t.unwrap();
+                prop_assert_eq!(&t.values[0], &Value::Int(v));
+                prop_assert!((t.meta.freshness.get() - f).abs() < 1e-9);
+                prop_assert_eq!(t.meta.infected, infected);
+                prop_assert_eq!(t.meta.access_count, accesses);
+            }
+            let infected_model: Vec<u64> = model
+                .rows
+                .iter()
+                .filter(|(_, r)| r.2)
+                .map(|(id, _)| *id)
+                .collect();
+            let infected_store: Vec<u64> =
+                store.infected_ids().iter().map(|i| i.get()).collect();
+            prop_assert_eq!(infected_store, infected_model);
+        }
+    }
+
+    /// Snapshot round-trip is the identity on every observable of the
+    /// store, for any op sequence.
+    #[test]
+    fn snapshot_roundtrip_is_identity(ops in proptest::collection::vec(arb_op(), 1..80)) {
+        let mut store = small_store();
+        let mut model = Model::default();
+        let now = Tick(1);
+        for op in ops {
+            apply_unchecked(&mut store, &mut model, op, now);
+        }
+        let restored = decode_table(encode_table(&store)).unwrap();
+        prop_assert_eq!(restored.live_count(), store.live_count());
+        prop_assert_eq!(restored.next_id(), store.next_id());
+        prop_assert_eq!(restored.infected_ids(), store.infected_ids());
+        prop_assert_eq!(restored.evicted_rotted(), store.evicted_rotted());
+        prop_assert_eq!(restored.rotted_unread(), store.rotted_unread());
+        let a: Vec<_> = store.iter_live().cloned().collect();
+        let b: Vec<_> = restored.iter_live().cloned().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Snapshot decoding never panics on corrupted input: any single-byte
+    /// mutation or truncation either round-trips (if it hit dead bytes) or
+    /// fails with a clean error.
+    #[test]
+    fn snapshot_decode_survives_corruption(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        flip_at in any::<usize>(),
+        flip_bits in 1u8..=255,
+        cut_at in any::<usize>(),
+    ) {
+        let mut store = small_store();
+        let mut model = Model::default();
+        for op in ops {
+            apply_unchecked(&mut store, &mut model, op, Tick(1));
+        }
+        let bytes = encode_table(&store);
+        // Bit flip somewhere.
+        let mut mutated = bytes.to_vec();
+        let idx = flip_at % mutated.len();
+        mutated[idx] ^= flip_bits;
+        let _ = decode_table(bytes::Bytes::from(mutated)); // must not panic
+        // Truncation anywhere.
+        let cut = cut_at % (bytes.len() + 1);
+        let _ = decode_table(bytes.slice(..cut)); // must not panic
+    }
+
+    /// Live neighbours always skip tombstones and stay ordered around the
+    /// probe id.
+    #[test]
+    fn neighbors_are_ordered_live_tuples(ops in proptest::collection::vec(arb_op(), 1..80), probe in any::<u64>()) {
+        let mut store = small_store();
+        let mut model = Model::default();
+        for op in ops {
+            apply_unchecked(&mut store, &mut model, op, Tick(1));
+        }
+        let max_id = store.next_id().get();
+        let probe = TupleId(if max_id == 0 { 0 } else { probe % (max_id + 1) });
+        let (pred, succ) = store.live_neighbors(probe);
+        if let Some(p) = pred {
+            prop_assert!(p < probe);
+            prop_assert!(store.get(p).is_some());
+            // No live tuple strictly between p and probe.
+            for id in (p.get() + 1)..probe.get() {
+                prop_assert!(store.get(TupleId(id)).is_none());
+            }
+        }
+        if let Some(s) = succ {
+            prop_assert!(s > probe);
+            prop_assert!(store.get(s).is_some());
+            for id in (probe.get() + 1)..s.get() {
+                prop_assert!(store.get(TupleId(id)).is_none());
+            }
+        }
+    }
+}
+
+fn pick(model: &Model, i: usize) -> Option<u64> {
+    if model.rows.is_empty() {
+        None
+    } else {
+        model.rows.keys().nth(i % model.rows.len()).copied()
+    }
+}
+
+fn apply_unchecked(store: &mut TableStore, model: &mut Model, op: Op, now: Tick) {
+    match op {
+        Op::Insert(v) => {
+            store.insert(vec![Value::Int(v)], now).unwrap();
+            model.rows.insert(model.next_id, (v, 1.0, false, 0));
+            model.next_id += 1;
+        }
+        Op::Delete(i) => {
+            if let Some(id) = pick(model, i) {
+                store.delete(TupleId(id), TombstoneReason::Deleted);
+                model.rows.remove(&id);
+            }
+        }
+        Op::Decay(i, amount) => {
+            if let Some(id) = pick(model, i) {
+                store.decay(TupleId(id), amount);
+            }
+        }
+        Op::Infect(i) => {
+            if let Some(id) = pick(model, i) {
+                store.infect(TupleId(id), now);
+            }
+        }
+        Op::Cure(i) => {
+            if let Some(id) = pick(model, i) {
+                store.cure(TupleId(id));
+            }
+        }
+        Op::Touch(i) => {
+            if let Some(id) = pick(model, i) {
+                store.touch(TupleId(id), now);
+            }
+        }
+        Op::EvictRotten => {
+            for t in store.evict_rotten() {
+                model.rows.remove(&t.meta.id.get());
+            }
+        }
+        Op::Compact => {
+            store.compact();
+        }
+    }
+}
