@@ -46,6 +46,7 @@ pub mod health;
 pub mod metrics;
 pub mod policy;
 pub mod route;
+pub mod shared;
 
 pub use container::{Container, DecayReport};
 pub use database::{Database, QueryOutcome};
@@ -54,3 +55,4 @@ pub use health::{HealthMonitor, HealthReport, HealthStatus};
 pub use metrics::EngineMetrics;
 pub use policy::ContainerPolicy;
 pub use route::RouteSpec;
+pub use shared::SharedDatabase;

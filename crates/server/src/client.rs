@@ -1,0 +1,126 @@
+//! A blocking client for the wire protocol.
+//!
+//! One [`Client`] is one TCP connection and therefore one server-side
+//! session. Requests are strictly pipelined one at a time: send a frame,
+//! block for the response frame. That keeps the client trivially correct
+//! under threading (each load-generator thread owns its own client) and
+//! matches the server's one-connection-per-worker model.
+
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use fungus_types::FungusError;
+
+use crate::frame::{self, FrameError};
+use crate::protocol::{Request, Response};
+
+/// Client-side failures, keeping transport and protocol errors apart.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Socket/framing failure — the connection is dead.
+    Frame(FrameError),
+    /// The payload did not decode as a [`Response`].
+    Protocol(String),
+    /// The server hung up where a response was due.
+    Disconnected,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Frame(e) => write!(f, "transport: {e}"),
+            ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
+            ClientError::Disconnected => write!(f, "server closed the connection mid-request"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        ClientError::Frame(e)
+    }
+}
+
+impl From<FungusError> for ClientError {
+    fn from(e: FungusError) -> Self {
+        ClientError::Protocol(e.to_string())
+    }
+}
+
+/// A blocking connection to a fungus server.
+pub struct Client {
+    stream: TcpStream,
+    requests: u64,
+}
+
+impl Client {
+    /// Connects with default timeouts (10 s connect, 30 s response).
+    pub fn connect(addr: SocketAddr) -> Result<Client, ClientError> {
+        Client::connect_with(addr, Duration::from_secs(10), Duration::from_secs(30))
+    }
+
+    /// Connects with explicit connect and response timeouts.
+    pub fn connect_with(
+        addr: SocketAddr,
+        connect_timeout: Duration,
+        response_timeout: Duration,
+    ) -> Result<Client, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, connect_timeout)
+            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+        stream
+            .set_read_timeout(Some(response_timeout))
+            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+        stream
+            .set_write_timeout(Some(response_timeout))
+            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            requests: 0,
+        })
+    }
+
+    /// Requests sent on this connection.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Sends one request and blocks for its response.
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        let payload = request.encode()?;
+        frame::write_frame(&mut self.stream, &payload)?;
+        self.requests += 1;
+        match frame::read_frame(&mut self.stream)? {
+            Some(payload) => Ok(Response::decode(&payload)?),
+            None => Err(ClientError::Disconnected),
+        }
+    }
+
+    /// Runs one SQL statement.
+    pub fn sql(&mut self, text: impl Into<String>) -> Result<Response, ClientError> {
+        self.request(&Request::Sql { text: text.into() })
+    }
+
+    /// Runs one dot command (`.tick`, `.health`, …).
+    pub fn dot(&mut self, line: impl Into<String>) -> Result<Response, ClientError> {
+        self.request(&Request::Dot { line: line.into() })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        match self.request(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected Pong, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Closes the connection (half-close; the server sees EOF and ends
+    /// the session). Dropping the client does the same implicitly.
+    pub fn close(self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}

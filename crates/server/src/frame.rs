@@ -1,0 +1,253 @@
+//! Length-prefixed framing for the wire protocol.
+//!
+//! Every message on a connection — in either direction — is one *frame*:
+//!
+//! ```text
+//! +----------------+-------------------+
+//! | length: u32 BE | payload bytes ... |
+//! +----------------+-------------------+
+//! ```
+//!
+//! The length counts only the payload and is capped at [`MAX_FRAME`];
+//! anything larger is a protocol violation and yields a typed
+//! [`FrameError::Oversized`] *before* any allocation of the claimed size,
+//! so a hostile peer cannot make the server reserve gigabytes with four
+//! bytes. Decoding is incremental: [`decode_frame`] consumes complete
+//! frames from a [`BytesMut`] accumulation buffer and returns `None`
+//! while bytes are still missing, which makes it directly drivable from
+//! both a blocking socket loop and a property test feeding arbitrary
+//! splits.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::io::{Read, Write};
+
+/// Frame header size in bytes (one big-endian `u32` length).
+pub const HEADER_LEN: usize = 4;
+
+/// Largest accepted payload (1 MiB). Generous for SQL text and JSON
+/// result sets, small enough that a malicious length prefix cannot cause
+/// a giant allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// Typed framing failures. Every decode error is deterministic and
+/// non-panicking; I/O errors are captured by message (mirroring
+/// `FungusError::Io`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The length the header claimed.
+        claimed: usize,
+        /// The configured cap.
+        max: usize,
+    },
+    /// The stream ended mid-frame (header or payload cut short).
+    Truncated {
+        /// Bytes that were available.
+        have: usize,
+        /// Bytes the frame needed.
+        need: usize,
+    },
+    /// An underlying socket/file error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Oversized { claimed, max } => {
+                write!(f, "frame of {claimed} bytes exceeds the {max}-byte cap")
+            }
+            FrameError::Truncated { have, need } => {
+                write!(f, "stream ended mid-frame: have {have} of {need} bytes")
+            }
+            FrameError::Io(msg) => write!(f, "frame i/o: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e.to_string())
+    }
+}
+
+/// Encodes one payload as a frame. Fails (typed, no panic) when the
+/// payload exceeds [`MAX_FRAME`].
+pub fn encode_frame(payload: &[u8]) -> Result<Vec<u8>, FrameError> {
+    if payload.len() > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            claimed: payload.len(),
+            max: MAX_FRAME,
+        });
+    }
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.put_u32(payload.len() as u32);
+    out.put_slice(payload);
+    Ok(out)
+}
+
+/// Consumes one complete frame from the front of `buf`.
+///
+/// * `Ok(Some(payload))` — a full frame was present; its bytes (header
+///   included) have been removed from `buf`.
+/// * `Ok(None)` — not enough bytes yet; `buf` is untouched.
+/// * `Err(Oversized)` — the header announces an illegal length; the
+///   connection should be dropped (the stream can no longer be framed).
+pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Bytes>, FrameError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let claimed = {
+        let mut header = &buf.as_slice()[..HEADER_LEN];
+        header.get_u32() as usize
+    };
+    if claimed > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            claimed,
+            max: MAX_FRAME,
+        });
+    }
+    if buf.len() < HEADER_LEN + claimed {
+        return Ok(None);
+    }
+    let mut frame = buf.split_to(HEADER_LEN + claimed);
+    let header = frame.split_to(HEADER_LEN);
+    debug_assert_eq!(header.len(), HEADER_LEN);
+    Ok(Some(frame.freeze()))
+}
+
+/// Reads one frame from a blocking stream.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF *between* frames);
+/// EOF in the middle of a frame is a [`FrameError::Truncated`].
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut header = [0u8; HEADER_LEN];
+    match read_exact_or_eof(r, &mut header)? {
+        0 => return Ok(None),
+        n if n < HEADER_LEN => {
+            return Err(FrameError::Truncated {
+                have: n,
+                need: HEADER_LEN,
+            })
+        }
+        _ => {}
+    }
+    let claimed = u32::from_be_bytes(header) as usize;
+    if claimed > MAX_FRAME {
+        return Err(FrameError::Oversized {
+            claimed,
+            max: MAX_FRAME,
+        });
+    }
+    let mut payload = vec![0u8; claimed];
+    let got = read_exact_or_eof(r, &mut payload)?;
+    if got < claimed {
+        return Err(FrameError::Truncated {
+            have: got,
+            need: claimed,
+        });
+    }
+    Ok(Some(payload))
+}
+
+/// Writes one frame to a blocking stream and flushes it.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    let frame = encode_frame(payload)?;
+    w.write_all(&frame)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Fills `buf` from `r`, tolerating EOF: returns how many bytes were
+/// actually read (0 = immediate EOF, `buf.len()` = filled).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    Ok(filled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_through_buffer() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&encode_frame(b"hello").unwrap());
+        buf.extend_from_slice(&encode_frame(b"").unwrap());
+        buf.extend_from_slice(&encode_frame(b"world!").unwrap());
+        assert_eq!(
+            decode_frame(&mut buf).unwrap().unwrap().as_slice(),
+            b"hello"
+        );
+        assert_eq!(decode_frame(&mut buf).unwrap().unwrap().as_slice(), b"");
+        assert_eq!(
+            decode_frame(&mut buf).unwrap().unwrap().as_slice(),
+            b"world!"
+        );
+        assert_eq!(decode_frame(&mut buf).unwrap(), None);
+    }
+
+    #[test]
+    fn partial_frames_wait_for_more_bytes() {
+        let frame = encode_frame(b"abcdef").unwrap();
+        let mut buf = BytesMut::new();
+        for (i, b) in frame.iter().enumerate() {
+            buf.extend_from_slice(&[*b]);
+            let decoded = decode_frame(&mut buf).unwrap();
+            if i + 1 < frame.len() {
+                assert_eq!(decoded, None, "frame complete too early at byte {i}");
+            } else {
+                assert_eq!(decoded.unwrap().as_slice(), b"abcdef");
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_header_is_a_typed_error() {
+        let mut buf = BytesMut::new();
+        buf.extend_from_slice(&((MAX_FRAME as u32) + 1).to_be_bytes());
+        buf.extend_from_slice(b"xx");
+        match decode_frame(&mut buf) {
+            Err(FrameError::Oversized { claimed, max }) => {
+                assert_eq!(claimed, MAX_FRAME + 1);
+                assert_eq!(max, MAX_FRAME);
+            }
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+        assert!(encode_frame(&vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn stream_reader_handles_eof_shapes() {
+        // Clean EOF between frames.
+        let mut empty: &[u8] = b"";
+        assert_eq!(read_frame(&mut empty).unwrap(), None);
+        // EOF mid-header.
+        let mut cut: &[u8] = &[0, 0];
+        assert!(matches!(
+            read_frame(&mut cut),
+            Err(FrameError::Truncated { have: 2, need: 4 })
+        ));
+        // EOF mid-payload.
+        let full = encode_frame(b"abcd").unwrap();
+        let mut cut = &full[..full.len() - 1];
+        assert!(matches!(
+            read_frame(&mut cut),
+            Err(FrameError::Truncated { have: 3, need: 4 })
+        ));
+        // Full frame.
+        let mut ok = full.as_slice();
+        assert_eq!(read_frame(&mut ok).unwrap().unwrap(), b"abcd");
+    }
+}

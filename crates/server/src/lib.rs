@@ -1,0 +1,58 @@
+//! # fungus-server
+//!
+//! A concurrent network front-end for the spacefungus engine.
+//!
+//! The paper frames the store as something an *owner* tends continuously
+//! — data rots on a wall clock whether or not anyone is looking. That
+//! only means anything once the engine sits behind a long-lived process
+//! with real concurrent clients, so this crate provides one:
+//!
+//! * [`frame`] — length-prefixed framing with a hard size cap and typed,
+//!   non-panicking decode errors;
+//! * [`protocol`] — the [`Request`]/[`Response`] message set, serialized
+//!   with the engine's own JSON codec (`fungus_types::json`);
+//! * [`session`] — per-connection state: statement counter, session id,
+//!   deterministic per-session RNG seed, dot-command dispatch;
+//! * [`server`] — a blocking TCP server on a crossbeam worker pool with
+//!   a connection cap, read/write timeouts, an optional wall-clock decay
+//!   driver, and graceful drain-then-checkpoint shutdown;
+//! * [`client`] — a blocking [`Client`] used by the load-driving
+//!   experiment (E11), the integration tests, and `examples/serve.rs`.
+//!
+//! No async runtime: the engine's critical sections are microseconds of
+//! CPU under `parking_lot` locks, so blocking I/O with one worker thread
+//! per active connection is both simpler and faster at the scales the
+//! experiments drive (tens of connections, tens of thousands of
+//! requests).
+//!
+//! ```no_run
+//! use fungus_core::{Database, SharedDatabase};
+//! use fungus_server::{serve, Client, Request, ServerConfig};
+//!
+//! let db = SharedDatabase::new(Database::new(42));
+//! db.execute_ddl("CREATE CONTAINER r (v INT) WITH FUNGUS ttl(100)").unwrap();
+//! let handle = serve(db, ServerConfig::default()).unwrap();
+//!
+//! let mut client = Client::connect(handle.addr()).unwrap();
+//! client.sql("INSERT INTO r VALUES (1), (2)").unwrap();
+//! let resp = client.sql("SELECT * FROM r CONSUME").unwrap();
+//! assert_eq!(resp.row_count(), Some(2));
+//!
+//! client.close();
+//! handle.shutdown().unwrap();
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod frame;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use client::{Client, ClientError};
+pub use frame::{FrameError, MAX_FRAME};
+pub use protocol::{ErrorCode, HealthSummary, Request, Response};
+pub use server::{serve, MetricsSnapshot, ServerConfig, ServerHandle, ShutdownReport};
+pub use session::Session;

@@ -1,0 +1,258 @@
+//! The request/response message set carried inside frames.
+//!
+//! Payloads are the engine's own JSON dialect (`fungus_types::json`)
+//! produced through the serde traits, so the wire format shares one codec
+//! with checkpoints and snapshots. Messages are externally tagged enums —
+//! `{"Sql": {...}}` — which keeps the protocol self-describing and lets
+//! either side add variants without renumbering anything.
+//!
+//! The split mirrors the interactive shell: **SQL** statements run
+//! through the engine's parser (DDL included, so a session can create
+//! containers), **dot commands** cover the operational verbs that are not
+//! SQL (`.tick`, `.health`, `.containers`, `.session`), and **ping** is a
+//! liveness no-op used by health checks and connection pools.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_core::QueryOutcome;
+use fungus_types::{json, FungusError, Result, Value};
+
+use crate::frame::FrameError;
+
+/// One client→server message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// A SQL-ish statement (query, DML, or DDL).
+    Sql {
+        /// The statement text.
+        text: String,
+    },
+    /// An operational dot command, e.g. `.health readings`.
+    Dot {
+        /// The command line, leading dot included.
+        line: String,
+    },
+    /// Liveness probe; answered with [`Response::Pong`].
+    Ping,
+}
+
+/// One server→client message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// A query's answer set.
+    Rows {
+        /// Output column names.
+        columns: Vec<String>,
+        /// Output rows.
+        rows: Vec<Vec<Value>>,
+        /// Values folded into distillation summaries by this statement.
+        distilled: u64,
+        /// Tuples removed by consume semantics.
+        consumed: u64,
+    },
+    /// A statement that succeeded without an answer set to report.
+    Ack {
+        /// Human-readable confirmation.
+        message: String,
+    },
+    /// One container's health, rendered flat for transport.
+    Health {
+        /// Per-container reports.
+        reports: Vec<HealthSummary>,
+    },
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The statement failed; the session stays usable.
+    Error {
+        /// Machine-matchable error class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A flattened [`fungus_core::HealthReport`] for the wire: the scalar
+/// components every client wants, without dragging the full stats/census
+/// structures through the protocol.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthSummary {
+    /// Container name.
+    pub container: String,
+    /// Observation tick.
+    pub at: u64,
+    /// Composite health score in [0, 1].
+    pub score: f64,
+    /// Status band (`Healthy`/`Degraded`/`Critical`).
+    pub status: String,
+    /// Live tuple count.
+    pub live: u64,
+    /// Mean live freshness.
+    pub mean_freshness: f64,
+    /// Fraction of evictions that rotted unread.
+    pub waste_ratio: f64,
+}
+
+/// Coarse error classes clients can branch on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorCode {
+    /// The statement text did not parse.
+    Parse,
+    /// The statement referenced a missing container or column.
+    Unknown,
+    /// The statement was understood but could not run.
+    Execution,
+    /// The frame or JSON payload was malformed.
+    Protocol,
+    /// The server refused the connection or request (capacity, shutdown).
+    Unavailable,
+}
+
+impl Request {
+    /// Serialises to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        Ok(json::to_string(self)?.into_bytes())
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Request> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| FungusError::CorruptSnapshot(format!("request not UTF-8: {e}")))?;
+        json::from_str(text)
+    }
+}
+
+impl Response {
+    /// Serialises to a frame payload.
+    pub fn encode(&self) -> Result<Vec<u8>> {
+        Ok(json::to_string(self)?.into_bytes())
+    }
+
+    /// Parses a frame payload.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|e| FungusError::CorruptSnapshot(format!("response not UTF-8: {e}")))?;
+        json::from_str(text)
+    }
+
+    /// Converts an engine outcome into its wire form.
+    pub fn from_outcome(outcome: QueryOutcome) -> Response {
+        Response::Rows {
+            columns: outcome.result.columns,
+            rows: outcome.result.rows,
+            distilled: outcome.distilled,
+            consumed: outcome.result.consumed.len() as u64,
+        }
+    }
+
+    /// Converts an engine error into its wire form.
+    pub fn from_error(err: &FungusError) -> Response {
+        let code = match err {
+            FungusError::ParseError { .. } => ErrorCode::Parse,
+            FungusError::UnknownContainer(_)
+            | FungusError::UnknownColumn(_)
+            | FungusError::ContainerExists(_) => ErrorCode::Unknown,
+            FungusError::CorruptSnapshot(_) => ErrorCode::Protocol,
+            _ => ErrorCode::Execution,
+        };
+        Response::Error {
+            code,
+            message: err.to_string(),
+        }
+    }
+
+    /// Converts a framing error into its wire form (where a reply is
+    /// still possible).
+    pub fn from_frame_error(err: &FrameError) -> Response {
+        Response::Error {
+            code: ErrorCode::Protocol,
+            message: err.to_string(),
+        }
+    }
+
+    /// The number of rows carried, if this is a row response.
+    pub fn row_count(&self) -> Option<usize> {
+        match self {
+            Response::Rows { rows, .. } => Some(rows.len()),
+            _ => None,
+        }
+    }
+
+    /// True for [`Response::Error`].
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip() {
+        for req in [
+            Request::Sql {
+                text: "SELECT * FROM r WHERE v > 1 CONSUME".into(),
+            },
+            Request::Dot {
+                line: ".health readings".into(),
+            },
+            Request::Ping,
+        ] {
+            let bytes = req.encode().unwrap();
+            assert_eq!(Request::decode(&bytes).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        for resp in [
+            Response::Rows {
+                columns: vec!["v".into()],
+                rows: vec![vec![Value::Int(1)], vec![Value::Null]],
+                distilled: 3,
+                consumed: 2,
+            },
+            Response::Ack {
+                message: "created".into(),
+            },
+            Response::Health {
+                reports: vec![HealthSummary {
+                    container: "r".into(),
+                    at: 9,
+                    score: 0.75,
+                    status: "stable".into(),
+                    live: 100,
+                    mean_freshness: 0.5,
+                    waste_ratio: 0.1,
+                }],
+            },
+            Response::Pong,
+            Response::Error {
+                code: ErrorCode::Parse,
+                message: "nope".into(),
+            },
+        ] {
+            let bytes = resp.encode().unwrap();
+            assert_eq!(Response::decode(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn malformed_payloads_are_typed_errors() {
+        assert!(Request::decode(b"{\"Sql\":").is_err());
+        assert!(Request::decode(&[0xff, 0xfe]).is_err());
+        assert!(Response::decode(b"[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn error_codes_classify_engine_errors() {
+        let resp = Response::from_error(&FungusError::UnknownContainer("x".into()));
+        assert!(matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Unknown,
+                ..
+            }
+        ));
+    }
+}

@@ -171,8 +171,11 @@ mod tests {
         // ≤ 9.5 should capture ≈ 90% of the 10k stream.
         let le = h.estimate_le(9.5);
         assert!((8_000.0..9_800.0).contains(&le), "estimate {le}");
+        // True selectivity of (0.0, 9.5] is ≈ 0.81; the reservoir-backed
+        // estimate carries sampling noise of σ ≈ 0.017 at capacity 500,
+        // so leave several σ of slack on each side.
         let sel = h.selectivity(0.0, 9.5);
-        assert!((0.8..0.98).contains(&sel), "selectivity {sel}");
+        assert!((0.72..0.98).contains(&sel), "selectivity {sel}");
         assert_eq!(h.selectivity(5.0, 1.0), 0.0, "inverted range");
     }
 

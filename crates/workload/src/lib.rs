@@ -13,6 +13,8 @@
 //!   level mix, heavy-tailed latencies;
 //! * [`Zipf`] — the shared skew sampler;
 //! * [`QueryMix`] — recency-biased point/range/aggregate query generator;
+//! * [`ClientMix`] — per-client network load stream (ingest + queries +
+//!   health probes) for driving `fungus-server`;
 //! * [`GroundTruth`] — a keep-everything shadow copy used to measure the
 //!   recall a decaying store gives up;
 //! * [`Trace`] — record a session's statements with their virtual times
@@ -24,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod baselines;
+pub mod client_mix;
 pub mod logs;
 pub mod queries;
 pub mod sensor;
@@ -32,6 +35,7 @@ pub mod truth;
 pub mod zipf;
 
 pub use baselines::{baseline_policies, BaselineSpec};
+pub use client_mix::{ClientMix, ClientOp};
 pub use logs::LogEventStream;
 pub use queries::{QueryKind, QueryMix};
 pub use sensor::SensorStream;

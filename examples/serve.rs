@@ -1,0 +1,182 @@
+//! A runnable fungus server.
+//!
+//! ```text
+//! cargo run --release --example serve -- [--port N] [--tick-ms N]
+//!     [--workers N] [--seed N] [--ddl script.sql] [--checkpoint DIR]
+//! ```
+//!
+//! Binds a TCP listener, spawns the worker pool and the wall-clock decay
+//! driver, and serves until killed. Talk to it with
+//! `fungus_server::Client` or the E11 load generator. Without `--ddl` it
+//! creates a demo `sensors` container.
+//!
+//! ```text
+//! cargo run --release --example serve -- --smoke
+//! ```
+//!
+//! Self-driving smoke mode (used by CI): starts the server on a free
+//! loopback port, drives it with 8 concurrent clients through 10 000+
+//! requests under a 1 ms decay driver, then drains, checks that every
+//! request got a response, and exits 0 — or panics loudly.
+
+use std::time::{Duration, Instant};
+
+use spacefungus::fungus_core::{Database, SharedDatabase};
+use spacefungus::fungus_server::{serve, Client, ServerConfig};
+use spacefungus::fungus_types::Tick;
+use spacefungus::fungus_workload::{ClientMix, ClientOp};
+
+const DEFAULT_DDL: &str = "CREATE CONTAINER sensors \
+    (sensor INT NOT NULL, reading FLOAT) \
+    WITH FUNGUS ttl(120) DECAY EVERY 2";
+
+struct Args {
+    port: u16,
+    tick_ms: u64,
+    workers: usize,
+    seed: u64,
+    ddl: Option<String>,
+    checkpoint: Option<std::path::PathBuf>,
+    smoke: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        port: 4420,
+        tick_ms: 1000,
+        workers: 8,
+        seed: 42,
+        ddl: None,
+        checkpoint: None,
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--port" => args.port = value("--port").parse().expect("--port: u16"),
+            "--tick-ms" => args.tick_ms = value("--tick-ms").parse().expect("--tick-ms: u64"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: usize"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: u64"),
+            "--ddl" => {
+                let path = value("--ddl");
+                args.ddl = Some(std::fs::read_to_string(&path).expect("read DDL script"));
+            }
+            "--checkpoint" => args.checkpoint = Some(value("--checkpoint").into()),
+            "--smoke" => args.smoke = true,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: serve [--port N] [--tick-ms N] [--workers N] [--seed N] \
+                     [--ddl FILE] [--checkpoint DIR] [--smoke]"
+                );
+                std::process::exit(0);
+            }
+            other => panic!("unknown flag {other} (try --help)"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+
+    let db = SharedDatabase::new(Database::new(args.seed));
+    let script = args.ddl.as_deref().unwrap_or(DEFAULT_DDL);
+    for outcome in db.execute_script(script).expect("DDL script failed") {
+        drop(outcome);
+    }
+    eprintln!("containers: {:?}", db.container_names());
+
+    if args.smoke {
+        smoke(db);
+        return;
+    }
+
+    let config = ServerConfig {
+        addr: ([127, 0, 0, 1], args.port).into(),
+        workers: args.workers,
+        tick_period: Some(Duration::from_millis(args.tick_ms.max(1))),
+        checkpoint_dir: args.checkpoint.clone(),
+        ..ServerConfig::default()
+    };
+    let handle = serve(db, config).expect("server start");
+    eprintln!(
+        "fungus-server listening on {} ({} workers, decay every {} ms)",
+        handle.addr(),
+        args.workers,
+        args.tick_ms
+    );
+    // Serve until killed; the decay driver keeps rotting data while we
+    // park. (No signal handling by design: kill -9 loses at most the
+    // un-checkpointed state, which the paper says is rotting anyway.)
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// The CI smoke scenario: 8 clients × 1300 requests, live decay, drain.
+fn smoke(db: SharedDatabase) {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: u64 = 1300;
+
+    let table = db
+        .container_names()
+        .first()
+        .cloned()
+        .expect("smoke needs at least one container");
+    let config = ServerConfig {
+        workers: CLIENTS,
+        tick_period: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(db, config).expect("server start");
+    let addr = handle.addr();
+    eprintln!("smoke: {CLIENTS} clients x {PER_CLIENT} requests against {addr}");
+
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..CLIENTS {
+        let table = table.clone();
+        threads.push(std::thread::spawn(move || {
+            let mut mix = ClientMix::new(9000 + c as u64, table, "sensor", "reading", 64, 20)
+                .with_consuming_reads(true)
+                .with_health_every(101);
+            let mut client = Client::connect(addr).expect("connect");
+            let mut errors = 0u64;
+            for i in 0..PER_CLIENT {
+                let resp = match mix.next_op(Tick(i + 1)) {
+                    ClientOp::Sql(sql) => client.sql(sql),
+                    ClientOp::Dot(line) => client.dot(line),
+                }
+                .expect("request failed");
+                if resp.is_error() {
+                    errors += 1;
+                }
+            }
+            client.close();
+            errors
+        }));
+    }
+    let errors: u64 = threads.into_iter().map(|t| t.join().expect("client")).sum();
+    let elapsed = started.elapsed();
+
+    let ticks = handle.db().now().get();
+    let live = handle.db().live_count(&table);
+    let report = handle.shutdown().expect("graceful shutdown");
+
+    let expected = (CLIENTS as u64) * PER_CLIENT;
+    assert_eq!(report.metrics.requests, expected, "request count");
+    assert_eq!(
+        report.metrics.requests, report.metrics.responses,
+        "dropped responses"
+    );
+    assert_eq!(errors, 0, "statement errors");
+    assert!(ticks > 0, "decay driver never ticked");
+
+    println!(
+        "smoke OK: {expected} requests in {:.2}s ({:.0} req/s), \
+         0 dropped, 0 errors, {ticks} decay ticks, live extent {live}",
+        elapsed.as_secs_f64(),
+        expected as f64 / elapsed.as_secs_f64()
+    );
+}

@@ -50,6 +50,7 @@ pub use fungus_clock;
 pub use fungus_core;
 pub use fungus_fungi;
 pub use fungus_query;
+pub use fungus_server;
 pub use fungus_storage;
 pub use fungus_summary;
 pub use fungus_types;

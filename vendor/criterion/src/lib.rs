@@ -1,0 +1,155 @@
+//! In-tree micro-benchmark harness with criterion's API shape.
+//!
+//! Runs each benchmark with a short warmup, then measures batches until a
+//! wall-clock budget is spent, and prints the mean time per iteration.
+//! No statistics, plots, or baselines — just enough to keep the
+//! workspace's `benches/` compiling and producing useful numbers offline.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Times one closure invocation pattern.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly and records the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup: estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+        // Measure in batches sized to roughly 10ms each.
+        let batch =
+            (Duration::from_millis(10).as_nanos() / per_iter.as_nanos().max(1)).max(1) as u64;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            let batch_start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.total += batch_start.elapsed();
+            self.iters += batch;
+        }
+    }
+}
+
+fn run_one(name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        iters: 0,
+        total: Duration::ZERO,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{name:<48} (no iterations)");
+        return;
+    }
+    let ns = b.total.as_nanos() as f64 / b.iters as f64;
+    if ns >= 1_000_000.0 {
+        println!("{name:<48} {:>12.3} ms/iter", ns / 1_000_000.0);
+    } else if ns >= 1_000.0 {
+        println!("{name:<48} {:>12.3} µs/iter", ns / 1_000.0);
+    } else {
+        println!("{name:<48} {:>12.1} ns/iter", ns);
+    }
+}
+
+/// Identifies one parameterised benchmark within a group.
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            full: parameter.to_string(),
+        }
+    }
+}
+
+/// Top-level harness handle, one per `criterion_group!` target fn.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), &mut f);
+        self
+    }
+
+    /// Runs a parameterised benchmark inside the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&format!("{}/{}", self.name, id.full), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner fn invoking each target with a [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

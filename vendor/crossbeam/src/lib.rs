@@ -1,0 +1,9 @@
+//! In-tree shim for the `crossbeam` APIs this workspace uses — currently
+//! only `crossbeam::channel`. The real crate is unavailable in offline
+//! build environments; this implementation provides the same semantics
+//! (MPMC, cloneable endpoints, bounded capacity with blocking sends,
+//! disconnect detection) over a `Mutex` + `Condvar` queue. Throughput is
+//! adequate for the scheduler driver and the server's request fan-out,
+//! which move thousands — not millions — of messages per second.
+
+pub mod channel;

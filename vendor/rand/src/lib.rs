@@ -1,0 +1,319 @@
+//! In-tree shim for the `rand` 0.8 API surface this workspace uses.
+//!
+//! [`rngs::SmallRng`] is xoshiro256++ (the same family the real crate's
+//! `small_rng` feature ships on 64-bit targets), seeded through splitmix64
+//! so `seed_from_u64` gives well-mixed states even for tiny seeds. The
+//! workspace relies on determinism-per-seed, not on matching the real
+//! crate's exact stream, so the generator choice only has to be stable
+//! within this repository.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 32/64-bit words and bytes.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from an [`RngCore`] — the shim's
+/// stand-in for `rand`'s `Standard` distribution.
+pub trait StandardSample: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($ty:ty => $via:ident),*) => {$(
+        impl StandardSample for $ty {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.$via() as $ty
+            }
+        }
+    )*};
+}
+
+standard_int!(u8 => next_u32, u16 => next_u32, u32 => next_u32, i8 => next_u32,
+              i16 => next_u32, i32 => next_u32, u64 => next_u64, i64 => next_u64,
+              usize => next_u64, isize => next_u64, u128 => next_u64, i128 => next_u64);
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! range_int {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = widening_mod(rng, span);
+                (self.start as i128 + draw as i128) as $ty
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 {
+                    // Full-width inclusive range: every value is fair game.
+                    return <$ty as StandardSample>::sample(rng);
+                }
+                let draw = widening_mod(rng, span);
+                (lo as i128 + draw as i128) as $ty
+            }
+        }
+    )*};
+}
+
+range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Draws uniformly in `0..span` by rejection-free widening multiply; the
+/// bias is at most 2⁻⁶⁴ per draw, far below anything the experiment suite
+/// can observe.
+fn widening_mod<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u64 {
+    debug_assert!(span > 0 && span <= u64::MAX as u128 + 1);
+    let x = rng.next_u64() as u128;
+    ((x * span) >> 64) as u64
+}
+
+macro_rules! range_float {
+    ($($ty:ty),*) => {$(
+        impl SampleRange<$ty> for Range<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let unit = <$ty as StandardSample>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+        impl SampleRange<$ty> for RangeInclusive<$ty> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range on empty range");
+                let unit = <$ty as StandardSample>::sample(rng);
+                lo + unit * (hi - lo)
+            }
+        }
+    )*};
+}
+
+range_float!(f32, f64);
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of any [`StandardSample`] type.
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a range.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli draw: true with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit: f64 = self.gen();
+        unit < p
+    }
+
+    /// Fills a byte slice (alias of [`RngCore::fill_bytes`]).
+    fn fill(&mut self, dest: &mut [u8]) {
+        self.fill_bytes(dest);
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// The raw seed type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs from a raw seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs from a u64 via splitmix64 expansion.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — small, fast, and statistically solid; the same
+    /// family the real crate uses for `SmallRng` on 64-bit targets.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: [u8; 32]) -> Self {
+            let mut s = [0u64; 4];
+            for (i, chunk) in seed.chunks_exact(8).enumerate() {
+                s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+            }
+            // An all-zero state is the one fixed point; nudge it.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0xBF58_476D_1CE4_E5B9,
+                    0x94D0_49BB_1331_11EB,
+                    0x2545_F491_4F6C_DD1D,
+                ];
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4, "{same} collisions in 64 draws");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let v: i64 = rng.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u: u64 = rng.gen_range(1u64..=3);
+            assert!((1..=3).contains(&u));
+            let f: f64 = rng.gen_range(0.25f64..0.5);
+            assert!((0.25..0.5).contains(&f));
+            let x: usize = rng.gen_range(0usize..1);
+            assert_eq!(x, 0);
+        }
+    }
+
+    #[test]
+    fn unit_floats_live_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            sum += f;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2200..2800).contains(&hits), "{hits}/10000 at p=0.25");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut rng = SmallRng::seed_from_u64(17);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

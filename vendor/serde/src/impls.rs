@@ -1,0 +1,540 @@
+//! `Serialize`/`Deserialize` impls for the std types the workspace
+//! persists: scalars, strings, options, boxes, sequences, maps, sets,
+//! and small tuples.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+use std::marker::PhantomData;
+
+use crate::de::{Deserialize, Deserializer, Error as DeError, MapAccess, SeqAccess, Visitor};
+use crate::ser::{Serialize, SerializeMap, SerializeSeq, SerializeTuple, Serializer};
+
+// ===================================================================
+// Scalars
+// ===================================================================
+
+macro_rules! scalar {
+    ($ty:ty, $ser:ident, $de_doc:literal, $visit:ident, $visit_ty:ty, $also:ident, $also_ty:ty) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self as _)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str($de_doc)
+                    }
+                    fn $visit<E: DeError>(self, v: $visit_ty) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("{v} out of range for {}", $de_doc))
+                        })
+                    }
+                    fn $also<E: DeError>(self, v: $also_ty) -> Result<$ty, E> {
+                        <$ty>::try_from(v).map_err(|_| {
+                            E::custom(format_args!("{v} out of range for {}", $de_doc))
+                        })
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    };
+}
+
+scalar!(u8, serialize_u8, "u8", visit_u64, u64, visit_i64, i64);
+scalar!(u16, serialize_u16, "u16", visit_u64, u64, visit_i64, i64);
+scalar!(u32, serialize_u32, "u32", visit_u64, u64, visit_i64, i64);
+scalar!(u64, serialize_u64, "u64", visit_u64, u64, visit_i64, i64);
+scalar!(
+    usize,
+    serialize_u64,
+    "usize",
+    visit_u64,
+    u64,
+    visit_i64,
+    i64
+);
+scalar!(i8, serialize_i8, "i8", visit_i64, i64, visit_u64, u64);
+scalar!(i16, serialize_i16, "i16", visit_i64, i64, visit_u64, u64);
+scalar!(i32, serialize_i32, "i32", visit_i64, i64, visit_u64, u64);
+scalar!(i64, serialize_i64, "i64", visit_i64, i64, visit_u64, u64);
+scalar!(
+    isize,
+    serialize_i64,
+    "isize",
+    visit_i64,
+    i64,
+    visit_u64,
+    u64
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = bool;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("bool")
+            }
+            fn visit_bool<E: DeError>(self, v: bool) -> Result<bool, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+macro_rules! float {
+    ($ty:ty, $ser:ident) => {
+        impl Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self)
+            }
+        }
+
+        impl<'de> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct V;
+                impl<'de> Visitor<'de> for V {
+                    type Value = $ty;
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        f.write_str(stringify!($ty))
+                    }
+                    fn visit_f64<E: DeError>(self, v: f64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_i64<E: DeError>(self, v: i64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                    fn visit_u64<E: DeError>(self, v: u64) -> Result<$ty, E> {
+                        Ok(v as $ty)
+                    }
+                }
+                deserializer.deserialize_any(V)
+            }
+        }
+    };
+}
+
+float!(f32, serialize_f32);
+float!(f64, serialize_f64);
+
+impl Serialize for char {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_char(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a single character")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected exactly one character")),
+                }
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+// ===================================================================
+// Strings
+// ===================================================================
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: DeError>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: DeError>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+// ===================================================================
+// Unit, references, boxes
+// ===================================================================
+
+impl Serialize for () {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V;
+        impl<'de> Visitor<'de> for V {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+            fn visit_none<E: DeError>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_any(V)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &mut T {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for std::rc::Rc<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T> Serialize for PhantomData<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit_struct("PhantomData")
+    }
+}
+
+impl<'de, T> Deserialize<'de> for PhantomData<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        <()>::deserialize(deserializer)?;
+        Ok(PhantomData)
+    }
+}
+
+// ===================================================================
+// Option
+// ===================================================================
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for V<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an optional value")
+            }
+            fn visit_none<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: DeError>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D2: Deserializer<'de>>(
+                self,
+                deserializer: D2,
+            ) -> Result<Option<T>, D2::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(V(PhantomData))
+    }
+}
+
+// ===================================================================
+// Sequences
+// ===================================================================
+
+macro_rules! seq_serialize {
+    ($ty:ty) => {
+        impl<T: Serialize> Serialize for $ty {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut seq = serializer.serialize_seq(Some(self.len()))?;
+                for item in self {
+                    seq.serialize_element(item)?;
+                }
+                seq.end()
+            }
+        }
+    };
+}
+
+seq_serialize!(Vec<T>);
+seq_serialize!([T]);
+seq_serialize!(VecDeque<T>);
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_tuple(N)?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize + Ord> Serialize for BTreeSet<T> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<T: Serialize, H: BuildHasher> Serialize for HashSet<T, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut seq = serializer.serialize_seq(Some(self.len()))?;
+        for item in self {
+            seq.serialize_element(item)?;
+        }
+        seq.end()
+    }
+}
+
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct V<T, const N: usize>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>, const N: usize> Visitor<'de> for V<T, N> {
+            type Value = [T; N];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "an array of length {N}")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<[T; N], A::Error> {
+                let mut items = Vec::with_capacity(N);
+                while let Some(item) = seq.next_element::<T>()? {
+                    items.push(item);
+                }
+                let got = items.len();
+                items.try_into().map_err(|_| {
+                    <A::Error as DeError>::invalid_length(
+                        got,
+                        &format_args!("an array of length {N}"),
+                    )
+                })
+            }
+        }
+        deserializer.deserialize_tuple(N, V::<T, N>(PhantomData))
+    }
+}
+
+struct SeqVisitor<C, T> {
+    marker: PhantomData<(C, T)>,
+}
+
+impl<'de, T: Deserialize<'de>, C: Default + Extend<T>> Visitor<'de> for SeqVisitor<C, T> {
+    type Value = C;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a sequence")
+    }
+    fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<C, A::Error> {
+        let mut out = C::default();
+        while let Some(item) = seq.next_element::<T>()? {
+            out.extend(std::iter::once(item));
+        }
+        Ok(out)
+    }
+}
+
+macro_rules! seq_deserialize {
+    ($ty:ty $(, $bound:path)*) => {
+        impl<'de, T: Deserialize<'de> $(+ $bound)*> Deserialize<'de> for $ty {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                deserializer.deserialize_seq(SeqVisitor::<$ty, T> {
+                    marker: PhantomData,
+                })
+            }
+        }
+    };
+}
+
+seq_deserialize!(Vec<T>);
+seq_deserialize!(VecDeque<T>);
+seq_deserialize!(BTreeSet<T>, Ord);
+seq_deserialize!(HashSet<T>, Hash, Eq);
+
+// ===================================================================
+// Maps
+// ===================================================================
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+impl<K: Serialize, V: Serialize, H: BuildHasher> Serialize for HashMap<K, V, H> {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut map = serializer.serialize_map(Some(self.len()))?;
+        for (k, v) in self {
+            map.serialize_entry(k, v)?;
+        }
+        map.end()
+    }
+}
+
+struct MapVisitor<M, K, V> {
+    marker: PhantomData<(M, K, V)>,
+}
+
+impl<'de, K, V, M> Visitor<'de> for MapVisitor<M, K, V>
+where
+    K: Deserialize<'de>,
+    V: Deserialize<'de>,
+    M: Default + Extend<(K, V)>,
+{
+    type Value = M;
+    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("a map")
+    }
+    fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<M, A::Error> {
+        let mut out = M::default();
+        while let Some(entry) = map.next_entry::<K, V>()? {
+            out.extend(std::iter::once(entry));
+        }
+        Ok(out)
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_map(MapVisitor::<Self, K, V> {
+            marker: PhantomData,
+        })
+    }
+}
+
+impl<'de, K: Deserialize<'de> + Hash + Eq, V: Deserialize<'de>> Deserialize<'de> for HashMap<K, V> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_map(MapVisitor::<Self, K, V> {
+            marker: PhantomData,
+        })
+    }
+}
+
+// ===================================================================
+// Tuples
+// ===================================================================
+
+macro_rules! tuple_impl {
+    ($len:expr => $(($idx:tt $name:ident $ty:ident))+) => {
+        impl<$($ty: Serialize),+> Serialize for ($($ty,)+) {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+
+        impl<'de, $($ty: Deserialize<'de>),+> Deserialize<'de> for ($($ty,)+) {
+            fn deserialize<__D: Deserializer<'de>>(deserializer: __D) -> Result<Self, __D::Error> {
+                struct V<$($ty),+>(PhantomData<($($ty,)+)>);
+                impl<'de, $($ty: Deserialize<'de>),+> Visitor<'de> for V<$($ty),+> {
+                    type Value = ($($ty,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    fn visit_seq<__A: SeqAccess<'de>>(
+                        self,
+                        mut seq: __A,
+                    ) -> Result<Self::Value, __A::Error> {
+                        let mut _count = 0usize;
+                        $(
+                            let $name: $ty = match seq.next_element()? {
+                                Some(v) => v,
+                                None => {
+                                    return Err(<__A::Error as DeError>::invalid_length(
+                                        _count,
+                                        &format_args!("a tuple of length {}", $len),
+                                    ))
+                                }
+                            };
+                            _count += 1;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, V(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_impl!(1 => (0 a A));
+tuple_impl!(2 => (0 a A)(1 b B));
+tuple_impl!(3 => (0 a A)(1 b B)(2 c C));
+tuple_impl!(4 => (0 a A)(1 b B)(2 c C)(3 d D));
+tuple_impl!(5 => (0 a A)(1 b B)(2 c C)(3 d D)(4 e E));
+tuple_impl!(6 => (0 a A)(1 b B)(2 c C)(3 d D)(4 e E)(5 f F));

@@ -1,0 +1,186 @@
+//! In-tree reimplementation of the `serde` data-model traits.
+//!
+//! The workspace's JSON codec (`fungus_types::json`), checkpoint
+//! manifests, and wire protocol are written against serde's serializer /
+//! deserializer traits, but the real crate is unavailable in offline
+//! build environments. This crate re-declares the trait surface those
+//! call sites use — the full `Serializer`/`Deserializer` method families,
+//! the access traits, and `forward_to_deserialize_any!` — together with
+//! impls for the std types the engine persists. Semantics follow the real
+//! crate for this subset: externally-tagged enums, `Option` as
+//! some/none, maps as key–value streams, missing `Option` struct fields
+//! deserializing to `None`.
+//!
+//! The matching `#[derive(Serialize, Deserialize)]` macros live in the
+//! sibling `serde_derive` crate, re-exported here behind the `derive`
+//! feature exactly like the real crate arranges it.
+
+pub mod de;
+pub mod ser;
+
+mod impls;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Implements the remaining `Deserializer` methods by forwarding to
+/// `deserialize_any`. Mirrors the real macro for impls whose lifetime
+/// parameter is literally `'de` (every impl in this workspace).
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    ($($method:ident)*) => {
+        $($crate::forward_one_to_deserialize_any!{$method})*
+    };
+}
+
+/// One forwarded method; knows each method's extra arguments by name.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_one_to_deserialize_any {
+    (bool) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_bool}
+    };
+    (i8) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i8}
+    };
+    (i16) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i16}
+    };
+    (i32) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i32}
+    };
+    (i64) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i64}
+    };
+    (i128) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_i128}
+    };
+    (u8) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u8}
+    };
+    (u16) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u16}
+    };
+    (u32) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u32}
+    };
+    (u64) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u64}
+    };
+    (u128) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_u128}
+    };
+    (f32) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_f32}
+    };
+    (f64) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_f64}
+    };
+    (char) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_char}
+    };
+    (str) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_str}
+    };
+    (string) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_string}
+    };
+    (bytes) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_bytes}
+    };
+    (byte_buf) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_byte_buf}
+    };
+    (option) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_option}
+    };
+    (unit) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_unit}
+    };
+    (seq) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_seq}
+    };
+    (map) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_map}
+    };
+    (identifier) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_identifier}
+    };
+    (ignored_any) => {
+        $crate::forward_simple_to_deserialize_any! {deserialize_ignored_any}
+    };
+    (unit_struct) => {
+        fn deserialize_unit_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (newtype_struct) => {
+        fn deserialize_newtype_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple) => {
+        fn deserialize_tuple<V: $crate::de::Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (tuple_struct) => {
+        fn deserialize_tuple_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (struct) => {
+        fn deserialize_struct<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+    (enum) => {
+        fn deserialize_enum<V: $crate::de::Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+}
+
+/// A forwarded method taking only the visitor.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_simple_to_deserialize_any {
+    ($method:ident) => {
+        fn $method<V: $crate::de::Visitor<'de>>(
+            self,
+            visitor: V,
+        ) -> std::result::Result<V::Value, Self::Error> {
+            self.deserialize_any(visitor)
+        }
+    };
+}

@@ -1,0 +1,703 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the in-tree
+//! `serde` reimplementation.
+//!
+//! Implemented directly on `proc_macro` token streams — no `syn`/`quote`,
+//! which are unavailable offline. The item is parsed by hand (attributes,
+//! visibility, struct/enum body) and the generated impl is assembled as a
+//! source string, then re-parsed into a token stream. Supported surface,
+//! which covers every derive site in this workspace:
+//!
+//! - structs: named, newtype, tuple, unit; no generics
+//! - enums: unit, newtype, tuple, and struct variants (externally tagged)
+//! - `#[serde(transparent)]` — (de)serialize as the single inner field
+//! - `#[serde(skip)]` — omitted on serialize, `Default::default()` on
+//!   deserialize
+//! - missing `Option<T>` struct fields deserialize to `None`; unknown
+//!   fields are consumed via `IgnoredAny`
+
+extern crate proc_macro;
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+// ===================================================================
+// Item model
+// ===================================================================
+
+struct Field {
+    /// `None` for tuple/newtype fields.
+    name: Option<String>,
+    /// Type as source text, tokens joined by spaces (re-parses cleanly).
+    ty: String,
+    skip: bool,
+    /// Type's head ident is `Option` — missing field becomes `None`.
+    optional: bool,
+}
+
+enum Payload {
+    Unit,
+    Unnamed(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Body {
+    Struct { payload: Payload, transparent: bool },
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+// ===================================================================
+// Parsing
+// ===================================================================
+
+/// Consumes leading `#[...]` attributes, returning any idents found inside
+/// `#[serde(...)]` lists ("transparent", "skip", ...).
+fn take_attrs(toks: &[TokenTree], pos: &mut usize) -> Vec<String> {
+    let mut flags = Vec::new();
+    loop {
+        match (toks.get(*pos), toks.get(*pos + 1)) {
+            (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if let (Some(TokenTree::Ident(head)), Some(TokenTree::Group(list))) =
+                    (inner.first(), inner.get(1))
+                {
+                    if head.to_string() == "serde" && list.delimiter() == Delimiter::Parenthesis {
+                        for t in list.stream() {
+                            if let TokenTree::Ident(flag) = t {
+                                flags.push(flag.to_string());
+                            }
+                        }
+                    }
+                }
+                *pos += 2;
+            }
+            _ => return flags,
+        }
+    }
+}
+
+/// Consumes `pub` / `pub(...)` if present.
+fn take_vis(toks: &[TokenTree], pos: &mut usize) {
+    if matches!(toks.get(*pos), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *pos += 1;
+        if matches!(toks.get(*pos), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *pos += 1;
+        }
+    }
+}
+
+/// Splits a token list at top-level commas, tracking `<`/`>` nesting so
+/// commas inside generic arguments don't split (`HashMap<K, V>`).
+fn split_commas(toks: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle: i32 = 0;
+    for t in toks {
+        if let TokenTree::Punct(p) = &t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle -= 1,
+                ',' if angle == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t);
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn type_text(toks: &[TokenTree]) -> String {
+    // TokenStream's Display knows real token spacing (`::` stays glued);
+    // naive per-token joining would print `std : : collections`.
+    toks.iter().cloned().collect::<TokenStream>().to_string()
+}
+
+fn is_option(toks: &[TokenTree]) -> bool {
+    matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "Option")
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    for seg in split_commas(stream.into_iter().collect()) {
+        let mut pos = 0;
+        let flags = take_attrs(&seg, &mut pos);
+        take_vis(&seg, &mut pos);
+        let name = match seg.get(pos) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        pos += 1;
+        match seg.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            other => panic!("serde_derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        let ty_toks = &seg[pos..];
+        fields.push(Field {
+            name: Some(name),
+            ty: type_text(ty_toks),
+            skip: flags.iter().any(|f| f == "skip"),
+            optional: is_option(ty_toks),
+        });
+    }
+    fields
+}
+
+fn parse_unnamed_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    for seg in split_commas(stream.into_iter().collect()) {
+        let mut pos = 0;
+        let flags = take_attrs(&seg, &mut pos);
+        take_vis(&seg, &mut pos);
+        let ty_toks = &seg[pos..];
+        fields.push(Field {
+            name: None,
+            ty: type_text(ty_toks),
+            skip: flags.iter().any(|f| f == "skip"),
+            optional: is_option(ty_toks),
+        });
+    }
+    fields
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    let flags = take_attrs(&toks, &mut pos);
+    let transparent = flags.iter().any(|f| f == "transparent");
+    take_vis(&toks, &mut pos);
+
+    let kind = match toks.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    pos += 1;
+    let name = match toks.get(pos) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found {other:?}"),
+    };
+    pos += 1;
+    if matches!(toks.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic types are not supported (deriving `{name}`)");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => {
+            let payload = match toks.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Payload::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Payload::Unnamed(parse_unnamed_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Payload::Unit,
+                other => panic!("serde_derive: unsupported struct body: {other:?}"),
+            };
+            Body::Struct {
+                payload,
+                transparent,
+            }
+        }
+        "enum" => {
+            let group = match toks.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("serde_derive: expected enum body, found {other:?}"),
+            };
+            let mut variants = Vec::new();
+            for seg in split_commas(group.stream().into_iter().collect()) {
+                let mut vpos = 0;
+                take_attrs(&seg, &mut vpos);
+                let vname = match seg.get(vpos) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, found {other:?}"),
+                };
+                vpos += 1;
+                let payload = match seg.get(vpos) {
+                    None => Payload::Unit,
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Payload::Unnamed(parse_unnamed_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Payload::Named(parse_named_fields(g.stream()))
+                    }
+                    other => panic!("serde_derive: unsupported variant payload: {other:?}"),
+                };
+                variants.push(Variant {
+                    name: vname,
+                    payload,
+                });
+            }
+            Body::Enum(variants)
+        }
+        other => panic!("serde_derive: cannot derive for `{other}` items"),
+    };
+
+    Item { name, body }
+}
+
+// ===================================================================
+// Serialize codegen
+// ===================================================================
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct {
+            payload,
+            transparent,
+        } => match payload {
+            Payload::Unit => {
+                format!("::serde::ser::Serializer::serialize_unit_struct(__serializer, \"{name}\")")
+            }
+            Payload::Unnamed(fields) if *transparent || fields.len() == 1 => {
+                // Newtype (and transparent tuple) structs serialize as the
+                // inner value in this data model either way.
+                if *transparent {
+                    "::serde::ser::Serialize::serialize(&self.0, __serializer)".to_string()
+                } else {
+                    format!(
+                        "::serde::ser::Serializer::serialize_newtype_struct(__serializer, \"{name}\", &self.0)"
+                    )
+                }
+            }
+            Payload::Unnamed(fields) => {
+                let mut s = format!(
+                    "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(__serializer, \"{name}\", {}usize)?;\n",
+                    fields.iter().filter(|f| !f.skip).count()
+                );
+                for (i, f) in fields.iter().enumerate() {
+                    if f.skip {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        s,
+                        "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;"
+                    );
+                }
+                s.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+                s
+            }
+            Payload::Named(fields) if *transparent => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert!(
+                    live.len() == 1,
+                    "serde_derive: `transparent` needs exactly one unskipped field"
+                );
+                let fname = live[0].name.as_ref().unwrap();
+                format!("::serde::ser::Serialize::serialize(&self.{fname}, __serializer)")
+            }
+            Payload::Named(fields) => {
+                let mut s = format!(
+                    "let mut __state = ::serde::ser::Serializer::serialize_struct(__serializer, \"{name}\", {}usize)?;\n",
+                    fields.iter().filter(|f| !f.skip).count()
+                );
+                for f in fields {
+                    let fname = f.name.as_ref().unwrap();
+                    if f.skip {
+                        let _ = writeln!(
+                            s,
+                            "::serde::ser::SerializeStruct::skip_field(&mut __state, \"{fname}\")?;"
+                        );
+                    } else {
+                        let _ = writeln!(
+                            s,
+                            "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{fname}\", &self.{fname})?;"
+                        );
+                    }
+                }
+                s.push_str("::serde::ser::SerializeStruct::end(__state)");
+                s
+            }
+        },
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (idx, v) in variants.iter().enumerate() {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} => ::serde::ser::Serializer::serialize_unit_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\"),"
+                        );
+                    }
+                    Payload::Unnamed(fields) if fields.len() == 1 => {
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}(__f0) => ::serde::ser::Serializer::serialize_newtype_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", __f0),"
+                        );
+                    }
+                    Payload::Unnamed(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|i| format!("__f{i}")).collect();
+                        let mut block = format!(
+                            "let mut __state = ::serde::ser::Serializer::serialize_tuple_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.len()
+                        );
+                        for b in &binds {
+                            let _ = writeln!(
+                                block,
+                                "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;"
+                            );
+                        }
+                        block.push_str("::serde::ser::SerializeTupleVariant::end(__state)");
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname}({}) => {{ {block} }}",
+                            binds.join(", ")
+                        );
+                    }
+                    Payload::Named(fields) => {
+                        let binds: Vec<&String> =
+                            fields.iter().map(|f| f.name.as_ref().unwrap()).collect();
+                        let mut block = format!(
+                            "let mut __state = ::serde::ser::Serializer::serialize_struct_variant(__serializer, \"{name}\", {idx}u32, \"{vname}\", {}usize)?;\n",
+                            fields.len()
+                        );
+                        for b in &binds {
+                            let _ = writeln!(
+                                block,
+                                "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{b}\", {b})?;"
+                            );
+                        }
+                        block.push_str("::serde::ser::SerializeStructVariant::end(__state)");
+                        let _ = writeln!(
+                            arms,
+                            "{name}::{vname} {{ {} }} => {{ {block} }}",
+                            binds
+                                .iter()
+                                .map(|b| b.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        );
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+
+    format!(
+        "impl ::serde::ser::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::ser::Serializer>(&self, __serializer: __S) \
+         -> ::std::result::Result<__S::Ok, __S::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ===================================================================
+// Deserialize codegen
+// ===================================================================
+
+/// `visit_map` body building `construct` (e.g. `Nested` or
+/// `FungusSpec::Periodic`) from named fields. Handles duplicate keys,
+/// unknown keys (ignored), missing `Option` fields (→ `None`), skipped
+/// fields (→ `Default::default()`).
+fn gen_visit_map(construct: &str, fields: &[Field]) -> String {
+    let mut decls = String::new();
+    let mut arms = String::new();
+    let mut build = String::new();
+    for (i, f) in fields.iter().enumerate() {
+        let fname = f.name.as_ref().unwrap();
+        if f.skip {
+            let _ = writeln!(build, "{fname}: ::std::default::Default::default(),");
+            continue;
+        }
+        let ty = &f.ty;
+        let _ = writeln!(
+            decls,
+            "let mut __field_{i}: ::std::option::Option<{ty}> = ::std::option::Option::None;"
+        );
+        let _ = writeln!(
+            arms,
+            "\"{fname}\" => {{\n\
+             if __field_{i}.is_some() {{\n\
+             return ::std::result::Result::Err(<__A::Error as ::serde::de::Error>::duplicate_field(\"{fname}\"));\n\
+             }}\n\
+             __field_{i} = ::std::option::Option::Some(::serde::de::MapAccess::next_value::<{ty}>(&mut __map)?);\n\
+             }}"
+        );
+        let missing = if f.optional {
+            "::std::option::Option::None".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(<__A::Error as ::serde::de::Error>::missing_field(\"{fname}\"))"
+            )
+        };
+        let _ = writeln!(
+            build,
+            "{fname}: match __field_{i} {{\n\
+             ::std::option::Option::Some(__v) => __v,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},"
+        );
+    }
+    format!(
+        "fn visit_map<__A: ::serde::de::MapAccess<'de>>(self, mut __map: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {decls}\
+         while let ::std::option::Option::Some(__key) = \
+         ::serde::de::MapAccess::next_key::<::std::string::String>(&mut __map)? {{\n\
+         match __key.as_str() {{\n\
+         {arms}\
+         _ => {{ let _ = ::serde::de::MapAccess::next_value::<::serde::de::IgnoredAny>(&mut __map)?; }}\n\
+         }}\n\
+         }}\n\
+         ::std::result::Result::Ok({construct} {{\n{build}}})\n\
+         }}"
+    )
+}
+
+/// `visit_seq` body building `construct(...)` from positional fields.
+fn gen_visit_seq(construct: &str, fields: &[Field], expecting: &str) -> String {
+    let mut steps = String::new();
+    let mut names = Vec::new();
+    for (i, f) in fields.iter().enumerate() {
+        let ty = &f.ty;
+        if f.skip {
+            let _ = writeln!(
+                steps,
+                "let __f{i}: {ty} = ::std::default::Default::default();"
+            );
+        } else {
+            let _ = writeln!(
+                steps,
+                "let __f{i}: {ty} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+                 ::std::option::Option::Some(__v) => __v,\n\
+                 ::std::option::Option::None => return ::std::result::Result::Err(\
+                 <__A::Error as ::serde::de::Error>::invalid_length({i}usize, &\"{expecting}\")),\n\
+                 }};"
+            );
+        }
+        names.push(format!("__f{i}"));
+    }
+    format!(
+        "fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(self, mut __seq: __A) \
+         -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {steps}\
+         ::std::result::Result::Ok({construct}({}))\n\
+         }}",
+        names.join(", ")
+    )
+}
+
+fn visitor_wrap(value_ty: &str, expecting: &str, methods: &str) -> String {
+    format!(
+        "struct __Visitor;\n\
+         impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         __f.write_str(\"{expecting}\")\n\
+         }}\n\
+         {methods}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::Struct {
+            payload,
+            transparent,
+        } => match payload {
+            Payload::Unit => {
+                let visitor = visitor_wrap(
+                    name,
+                    &format!("unit struct {name}"),
+                    &format!(
+                        "fn visit_unit<__E: ::serde::de::Error>(self) -> ::std::result::Result<Self::Value, __E> {{\n\
+                         ::std::result::Result::Ok({name})\n\
+                         }}"
+                    ),
+                );
+                format!(
+                    "{visitor}\n\
+                     ::serde::de::Deserializer::deserialize_unit_struct(__deserializer, \"{name}\", __Visitor)"
+                )
+            }
+            Payload::Unnamed(fields) if *transparent || fields.len() == 1 => {
+                // Newtype and transparent structs delegate straight to the
+                // inner type; the wire shape is the inner value.
+                format!(
+                    "::std::result::Result::Ok({name}(::serde::de::Deserialize::deserialize(__deserializer)?))"
+                )
+            }
+            Payload::Unnamed(fields) => {
+                let visitor = visitor_wrap(
+                    name,
+                    &format!("tuple struct {name}"),
+                    &gen_visit_seq(name, fields, &format!("tuple struct {name}")),
+                );
+                format!(
+                    "{visitor}\n\
+                     ::serde::de::Deserializer::deserialize_tuple_struct(__deserializer, \"{name}\", {}usize, __Visitor)",
+                    fields.len()
+                )
+            }
+            Payload::Named(fields) if *transparent => {
+                let live: Vec<&Field> = fields.iter().filter(|f| !f.skip).collect();
+                assert!(
+                    live.len() == 1,
+                    "serde_derive: `transparent` needs exactly one unskipped field"
+                );
+                let fname = live[0].name.as_ref().unwrap();
+                let mut build =
+                    format!("{fname}: ::serde::de::Deserialize::deserialize(__deserializer)?,\n");
+                for f in fields.iter().filter(|f| f.skip) {
+                    let _ = writeln!(
+                        build,
+                        "{}: ::std::default::Default::default(),",
+                        f.name.as_ref().unwrap()
+                    );
+                }
+                format!("::std::result::Result::Ok({name} {{\n{build}}})")
+            }
+            Payload::Named(fields) => {
+                let field_names: Vec<String> = fields
+                    .iter()
+                    .filter(|f| !f.skip)
+                    .map(|f| format!("\"{}\"", f.name.as_ref().unwrap()))
+                    .collect();
+                let visitor = visitor_wrap(
+                    name,
+                    &format!("struct {name}"),
+                    &gen_visit_map(name, fields),
+                );
+                format!(
+                    "{visitor}\n\
+                     ::serde::de::Deserializer::deserialize_struct(__deserializer, \"{name}\", &[{}], __Visitor)",
+                    field_names.join(", ")
+                )
+            }
+        },
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => {
+                        let _ = writeln!(
+                            arms,
+                            "\"{vname}\" => {{\n\
+                             ::serde::de::VariantAccess::unit_variant(__payload)?;\n\
+                             ::std::result::Result::Ok({name}::{vname})\n\
+                             }}"
+                        );
+                    }
+                    Payload::Unnamed(fields) if fields.len() == 1 => {
+                        let ty = &fields[0].ty;
+                        let _ = writeln!(
+                            arms,
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::de::VariantAccess::newtype_variant::<{ty}>(__payload)?)),"
+                        );
+                    }
+                    Payload::Unnamed(fields) => {
+                        let inner = visitor_wrap(
+                            name,
+                            &format!("tuple variant {name}::{vname}"),
+                            &gen_visit_seq(
+                                &format!("{name}::{vname}"),
+                                fields,
+                                &format!("tuple variant {name}::{vname}"),
+                            ),
+                        )
+                        .replace("__Visitor", "__VariantVisitor");
+                        let _ = writeln!(
+                            arms,
+                            "\"{vname}\" => {{\n\
+                             {inner}\n\
+                             ::serde::de::VariantAccess::tuple_variant(__payload, {}usize, __VariantVisitor)\n\
+                             }}",
+                            fields.len()
+                        );
+                    }
+                    Payload::Named(fields) => {
+                        let field_names: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| format!("\"{}\"", f.name.as_ref().unwrap()))
+                            .collect();
+                        let inner = visitor_wrap(
+                            name,
+                            &format!("struct variant {name}::{vname}"),
+                            &gen_visit_map(&format!("{name}::{vname}"), fields),
+                        )
+                        .replace("__Visitor", "__VariantVisitor");
+                        let _ = writeln!(
+                            arms,
+                            "\"{vname}\" => {{\n\
+                             {inner}\n\
+                             ::serde::de::VariantAccess::struct_variant(__payload, &[{}], __VariantVisitor)\n\
+                             }}",
+                            field_names.join(", ")
+                        );
+                    }
+                }
+            }
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("\"{}\"", v.name)).collect();
+            let visit_enum = format!(
+                "fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__tag, __payload) = \
+                 ::serde::de::EnumAccess::variant::<::std::string::String>(__data)?;\n\
+                 match __tag.as_str() {{\n\
+                 {arms}\
+                 _ => ::std::result::Result::Err(<__A::Error as ::serde::de::Error>::unknown_variant(&__tag, &[{names}])),\n\
+                 }}\n\
+                 }}",
+                names = variant_names.join(", ")
+            );
+            let visitor = visitor_wrap(name, &format!("enum {name}"), &visit_enum);
+            format!(
+                "{visitor}\n\
+                 ::serde::de::Deserializer::deserialize_enum(__deserializer, \"{name}\", &[{}], __Visitor)",
+                variant_names.join(", ")
+            )
+        }
+    };
+
+    format!(
+        "impl<'de> ::serde::de::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::de::Deserializer<'de>>(__deserializer: __D) \
+         -> ::std::result::Result<Self, __D::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+// ===================================================================
+// Entry points
+// ===================================================================
+
+fn emit(code: String) -> TokenStream {
+    code.parse()
+        .unwrap_or_else(|e| panic!("serde_derive: generated code failed to parse: {e}\n{code}"))
+}
+
+/// Derives `serde::ser::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    emit(gen_serialize(&parse_item(input)))
+}
+
+/// Derives `serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    emit(gen_deserialize(&parse_item(input)))
+}
