@@ -14,6 +14,7 @@
 //!   ticks at a wall-clock interval (binding the virtual period `T` to real
 //!   seconds), until the returned handle is stopped.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -154,25 +155,48 @@ impl TickScheduler {
     /// Spawns a thread that calls [`step`](Self::step) every `real_period`
     /// of wall time until the returned handle is dropped or stopped. This
     /// binds the paper's "T seconds" to wall time for live deployments.
+    ///
+    /// The driver is the maintenance heartbeat of the whole system — Law 1
+    /// says decay proceeds no matter what clients do — so it must not die
+    /// with whatever code it calls into: each task action runs inside
+    /// `catch_unwind`, a panicking task is skipped for that tick (and
+    /// counted on the handle), and the clock keeps advancing. Every
+    /// completed driver tick increments the counter behind
+    /// [`DriverHandle::ticks`], which lets callers distinguish
+    /// driver-driven time from manual `.tick`-style stepping.
     pub fn spawn_driver(&self, real_period: Duration) -> DriverHandle {
         let (stop_tx, stop_rx) = bounded::<()>(1);
         let clock = self.clock.clone();
         let inner = Arc::clone(&self.inner);
-        let join = std::thread::spawn(move || loop {
-            if stop_rx.recv_timeout(real_period).is_ok() {
-                return;
-            }
-            let now = clock.tick();
-            let mut inner = inner.lock();
-            for reg in inner.tasks.iter_mut() {
-                if now.get().is_multiple_of(reg.task.period.get()) {
-                    (reg.task.action)(now);
+        let ticks = Arc::new(AtomicU64::new(0));
+        let panics = Arc::new(AtomicU64::new(0));
+        let tick_count = Arc::clone(&ticks);
+        let panic_count = Arc::clone(&panics);
+        let join = std::thread::Builder::new()
+            .name("fungus-decay-driver".into())
+            .spawn(move || loop {
+                if stop_rx.recv_timeout(real_period).is_ok() {
+                    return;
                 }
-            }
-        });
+                let now = clock.tick();
+                let mut inner = inner.lock();
+                for reg in inner.tasks.iter_mut() {
+                    if now.get().is_multiple_of(reg.task.period.get()) {
+                        let action = std::panic::AssertUnwindSafe(|| (reg.task.action)(now));
+                        if std::panic::catch_unwind(action).is_err() {
+                            panic_count.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                drop(inner);
+                tick_count.fetch_add(1, Ordering::Relaxed);
+            })
+            .expect("spawn decay driver thread");
         DriverHandle {
             stop: Some(stop_tx),
             join: Some(join),
+            ticks,
+            panics,
         }
     }
 }
@@ -181,9 +205,28 @@ impl TickScheduler {
 pub struct DriverHandle {
     stop: Option<Sender<()>>,
     join: Option<JoinHandle<()>>,
+    ticks: Arc<AtomicU64>,
+    panics: Arc<AtomicU64>,
 }
 
 impl DriverHandle {
+    /// Ticks the driver thread has completed (manual [`TickScheduler::step`]
+    /// calls do not count — only the wall-clock thread increments this).
+    pub fn ticks(&self) -> u64 {
+        self.ticks.load(Ordering::Relaxed)
+    }
+
+    /// Shared counter behind [`ticks`](Self::ticks), for callers (e.g. a
+    /// server's stats surface) that outlive their borrow of the handle.
+    pub fn tick_counter(&self) -> Arc<AtomicU64> {
+        Arc::clone(&self.ticks)
+    }
+
+    /// Task actions that panicked and were isolated (tick still completed).
+    pub fn task_panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
     /// Stops the driver and waits for the thread to exit.
     pub fn stop(mut self) {
         self.stop_inner();
@@ -283,6 +326,43 @@ mod tests {
         let now = sched.step_n(4);
         assert_eq!(now, Tick(4));
         assert_eq!(*seen.lock(), vec![Tick(2), Tick(4)]);
+    }
+
+    #[test]
+    fn driver_survives_panicking_tasks() {
+        // Quiet hook: the injected panics below are intentional.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let sched = TickScheduler::new(VirtualClock::new());
+        let healthy = Arc::new(AtomicU64::new(0));
+        let h = Arc::clone(&healthy);
+        sched.every("bomb", TickDelta(1), move |t| {
+            if t.get() % 2 == 1 {
+                panic!("injected task panic at {t:?}");
+            }
+        });
+        sched.every("healthy", TickDelta(1), move |_| {
+            h.fetch_add(1, Ordering::Relaxed);
+        });
+        let driver = sched.spawn_driver(Duration::from_millis(1));
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while healthy.load(Ordering::Relaxed) < 6 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let ticks = driver.ticks();
+        let panics = driver.task_panics();
+        driver.stop();
+        std::panic::set_hook(prev);
+
+        assert!(
+            ticks >= 6,
+            "driver stalled after a task panic: {ticks} ticks"
+        );
+        assert!(panics >= 3, "panics not isolated/counted: {panics}");
+        // The healthy task kept firing on every tick despite its
+        // neighbour blowing up on odd ticks.
+        assert!(healthy.load(Ordering::Relaxed) >= 6);
     }
 
     #[test]

@@ -125,6 +125,13 @@ impl SharedDatabase {
     /// [`Database::spawn_decay_driver`]). The driver thread holds no
     /// database lock while ticking — the scheduler is internally shared —
     /// so decay proceeds concurrently with queries.
+    ///
+    /// The driver is deliberately independent of every front-end thread:
+    /// it panic-isolates the tasks it fires and owns its own thread, so a
+    /// worker thread dying (or being killed by fault injection) cannot
+    /// stop decay. The returned handle's `ticks()` counter is the ground
+    /// truth a server exposes to prove the paper's Law 1 held — data
+    /// rotted on schedule no matter what clients did.
     pub fn spawn_decay_driver(&self, real_period: Duration) -> DriverHandle {
         self.inner.read().spawn_decay_driver(real_period)
     }
@@ -188,6 +195,41 @@ mod tests {
         let before = a.now();
         b.run_for(3);
         assert_eq!(a.now().get(), before.get() + 3);
+    }
+
+    #[test]
+    fn decay_driver_keeps_ticking_across_client_thread_deaths() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let db = shared();
+        let driver = db.spawn_decay_driver(std::time::Duration::from_millis(1));
+        // Threads that use the database and then die mid-flight, like
+        // fault-injected server workers.
+        let mut doomed = Vec::new();
+        for t in 0..3 {
+            let db = db.clone();
+            doomed.push(std::thread::spawn(move || {
+                db.execute(&format!("INSERT INTO r VALUES ({t})")).unwrap();
+                panic!("worker {t} dies");
+            }));
+        }
+        for d in doomed {
+            assert!(d.join().is_err(), "thread was supposed to panic");
+        }
+        let before = driver.ticks();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while driver.ticks() < before + 5 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let after = driver.ticks();
+        driver.stop();
+        std::panic::set_hook(prev);
+        assert!(
+            after >= before + 5,
+            "decay stalled after worker deaths: {before} -> {after}"
+        );
+        assert_eq!(db.live_count("r"), 3, "committed writes survived");
     }
 
     #[test]

@@ -1,13 +1,38 @@
-//! A blocking client for the wire protocol.
+//! A blocking client for the wire protocol, with an optional retry
+//! policy for surviving faulty networks.
 //!
 //! One [`Client`] is one TCP connection and therefore one server-side
 //! session. Requests are strictly pipelined one at a time: send a frame,
 //! block for the response frame. That keeps the client trivially correct
 //! under threading (each load-generator thread owns its own client) and
 //! matches the server's one-connection-per-worker model.
+//!
+//! # Retry semantics
+//!
+//! With a [`RetryPolicy`] installed, a transport failure (torn frame,
+//! reset, timeout, server hangup) is retried by reconnecting and
+//! resending — but **only for idempotent requests**
+//! ([`Request::is_idempotent`]). The dangerous case is the ambiguous
+//! failure: the connection died *after* the request was sent but
+//! *before* the response arrived, so the client cannot know whether the
+//! server executed it. Replaying a `SELECT` there is harmless; replaying
+//! a `CONSUME` query could destroy a second batch of tuples, and
+//! replaying an `INSERT` could double-write. Those requests fail fast
+//! with the transport error, the connection is marked broken, and the
+//! *next* request starts by reconnecting (reconnection itself is always
+//! safe — nothing is in flight).
+//!
+//! Backoff is bounded exponential with seeded jitter: delays are
+//! monotone non-decreasing up to the cap, the attempt budget is hard,
+//! and the same seed replays the same delays — so a chaos run is as
+//! reproducible on the client side as the server's fault plan makes the
+//! other side.
 
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 use fungus_types::FungusError;
 
@@ -23,6 +48,14 @@ pub enum ClientError {
     Protocol(String),
     /// The server hung up where a response was due.
     Disconnected,
+    /// Every attempt the retry budget allowed failed; the last transport
+    /// error is inside.
+    RetriesExhausted {
+        /// Attempts made (the first try included).
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: Box<ClientError>,
+    },
 }
 
 impl std::fmt::Display for ClientError {
@@ -31,6 +64,9 @@ impl std::fmt::Display for ClientError {
             ClientError::Frame(e) => write!(f, "transport: {e}"),
             ClientError::Protocol(msg) => write!(f, "protocol: {msg}"),
             ClientError::Disconnected => write!(f, "server closed the connection mid-request"),
+            ClientError::RetriesExhausted { attempts, last } => {
+                write!(f, "gave up after {attempts} attempts: {last}")
+            }
         }
     }
 }
@@ -49,10 +85,117 @@ impl From<FungusError> for ClientError {
     }
 }
 
+impl ClientError {
+    /// True for failures of the *transport* (dead socket, torn frame,
+    /// hangup) — the class a retry can help with. Protocol errors mean
+    /// both ends disagree about the bytes and retrying cannot fix that.
+    pub fn is_transport(&self) -> bool {
+        matches!(self, ClientError::Frame(_) | ClientError::Disconnected)
+    }
+}
+
+/// Bounded exponential backoff with seeded jitter.
+///
+/// Delay `i` (0-based, between attempt `i+1` and `i+2`) is
+/// `min(cap, base·2^i + jitter_i)` with `jitter_i` drawn uniformly from
+/// `[0, base)` by a `SmallRng` seeded from `seed`. Because
+/// `base·2^(i+1) ≥ base·2^i + base > base·2^i + jitter_i`, the raw
+/// sequence strictly increases, and clamping to the cap preserves
+/// monotonicity — properties the retry property test pins down.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    seed: u64,
+    max_attempts: u32,
+    base_delay: Duration,
+    max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with the default budget: 4 attempts, 5 ms base delay,
+    /// 80 ms cap, jitter seeded by `seed`.
+    pub fn new(seed: u64) -> Self {
+        RetryPolicy {
+            seed,
+            max_attempts: 4,
+            base_delay: Duration::from_millis(5),
+            max_delay: Duration::from_millis(80),
+        }
+    }
+
+    /// Total attempt budget, first try included (min 1).
+    #[must_use]
+    pub fn with_max_attempts(mut self, attempts: u32) -> Self {
+        self.max_attempts = attempts.max(1);
+        self
+    }
+
+    /// First-retry delay (also the jitter magnitude).
+    #[must_use]
+    pub fn with_base_delay(mut self, base: Duration) -> Self {
+        self.base_delay = base;
+        self
+    }
+
+    /// Upper bound every delay is clamped to.
+    #[must_use]
+    pub fn with_max_delay(mut self, cap: Duration) -> Self {
+        self.max_delay = cap;
+        self
+    }
+
+    /// The jitter seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The attempt budget.
+    pub fn max_attempts(&self) -> u32 {
+        self.max_attempts
+    }
+
+    /// The full jittered backoff schedule: one delay per retry, so
+    /// `max_attempts - 1` entries. Deterministic in `seed`.
+    pub fn backoff_delays(&self) -> Vec<Duration> {
+        let mut rng = SmallRng::seed_from_u64(
+            self.seed ^ 0xC1A0_5C1A_0FAE_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
+        let base = self.base_delay.as_nanos() as u64;
+        let cap = self.max_delay.as_nanos() as u64;
+        (0..self.max_attempts.saturating_sub(1))
+            .map(|i| {
+                let jitter = if base > 0 { rng.gen_range(0..base) } else { 0 };
+                let raw = base.saturating_mul(1u64.checked_shl(i).unwrap_or(u64::MAX));
+                Duration::from_nanos(raw.saturating_add(jitter).min(cap))
+            })
+            .collect()
+    }
+}
+
+/// Counters a [`Client`] keeps about its own fight with the transport.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Requests issued by the caller (not counting retries).
+    pub requests: u64,
+    /// Transport errors observed (before any retry verdict).
+    pub transport_errors: u64,
+    /// Resends of an idempotent request after a transport error.
+    pub retries: u64,
+    /// Fresh TCP connections established after the first.
+    pub reconnects: u64,
+    /// Transport failures surfaced unretried because the request was not
+    /// idempotent (the ambiguous-failure guard firing).
+    pub not_retried: u64,
+}
+
 /// A blocking connection to a fungus server.
 pub struct Client {
     stream: TcpStream,
-    requests: u64,
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    response_timeout: Duration,
+    policy: Option<RetryPolicy>,
+    broken: bool,
+    stats: ClientStats,
 }
 
 impl Client {
@@ -67,35 +210,123 @@ impl Client {
         connect_timeout: Duration,
         response_timeout: Duration,
     ) -> Result<Client, ClientError> {
-        let stream = TcpStream::connect_timeout(&addr, connect_timeout)
-            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
-        stream
-            .set_read_timeout(Some(response_timeout))
-            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
-        stream
-            .set_write_timeout(Some(response_timeout))
-            .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
-        let _ = stream.set_nodelay(true);
+        let stream = open_stream(addr, connect_timeout, response_timeout)?;
         Ok(Client {
             stream,
-            requests: 0,
+            addr,
+            connect_timeout,
+            response_timeout,
+            policy: None,
+            broken: false,
+            stats: ClientStats::default(),
         })
     }
 
-    /// Requests sent on this connection.
-    pub fn requests(&self) -> u64 {
-        self.requests
+    /// Connects with default timeouts and the given retry policy.
+    pub fn connect_with_retry(
+        addr: SocketAddr,
+        policy: RetryPolicy,
+    ) -> Result<Client, ClientError> {
+        Ok(Client::connect(addr)?.with_retry(policy))
     }
 
-    /// Sends one request and blocks for its response.
+    /// Installs (or replaces) the retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, policy: RetryPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Requests issued on this connection (retries not counted).
+    pub fn requests(&self) -> u64 {
+        self.stats.requests
+    }
+
+    /// The client's transport-fight counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Sends one request and blocks for its response, applying the retry
+    /// policy (if any) to idempotent requests.
     pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        self.stats.requests += 1;
+        // A previous request broke the connection: re-establish before
+        // sending. Always safe — nothing of ours is in flight.
+        if self.broken {
+            self.reconnect()?;
+        }
+        match self.send_and_receive(request) {
+            Ok(resp) => Ok(resp),
+            Err(err) if err.is_transport() => {
+                self.stats.transport_errors += 1;
+                self.broken = true;
+                match self.policy {
+                    Some(policy) if request.is_idempotent() => {
+                        self.retry_loop(request, policy, err)
+                    }
+                    Some(_) | None => {
+                        if self.policy.is_some() {
+                            self.stats.not_retried += 1;
+                        }
+                        Err(err)
+                    }
+                }
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn retry_loop(
+        &mut self,
+        request: &Request,
+        policy: RetryPolicy,
+        first_error: ClientError,
+    ) -> Result<Response, ClientError> {
+        let mut last = first_error;
+        let mut attempts = 1u32;
+        for delay in policy.backoff_delays() {
+            std::thread::sleep(delay);
+            attempts += 1;
+            self.stats.retries += 1;
+            if let Err(e) = self.reconnect() {
+                last = e;
+                continue;
+            }
+            match self.send_and_receive(request) {
+                Ok(resp) => {
+                    self.broken = false;
+                    return Ok(resp);
+                }
+                Err(err) if err.is_transport() => {
+                    self.stats.transport_errors += 1;
+                    self.broken = true;
+                    last = err;
+                }
+                Err(err) => return Err(err),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts,
+            last: Box::new(last),
+        })
+    }
+
+    fn send_and_receive(&mut self, request: &Request) -> Result<Response, ClientError> {
         let payload = request.encode()?;
         frame::write_frame(&mut self.stream, &payload)?;
-        self.requests += 1;
         match frame::read_frame(&mut self.stream)? {
             Some(payload) => Ok(Response::decode(&payload)?),
             None => Err(ClientError::Disconnected),
         }
+    }
+
+    fn reconnect(&mut self) -> Result<(), ClientError> {
+        let stream = open_stream(self.addr, self.connect_timeout, self.response_timeout)?;
+        self.stream = stream;
+        self.broken = false;
+        self.stats.reconnects += 1;
+        Ok(())
     }
 
     /// Runs one SQL statement.
@@ -103,7 +334,7 @@ impl Client {
         self.request(&Request::Sql { text: text.into() })
     }
 
-    /// Runs one dot command (`.tick`, `.health`, …).
+    /// Runs one dot command (`.tick`, `.health`, `.stats`, …).
     pub fn dot(&mut self, line: impl Into<String>) -> Result<Response, ClientError> {
         self.request(&Request::Dot { line: line.into() })
     }
@@ -122,5 +353,69 @@ impl Client {
     /// the session). Dropping the client does the same implicitly.
     pub fn close(self) {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+fn open_stream(
+    addr: SocketAddr,
+    connect_timeout: Duration,
+    response_timeout: Duration,
+) -> Result<TcpStream, ClientError> {
+    let stream = TcpStream::connect_timeout(&addr, connect_timeout)
+        .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+    stream
+        .set_read_timeout(Some(response_timeout))
+        .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+    stream
+        .set_write_timeout(Some(response_timeout))
+        .map_err(|e| ClientError::Frame(FrameError::Io(e.to_string())))?;
+    let _ = stream.set_nodelay(true);
+    Ok(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_monotone_bounded_and_reproducible() {
+        let policy = RetryPolicy::new(11)
+            .with_max_attempts(7)
+            .with_base_delay(Duration::from_millis(2))
+            .with_max_delay(Duration::from_millis(20));
+        let delays = policy.backoff_delays();
+        assert_eq!(delays.len(), 6);
+        for pair in delays.windows(2) {
+            assert!(pair[0] <= pair[1], "{delays:?} not monotone");
+        }
+        assert!(delays.iter().all(|d| *d <= Duration::from_millis(20)));
+        assert_eq!(delays, policy.backoff_delays(), "same seed, same delays");
+        let other = RetryPolicy::new(12)
+            .with_max_attempts(7)
+            .with_base_delay(Duration::from_millis(2))
+            .with_max_delay(Duration::from_millis(20));
+        assert_ne!(delays, other.backoff_delays(), "seed changes jitter");
+    }
+
+    #[test]
+    fn single_attempt_budget_means_no_delays() {
+        assert!(RetryPolicy::new(1)
+            .with_max_attempts(1)
+            .backoff_delays()
+            .is_empty());
+        // with_max_attempts clamps zero to one.
+        assert_eq!(RetryPolicy::new(1).with_max_attempts(0).max_attempts(), 1);
+    }
+
+    #[test]
+    fn transport_classification() {
+        assert!(ClientError::Disconnected.is_transport());
+        assert!(ClientError::Frame(FrameError::Io("reset".into())).is_transport());
+        assert!(!ClientError::Protocol("bad json".into()).is_transport());
+        assert!(!ClientError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(ClientError::Disconnected),
+        }
+        .is_transport());
     }
 }

@@ -1,0 +1,554 @@
+//! Deterministic fault injection for the server stack.
+//!
+//! The paper's Law 1 says decay proceeds on its periodic clock no matter
+//! what clients do — which is only worth claiming if the maintenance path
+//! demonstrably survives the faults real deployments throw at it:
+//! half-written frames, connections torn down mid-request, readers that
+//! stall, workers that die. This module makes those faults *injectable,
+//! seeded, and reproducible*, so the chaos suite can assert the exact
+//! same failure schedule on every run:
+//!
+//! * [`FaultPlan`] — the seeded recipe: per-operation probabilities for
+//!   each fault class plus a scheduled worker panic. A plan is pure
+//!   configuration; it derives one independent, deterministic
+//!   [`FaultSchedule`] per connection id (same plan + same id ⇒ the same
+//!   faults at the same byte offsets, regardless of what other
+//!   connections do).
+//! * [`FaultSchedule`] — the per-connection stream of fault decisions,
+//!   drawn from a `SmallRng` seeded by `splitmix(plan seed, conn id)`.
+//! * [`Faulty`] — a `Read + Write` wrapper that consults the schedule on
+//!   every I/O call and injects: transient `WouldBlock`/`Interrupted`
+//!   errors, read delays, torn writes (a prefix of the buffer is written,
+//!   then the stream dies), and mid-frame disconnects. Once a schedule
+//!   kills a stream it stays dead — exactly like a real socket.
+//!
+//! The wrapper composes with anything: the server wraps accepted
+//! `TcpStream`s when a plan is configured, and the property tests wrap
+//! in-memory cursors to drive the frame decoder through millions of
+//! fault interleavings without a socket in sight. When no plan is
+//! configured the server does not wrap at all, so the fault layer costs
+//! nothing in the fast path.
+
+use std::io::{self, Read, Write};
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One injected fault event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Write only a prefix of the buffer, then kill the stream: the peer
+    /// sees a frame cut off mid-payload.
+    TornWrite,
+    /// Kill the stream now: reads see EOF, writes see `BrokenPipe`.
+    Disconnect,
+    /// Stall a read briefly before serving it (slow network).
+    Delay,
+    /// Return `ErrorKind::WouldBlock` once (spurious poll wake-up /
+    /// socket timeout slice).
+    WouldBlock,
+    /// Return `ErrorKind::Interrupted` once (signal during a syscall).
+    Interrupted,
+}
+
+/// The seeded fault recipe installed on a server (or a test harness).
+///
+/// All knobs are per-I/O-call probabilities in `[0, 1]`. The default plan
+/// injects nothing; [`FaultPlan::chaos`] is the standard chaos-suite
+/// recipe (5% torn writes, 2% disconnects, transient errors, one worker
+/// panic).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    torn_write: f64,
+    disconnect: f64,
+    delay: f64,
+    max_delay: Duration,
+    transient: f64,
+    panic_conns: Vec<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a base for builders).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            torn_write: 0.0,
+            disconnect: 0.0,
+            delay: 0.0,
+            max_delay: Duration::from_millis(2),
+            transient: 0.0,
+            panic_conns: Vec::new(),
+        }
+    }
+
+    /// The standard chaos recipe the integration suite and `serve
+    /// --fault-seed` run: 5% torn writes, 2% mid-frame disconnects, 5%
+    /// transient `WouldBlock`/`Interrupted`, 2% short read delays, and a
+    /// worker panic while handling connection 3.
+    pub fn chaos(seed: u64) -> Self {
+        FaultPlan::new(seed)
+            .with_torn_writes(0.05)
+            .with_disconnects(0.02)
+            .with_transients(0.05)
+            .with_read_delays(0.02, Duration::from_millis(2))
+            .with_worker_panic_on(3)
+    }
+
+    /// The plan's master seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Probability that a write call tears (prefix written, stream dies).
+    #[must_use]
+    pub fn with_torn_writes(mut self, p: f64) -> Self {
+        self.torn_write = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that an I/O call kills the stream outright.
+    #[must_use]
+    pub fn with_disconnects(mut self, p: f64) -> Self {
+        self.disconnect = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Probability that a read stalls, and the longest stall injected.
+    #[must_use]
+    pub fn with_read_delays(mut self, p: f64, max_delay: Duration) -> Self {
+        self.delay = p.clamp(0.0, 1.0);
+        self.max_delay = max_delay;
+        self
+    }
+
+    /// Probability of a transient error (`WouldBlock` or `Interrupted`,
+    /// split evenly) per I/O call.
+    #[must_use]
+    pub fn with_transients(mut self, p: f64) -> Self {
+        self.transient = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Panics the worker thread that picks up connection `conn` (1-based
+    /// session id). May be called repeatedly to doom several connections.
+    #[must_use]
+    pub fn with_worker_panic_on(mut self, conn: u64) -> Self {
+        self.panic_conns.push(conn);
+        self
+    }
+
+    /// True when the plan can inject any stream fault at all (a plan that
+    /// only schedules worker panics does not need stream wrapping).
+    pub fn wraps_streams(&self) -> bool {
+        self.torn_write > 0.0 || self.disconnect > 0.0 || self.delay > 0.0 || self.transient > 0.0
+    }
+
+    /// The deterministic schedule for one connection. Independent of
+    /// every other connection: the schedule's RNG is seeded from
+    /// `splitmix(plan seed ⊕ conn id)`.
+    pub fn schedule_for(&self, conn: u64) -> FaultSchedule {
+        // splitmix64 over seed ⊕ rotated id: decorrelates neighbouring
+        // connection ids without correlating across plans.
+        let mut z = self
+            .seed
+            .wrapping_add(conn.rotate_left(32))
+            .wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        FaultSchedule {
+            rng: SmallRng::seed_from_u64(z ^ (z >> 31)),
+            plan: self.clone(),
+            panic_worker: self.panic_conns.contains(&conn),
+            injected: 0,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(0)
+    }
+}
+
+/// The per-connection fault stream drawn from a [`FaultPlan`].
+#[derive(Debug)]
+pub struct FaultSchedule {
+    rng: SmallRng,
+    plan: FaultPlan,
+    panic_worker: bool,
+    injected: u64,
+}
+
+impl FaultSchedule {
+    /// A schedule that never injects anything (for tests that want the
+    /// wrapper in place but quiet).
+    pub fn quiet() -> Self {
+        FaultPlan::new(0).schedule_for(0)
+    }
+
+    /// Whether the worker handling this connection is scheduled to die.
+    pub fn panics_worker(&self) -> bool {
+        self.panic_worker
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Draws the fault (if any) for the next read call.
+    pub fn next_read_fault(&mut self) -> Option<Fault> {
+        if self.roll(self.plan.disconnect) {
+            return self.record(Fault::Disconnect);
+        }
+        if self.roll(self.plan.transient) {
+            let f = if self.rng.gen::<bool>() {
+                Fault::WouldBlock
+            } else {
+                Fault::Interrupted
+            };
+            return self.record(f);
+        }
+        if self.roll(self.plan.delay) {
+            return self.record(Fault::Delay);
+        }
+        None
+    }
+
+    /// Draws the fault (if any) for the next write call.
+    pub fn next_write_fault(&mut self) -> Option<Fault> {
+        if self.roll(self.plan.torn_write) {
+            return self.record(Fault::TornWrite);
+        }
+        if self.roll(self.plan.disconnect) {
+            return self.record(Fault::Disconnect);
+        }
+        if self.roll(self.plan.transient) {
+            let f = if self.rng.gen::<bool>() {
+                Fault::WouldBlock
+            } else {
+                Fault::Interrupted
+            };
+            return self.record(f);
+        }
+        None
+    }
+
+    /// A delay duration in `(0, max_delay]` for [`Fault::Delay`].
+    pub fn delay_duration(&mut self) -> Duration {
+        let max = self.plan.max_delay.as_micros().max(1) as u64;
+        Duration::from_micros(self.rng.gen_range(1..=max))
+    }
+
+    /// How many bytes of an `n`-byte write a torn write lets through
+    /// (always fewer than `n`, possibly zero).
+    pub fn torn_keep(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.rng.gen_range(0..n)
+        }
+    }
+
+    fn roll(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen::<f64>() < p
+    }
+
+    fn record(&mut self, f: Fault) -> Option<Fault> {
+        self.injected += 1;
+        Some(f)
+    }
+}
+
+/// A `Read + Write` stream that injects the faults its schedule dictates.
+///
+/// Fault semantics (all modelled on what a real socket does):
+///
+/// * **Transients** surface as `ErrorKind::WouldBlock` /
+///   `ErrorKind::Interrupted` without consuming the schedule's stream
+///   position — retrying callers proceed normally.
+/// * **Delays** sleep briefly, then serve the read.
+/// * **Torn writes** hand a *prefix* of the buffer to the inner stream
+///   and kill the connection; the peer sees a frame cut mid-payload.
+/// * **Disconnects** kill the connection immediately.
+/// * A dead stream stays dead: reads return `Ok(0)` (EOF), writes return
+///   `ErrorKind::BrokenPipe` — matching a closed TCP socket.
+#[derive(Debug)]
+pub struct Faulty<S> {
+    inner: S,
+    schedule: FaultSchedule,
+    dead: bool,
+}
+
+impl<S> Faulty<S> {
+    /// Wraps a stream under the given fault schedule.
+    pub fn new(inner: S, schedule: FaultSchedule) -> Self {
+        Faulty {
+            inner,
+            schedule,
+            dead: false,
+        }
+    }
+
+    /// The wrapped stream.
+    pub fn get_ref(&self) -> &S {
+        &self.inner
+    }
+
+    /// Faults injected on this stream so far.
+    pub fn injected(&self) -> u64 {
+        self.schedule.injected()
+    }
+
+    /// Whether an injected fault has killed the stream.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Unwraps, returning the inner stream and the schedule.
+    pub fn into_inner(self) -> (S, FaultSchedule) {
+        (self.inner, self.schedule)
+    }
+}
+
+impl<S: Read> Read for Faulty<S> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if self.dead {
+            return Ok(0); // EOF, like a closed socket.
+        }
+        match self.schedule.next_read_fault() {
+            Some(Fault::Disconnect) => {
+                self.dead = true;
+                Ok(0)
+            }
+            Some(Fault::WouldBlock) => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "injected WouldBlock",
+            )),
+            Some(Fault::Interrupted) => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected Interrupted",
+            )),
+            Some(Fault::Delay) => {
+                std::thread::sleep(self.schedule.delay_duration());
+                self.inner.read(buf)
+            }
+            Some(Fault::TornWrite) | None => self.inner.read(buf),
+        }
+    }
+}
+
+impl<S: Write> Write for Faulty<S> {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "stream killed by injected fault",
+            ));
+        }
+        match self.schedule.next_write_fault() {
+            Some(Fault::TornWrite) => {
+                let keep = self.schedule.torn_keep(buf.len());
+                if keep > 0 {
+                    let _ = self.inner.write(&buf[..keep]);
+                    let _ = self.inner.flush();
+                }
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected torn write",
+                ))
+            }
+            Some(Fault::Disconnect) => {
+                self.dead = true;
+                Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "injected disconnect",
+                ))
+            }
+            Some(Fault::WouldBlock) => Err(io::Error::new(
+                io::ErrorKind::WouldBlock,
+                "injected WouldBlock",
+            )),
+            Some(Fault::Interrupted) => Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected Interrupted",
+            )),
+            Some(Fault::Delay) | None => self.inner.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::BrokenPipe,
+                "stream killed by injected fault",
+            ));
+        }
+        self.inner.flush()
+    }
+}
+
+/// Pulls every decodable frame out of a (possibly faulty) stream,
+/// retrying transient errors and stopping at EOF or the first hard
+/// failure. Returns the frames plus the terminal error, if any.
+///
+/// This is the reference pump the property suite uses to state the core
+/// fault-tolerance theorem: under any fault schedule, the frames that
+/// *do* come out are exactly a prefix of the fault-free decode — faults
+/// can truncate the conversation but never corrupt it.
+pub fn drain_frames(r: &mut impl Read) -> (Vec<Vec<u8>>, Option<crate::frame::FrameError>) {
+    use crate::frame::{decode_frame, FrameError};
+    let mut buf = bytes::BytesMut::new();
+    let mut frames = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        match r.read(&mut chunk) {
+            Ok(0) => {
+                // EOF: anything left in the buffer is a truncated frame.
+                if buf.is_empty() {
+                    return (frames, None);
+                }
+                let have = buf.len();
+                let need = frame_need(&buf);
+                return (frames, Some(FrameError::Truncated { have, need }));
+            }
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                loop {
+                    match decode_frame(&mut buf) {
+                        Ok(Some(frame)) => frames.push(frame.to_vec()),
+                        Ok(None) => break,
+                        Err(e) => return (frames, Some(e)),
+                    }
+                }
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock
+                    || e.kind() == io::ErrorKind::Interrupted =>
+            {
+                continue
+            }
+            Err(e) => return (frames, Some(FrameError::Io(e.to_string()))),
+        }
+    }
+}
+
+/// Bytes the partially-buffered frame still needs (header or payload).
+fn frame_need(buf: &bytes::BytesMut) -> usize {
+    use crate::frame::HEADER_LEN;
+    if buf.len() < HEADER_LEN {
+        return HEADER_LEN;
+    }
+    let mut header = [0u8; HEADER_LEN];
+    header.copy_from_slice(&buf.as_slice()[..HEADER_LEN]);
+    u32::from_be_bytes(header) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::encode_frame;
+
+    #[test]
+    fn schedules_are_deterministic_per_connection() {
+        let plan = FaultPlan::chaos(42);
+        let draw = |conn: u64| -> Vec<Option<Fault>> {
+            let mut s = plan.schedule_for(conn);
+            (0..64)
+                .map(|i| {
+                    if i % 2 == 0 {
+                        s.next_read_fault()
+                    } else {
+                        s.next_write_fault()
+                    }
+                })
+                .collect()
+        };
+        assert_eq!(draw(1), draw(1), "same conn id replays the same faults");
+        assert_ne!(draw(1), draw(2), "different conns get independent faults");
+        assert_ne!(
+            draw(1),
+            {
+                let plan = FaultPlan::chaos(43);
+                let mut s = plan.schedule_for(1);
+                (0..64)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            s.next_read_fault()
+                        } else {
+                            s.next_write_fault()
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            },
+            "different seeds give different schedules"
+        );
+    }
+
+    #[test]
+    fn quiet_plan_is_transparent() {
+        let data = {
+            let mut v = Vec::new();
+            v.extend_from_slice(&encode_frame(b"alpha").unwrap());
+            v.extend_from_slice(&encode_frame(b"beta").unwrap());
+            v
+        };
+        let mut faulty = Faulty::new(data.as_slice(), FaultSchedule::quiet());
+        let (frames, err) = drain_frames(&mut faulty);
+        assert_eq!(frames, vec![b"alpha".to_vec(), b"beta".to_vec()]);
+        assert_eq!(err, None);
+        assert_eq!(faulty.injected(), 0);
+    }
+
+    #[test]
+    fn torn_write_cuts_a_frame_then_kills_the_stream() {
+        let plan = FaultPlan::new(7).with_torn_writes(1.0);
+        let mut out = Vec::new();
+        {
+            let mut w = Faulty::new(&mut out, plan.schedule_for(1));
+            let frame = encode_frame(b"this will tear").unwrap();
+            let err = std::io::Write::write_all(&mut w, &frame).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+            assert!(w.is_dead());
+            // Dead stream stays dead.
+            let err = std::io::Write::write_all(&mut w, b"x").unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+        }
+        let frame = encode_frame(b"this will tear").unwrap();
+        assert!(out.len() < frame.len(), "the whole frame got through");
+        assert_eq!(out, frame[..out.len()], "prefix property violated");
+    }
+
+    #[test]
+    fn transient_errors_do_not_lose_bytes() {
+        let data = encode_frame(b"survives transients").unwrap();
+        let plan = FaultPlan::new(3).with_transients(0.5);
+        let mut faulty = Faulty::new(data.as_slice(), plan.schedule_for(9));
+        let (frames, err) = drain_frames(&mut faulty);
+        assert_eq!(frames, vec![b"survives transients".to_vec()]);
+        assert_eq!(err, None);
+    }
+
+    #[test]
+    fn disconnect_reads_are_clean_eof() {
+        let data = encode_frame(b"never arrives").unwrap();
+        let plan = FaultPlan::new(1).with_disconnects(1.0);
+        let mut faulty = Faulty::new(data.as_slice(), plan.schedule_for(2));
+        let mut buf = [0u8; 16];
+        assert_eq!(faulty.read(&mut buf).unwrap(), 0);
+        assert!(faulty.is_dead());
+    }
+
+    #[test]
+    fn chaos_plan_marks_connection_three_for_panic() {
+        let plan = FaultPlan::chaos(1234);
+        assert!(!plan.schedule_for(1).panics_worker());
+        assert!(plan.schedule_for(3).panics_worker());
+        assert!(plan.wraps_streams());
+        assert!(!FaultPlan::new(5).wraps_streams());
+        assert!(!FaultPlan::new(5).with_worker_panic_on(2).wraps_streams());
+    }
+}

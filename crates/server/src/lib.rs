@@ -17,7 +17,15 @@
 //!   a connection cap, read/write timeouts, an optional wall-clock decay
 //!   driver, and graceful drain-then-checkpoint shutdown;
 //! * [`client`] — a blocking [`Client`] used by the load-driving
-//!   experiment (E11), the integration tests, and `examples/serve.rs`.
+//!   experiment (E11), the integration tests, and `examples/serve.rs`,
+//!   with an optional [`RetryPolicy`] (bounded exponential backoff,
+//!   seeded jitter, idempotency guard) for surviving faulty networks;
+//! * [`fault`] — a deterministic fault-injection layer: a seeded
+//!   [`FaultPlan`] wraps connection streams in [`Faulty`] to inject torn
+//!   writes, delayed reads, mid-frame disconnects, transient I/O errors,
+//!   and worker panics — the substrate the chaos suite runs on;
+//! * [`stats`] — shared monotone counters ([`ServerStats`]) reported via
+//!   `.health`/`.stats`, fault/panic/respawn telemetry included.
 //!
 //! No async runtime: the engine's critical sections are microseconds of
 //! CPU under `parking_lot` locks, so blocking I/O with one worker thread
@@ -46,13 +54,17 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub mod fault;
 pub mod frame;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod stats;
 
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, ClientStats, RetryPolicy};
+pub use fault::{drain_frames, Fault, FaultPlan, FaultSchedule, Faulty};
 pub use frame::{FrameError, MAX_FRAME};
-pub use protocol::{ErrorCode, HealthSummary, Request, Response};
-pub use server::{serve, MetricsSnapshot, ServerConfig, ServerHandle, ShutdownReport};
+pub use protocol::{ErrorCode, HealthSummary, Request, Response, StatsSummary};
+pub use server::{serve, ServerConfig, ServerHandle, ShutdownReport};
 pub use session::Session;
+pub use stats::{MetricsSnapshot, ServerStats};

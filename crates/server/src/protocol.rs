@@ -59,6 +59,10 @@ pub enum Response {
     Health {
         /// Per-container reports.
         reports: Vec<HealthSummary>,
+        /// Server-level counters (fault injections, worker panics and
+        /// respawns, decay-driver ticks), when the answering session has
+        /// them attached. `None` from embedded/unit-test sessions.
+        server: Option<StatsSummary>,
     },
     /// Reply to [`Request::Ping`].
     Pong,
@@ -92,6 +96,49 @@ pub struct HealthSummary {
     pub waste_ratio: f64,
 }
 
+/// Server-level counters in wire form — the `.health` / `.stats` view of
+/// [`crate::stats::MetricsSnapshot`], fault telemetry included. This is
+/// how an operator (or the chaos suite) checks from the *outside* that
+/// injected faults were absorbed: panics counted, workers respawned, and
+/// the decay driver still ticking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StatsSummary {
+    /// Connections handed to the worker pool.
+    pub accepted: u64,
+    /// Connections refused at capacity.
+    pub rejected: u64,
+    /// Requests decoded.
+    pub requests: u64,
+    /// Responses written back.
+    pub responses: u64,
+    /// Error responses among them.
+    pub errors: u64,
+    /// Faults injected into connection streams by the fault plan.
+    pub faults_injected: u64,
+    /// Worker threads lost to panics.
+    pub worker_panics: u64,
+    /// Workers the supervisor respawned.
+    pub workers_respawned: u64,
+    /// Completed decay-driver ticks (0 without a driver).
+    pub driver_ticks: u64,
+}
+
+impl From<crate::stats::MetricsSnapshot> for StatsSummary {
+    fn from(m: crate::stats::MetricsSnapshot) -> Self {
+        StatsSummary {
+            accepted: m.accepted,
+            rejected: m.rejected,
+            requests: m.requests,
+            responses: m.responses,
+            errors: m.errors,
+            faults_injected: m.faults_injected,
+            worker_panics: m.worker_panics,
+            workers_respawned: m.workers_respawned,
+            driver_ticks: m.driver_ticks,
+        }
+    }
+}
+
 /// Coarse error classes clients can branch on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum ErrorCode {
@@ -118,6 +165,41 @@ impl Request {
         let text = std::str::from_utf8(payload)
             .map_err(|e| FungusError::CorruptSnapshot(format!("request not UTF-8: {e}")))?;
         json::from_str(text)
+    }
+
+    /// Whether replaying this request is observably identical to sending
+    /// it once — the retry guard's whole decision.
+    ///
+    /// Safe to replay: [`Request::Ping`], read-only dot commands
+    /// (`.ping`, `.health`, `.containers`, `.session`, `.stats`), and
+    /// `SELECT`s without `CONSUME`. Everything else mutates — `INSERT`s
+    /// append, `CONSUME` queries delete what they return, `.tick`
+    /// advances the decay clock — so an ambiguous transport failure
+    /// (did the server execute it before the connection died?) must
+    /// surface to the caller instead of being blindly replayed.
+    ///
+    /// The `CONSUME` check is textual and deliberately conservative: a
+    /// statement merely *containing* the keyword (say, in a string
+    /// literal) is treated as consuming and not retried. False negatives
+    /// cost a retry; false positives would replay a destructive read.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            Request::Ping => true,
+            Request::Dot { line } => {
+                let verb = line.split_whitespace().next().unwrap_or("");
+                matches!(
+                    verb,
+                    ".ping" | ".health" | ".containers" | ".session" | ".stats"
+                )
+            }
+            Request::Sql { text } => {
+                let head = text.trim_start();
+                let is_select = head
+                    .get(..6)
+                    .is_some_and(|h| h.eq_ignore_ascii_case("select"));
+                is_select && !text.to_ascii_uppercase().contains("CONSUME")
+            }
+        }
     }
 }
 
@@ -225,6 +307,21 @@ mod tests {
                     mean_freshness: 0.5,
                     waste_ratio: 0.1,
                 }],
+                server: None,
+            },
+            Response::Health {
+                reports: vec![],
+                server: Some(StatsSummary {
+                    accepted: 4,
+                    rejected: 1,
+                    requests: 90,
+                    responses: 88,
+                    errors: 2,
+                    faults_injected: 7,
+                    worker_panics: 1,
+                    workers_respawned: 1,
+                    driver_ticks: 1234,
+                }),
             },
             Response::Pong,
             Response::Error {
@@ -242,6 +339,30 @@ mod tests {
         assert!(Request::decode(b"{\"Sql\":").is_err());
         assert!(Request::decode(&[0xff, 0xfe]).is_err());
         assert!(Response::decode(b"[1,2,3]").is_err());
+    }
+
+    #[test]
+    fn idempotency_guard_classifies_requests() {
+        let sql = |text: &str| Request::Sql { text: text.into() };
+        let dot = |line: &str| Request::Dot { line: line.into() };
+
+        // Safe to replay.
+        assert!(Request::Ping.is_idempotent());
+        assert!(dot(".health r").is_idempotent());
+        assert!(dot(".containers").is_idempotent());
+        assert!(dot(".stats").is_idempotent());
+        assert!(sql("SELECT * FROM r WHERE v > 1").is_idempotent());
+        assert!(sql("  select count(*) from r").is_idempotent());
+
+        // Never blindly replayed.
+        assert!(!sql("SELECT * FROM r CONSUME").is_idempotent());
+        assert!(!sql("select v from r consume").is_idempotent());
+        assert!(!sql("INSERT INTO r VALUES (1)").is_idempotent());
+        assert!(!sql("CREATE CONTAINER s (x INT) WITH FUNGUS ttl(5)").is_idempotent());
+        assert!(!dot(".tick 5").is_idempotent());
+        assert!(!dot(".tick").is_idempotent());
+        // Conservative: CONSUME anywhere in the text disables retries.
+        assert!(!sql("SELECT * FROM r WHERE note = 'CONSUME'").is_idempotent());
     }
 
     #[test]

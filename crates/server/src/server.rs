@@ -8,9 +8,14 @@
 //!        │    nonblocking,   bounded(cap)          blocking frame loop
 //!        │    cap-checked                          read → dispatch → write
 //!        │
+//!   supervisor thread: joins dead workers, counts the panic, and spawns
+//!        │    a replacement — one connection's crash never shrinks the pool.
+//!        │
 //!   decay driver thread (optional): ticks the shared scheduler on a
 //!   wall-clock period while queries run — the paper's "periodic clock
-//!   of T seconds" under live traffic.
+//!   of T seconds" under live traffic. The driver panic-isolates its
+//!   tasks and shares no fate with the workers, so decay stays on
+//!   schedule through worker deaths (Law 1 under chaos).
 //! ```
 //!
 //! Each worker owns one connection at a time from accept to hangup, so
@@ -19,12 +24,19 @@
 //! queue invisibly. Sockets carry read/write timeouts, and the read path
 //! polls in short slices so an idle connection notices shutdown quickly.
 //!
+//! **Fault injection:** installing a [`FaultPlan`] in [`ServerConfig`]
+//! wraps every accepted socket in a [`Faulty`] stream whose seeded
+//! schedule injects torn writes, mid-frame disconnects, read delays, and
+//! transient errors — and can mark a connection's worker for death, which
+//! exercises the supervisor's respawn path. With no plan configured the
+//! socket is served unwrapped; the fast path pays nothing.
+//!
 //! Graceful shutdown ([`ServerHandle::shutdown`]): stop accepting, let
 //! every in-flight request finish and its response flush, join the pool,
 //! stop the decay driver, and (when configured) flush a checkpoint of
 //! every container before returning the final counters.
 
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -33,14 +45,17 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
 
 use fungus_clock::scheduler::DriverHandle;
 use fungus_core::SharedDatabase;
 use fungus_types::{FungusError, Result};
 
+use crate::fault::{FaultPlan, Faulty};
 use crate::frame::{self, FrameError, HEADER_LEN, MAX_FRAME};
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::session::Session;
+use crate::stats::{MetricsSnapshot, ServerStats};
 
 /// How often blocked reads wake up to check the shutdown flag.
 const POLL_SLICE: Duration = Duration::from_millis(50);
@@ -64,6 +79,10 @@ pub struct ServerConfig {
     pub tick_period: Option<Duration>,
     /// When set, shutdown flushes a full checkpoint here after draining.
     pub checkpoint_dir: Option<PathBuf>,
+    /// When set, every accepted connection is served through a seeded
+    /// [`Faulty`] stream (and scheduled worker panics fire). `None`
+    /// serves sockets unwrapped — zero overhead.
+    pub fault_plan: Option<FaultPlan>,
 }
 
 impl Default for ServerConfig {
@@ -76,33 +95,9 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             tick_period: None,
             checkpoint_dir: None,
+            fault_plan: None,
         }
     }
-}
-
-/// Monotone counters shared by every server thread.
-#[derive(Debug, Default)]
-struct Metrics {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    requests: AtomicU64,
-    responses: AtomicU64,
-    errors: AtomicU64,
-}
-
-/// A point-in-time copy of the server counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MetricsSnapshot {
-    /// Connections handed to the worker pool.
-    pub accepted: u64,
-    /// Connections refused at capacity.
-    pub rejected: u64,
-    /// Requests decoded.
-    pub requests: u64,
-    /// Responses written back (every decoded request gets exactly one).
-    pub responses: u64,
-    /// Error responses among them (protocol + engine failures).
-    pub errors: u64,
 }
 
 /// Final accounting returned by [`ServerHandle::shutdown`].
@@ -114,15 +109,36 @@ pub struct ShutdownReport {
     pub checkpointed: bool,
 }
 
+/// Everything a worker thread (or its respawned replacement) needs.
+#[derive(Clone)]
+struct WorkerCtx {
+    rx: Receiver<TcpStream>,
+    db: SharedDatabase,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    active: Arc<AtomicUsize>,
+    sessions: Arc<AtomicU64>,
+    config: ServerConfig,
+}
+
+/// The worker pool as the supervisor sees it: slot index + live handle.
+struct WorkerSlot {
+    index: usize,
+    handle: JoinHandle<()>,
+}
+
+type WorkerSet = Arc<Mutex<Vec<WorkerSlot>>>;
+
 /// A running server; dropping it shuts the server down (best effort).
 pub struct ServerHandle {
     addr: SocketAddr,
     db: SharedDatabase,
     shutdown: Arc<AtomicBool>,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    workers: WorkerSet,
+    supervisor: Option<JoinHandle<()>>,
     driver: Option<DriverHandle>,
-    metrics: Arc<Metrics>,
+    stats: Arc<ServerStats>,
     checkpoint_dir: Option<PathBuf>,
 }
 
@@ -136,40 +152,54 @@ pub fn serve(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
     let addr = listener.local_addr().map_err(io_err)?;
 
     let shutdown = Arc::new(AtomicBool::new(false));
-    let metrics = Arc::new(Metrics::default());
+    let stats = Arc::new(ServerStats::default());
     let active = Arc::new(AtomicUsize::new(0));
     let sessions = Arc::new(AtomicU64::new(0));
     let workers = config.workers.max(1);
     let (conn_tx, conn_rx) = bounded::<TcpStream>(config.backlog.max(1));
 
+    let ctx = WorkerCtx {
+        rx: conn_rx,
+        db: db.clone(),
+        shutdown: Arc::clone(&shutdown),
+        stats: Arc::clone(&stats),
+        active: Arc::clone(&active),
+        sessions: Arc::clone(&sessions),
+        config: config.clone(),
+    };
+
     let mut pool = Vec::with_capacity(workers);
     for w in 0..workers {
-        let rx: Receiver<TcpStream> = conn_rx.clone();
-        let db = db.clone();
-        let shutdown = Arc::clone(&shutdown);
-        let metrics = Arc::clone(&metrics);
-        let active = Arc::clone(&active);
-        let sessions = Arc::clone(&sessions);
-        let cfg = config.clone();
-        pool.push(
-            std::thread::Builder::new()
-                .name(format!("fungus-worker-{w}"))
-                .spawn(move || worker_loop(rx, db, shutdown, metrics, active, sessions, cfg))
-                .map_err(io_err)?,
-        );
+        pool.push(WorkerSlot {
+            index: w,
+            handle: spawn_worker(w, 0, ctx.clone())?,
+        });
     }
+    let pool: WorkerSet = Arc::new(Mutex::new(pool));
+
+    let supervisor = {
+        let workers = Arc::clone(&pool);
+        let ctx = ctx.clone();
+        std::thread::Builder::new()
+            .name("fungus-supervisor".into())
+            .spawn(move || supervisor_loop(workers, ctx))
+            .map_err(io_err)?
+    };
 
     let driver = config.tick_period.map(|p| db.spawn_decay_driver(p));
+    if let Some(driver) = &driver {
+        stats.link_driver(driver.tick_counter());
+    }
 
     let accept = {
         let shutdown = Arc::clone(&shutdown);
-        let metrics = Arc::clone(&metrics);
+        let stats = Arc::clone(&stats);
         let active = Arc::clone(&active);
         let tx: Sender<TcpStream> = conn_tx;
         let capacity = workers + config.backlog;
         std::thread::Builder::new()
             .name("fungus-accept".into())
-            .spawn(move || accept_loop(listener, tx, shutdown, metrics, active, capacity))
+            .spawn(move || accept_loop(listener, tx, shutdown, stats, active, capacity))
             .map_err(io_err)?
     };
 
@@ -179,10 +209,23 @@ pub fn serve(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
         shutdown,
         accept: Some(accept),
         workers: pool,
+        supervisor: Some(supervisor),
         driver,
-        metrics,
+        stats,
         checkpoint_dir: config.checkpoint_dir,
     })
+}
+
+fn spawn_worker(index: usize, generation: u64, ctx: WorkerCtx) -> Result<JoinHandle<()>> {
+    let name = if generation == 0 {
+        format!("fungus-worker-{index}")
+    } else {
+        format!("fungus-worker-{index}-g{generation}")
+    };
+    std::thread::Builder::new()
+        .name(name)
+        .spawn(move || worker_loop(ctx))
+        .map_err(io_err)
 }
 
 impl ServerHandle {
@@ -198,20 +241,24 @@ impl ServerHandle {
 
     /// Current counter values.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.metrics.snapshot()
+        self.stats.snapshot()
+    }
+
+    /// The live counter set (shared with every session).
+    pub fn stats(&self) -> &Arc<ServerStats> {
+        &self.stats
+    }
+
+    /// Completed decay-driver ticks (0 without a driver).
+    pub fn driver_ticks(&self) -> u64 {
+        self.driver.as_ref().map(|d| d.ticks()).unwrap_or(0)
     }
 
     /// Drains and stops the server: no new connections, in-flight
     /// requests finish and flush, the pool joins, the decay driver stops,
     /// and a checkpoint is written when configured.
     pub fn shutdown(mut self) -> Result<ShutdownReport> {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
+        self.stop_threads();
         if let Some(driver) = self.driver.take() {
             driver.stop();
         }
@@ -221,33 +268,28 @@ impl ServerHandle {
             checkpointed = true;
         }
         Ok(ShutdownReport {
-            metrics: self.metrics.snapshot(),
+            metrics: self.stats.snapshot(),
             checkpointed,
         })
+    }
+
+    fn stop_threads(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        if let Some(supervisor) = self.supervisor.take() {
+            let _ = supervisor.join();
+        }
+        for slot in self.workers.lock().drain(..) {
+            let _ = slot.handle.join();
+        }
     }
 }
 
 impl Drop for ServerHandle {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-    }
-}
-
-impl Metrics {
-    fn snapshot(&self) -> MetricsSnapshot {
-        MetricsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            requests: self.requests.load(Ordering::Relaxed),
-            responses: self.responses.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-        }
+        self.stop_threads();
     }
 }
 
@@ -255,7 +297,7 @@ fn accept_loop(
     listener: TcpListener,
     tx: Sender<TcpStream>,
     shutdown: Arc<AtomicBool>,
-    metrics: Arc<Metrics>,
+    stats: Arc<ServerStats>,
     active: Arc<AtomicUsize>,
     capacity: usize,
 ) {
@@ -264,12 +306,12 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 let _ = stream.set_nonblocking(false);
                 if active.load(Ordering::SeqCst) >= capacity {
-                    metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                    stats.rejected.fetch_add(1, Ordering::Relaxed);
                     reject(stream);
                     continue;
                 }
                 active.fetch_add(1, Ordering::SeqCst);
-                metrics.accepted.fetch_add(1, Ordering::Relaxed);
+                stats.accepted.fetch_add(1, Ordering::Relaxed);
                 if tx.send(stream).is_err() {
                     // Pool already gone (shutdown raced us).
                     active.fetch_sub(1, Ordering::SeqCst);
@@ -298,29 +340,105 @@ fn reject(mut stream: TcpStream) {
     }
 }
 
-fn worker_loop(
-    rx: Receiver<TcpStream>,
-    db: SharedDatabase,
-    shutdown: Arc<AtomicBool>,
-    metrics: Arc<Metrics>,
-    active: Arc<AtomicUsize>,
-    sessions: Arc<AtomicU64>,
-    config: ServerConfig,
-) {
+/// Joins workers that died, counts their panics, and spawns replacements
+/// so the pool never shrinks. A worker that *returns* (clean exit during
+/// shutdown, or channel closed) is not replaced — only panics are.
+fn supervisor_loop(workers: WorkerSet, ctx: WorkerCtx) {
+    let mut generation = 0u64;
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(POLL_SLICE);
+        let mut set = workers.lock();
+        let mut i = 0;
+        while i < set.len() {
+            if !set[i].handle.is_finished() {
+                i += 1;
+                continue;
+            }
+            let slot = set.remove(i);
+            let panicked = slot.handle.join().is_err();
+            if !panicked {
+                // Clean exit: shutdown (or a closed channel) is draining
+                // the pool; nothing to replace.
+                continue;
+            }
+            ctx.stats.worker_panics.fetch_add(1, Ordering::Relaxed);
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                continue;
+            }
+            generation += 1;
+            if let Ok(handle) = spawn_worker(slot.index, generation, ctx.clone()) {
+                ctx.stats.workers_respawned.fetch_add(1, Ordering::Relaxed);
+                set.push(WorkerSlot {
+                    index: slot.index,
+                    handle,
+                });
+            }
+        }
+    }
+}
+
+/// Decrements the active-connection count when the connection ends — by
+/// any exit, including a panic unwinding the worker, so a killed worker
+/// never leaks capacity.
+struct ActiveGuard(Arc<AtomicUsize>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn worker_loop(ctx: WorkerCtx) {
     loop {
-        match rx.recv_timeout(POLL_SLICE) {
+        match ctx.rx.recv_timeout(POLL_SLICE) {
             Ok(stream) => {
-                let id = sessions.fetch_add(1, Ordering::Relaxed) + 1;
-                let session = Session::new(id, db.clone());
-                serve_connection(stream, session, &shutdown, &metrics, &config);
-                active.fetch_sub(1, Ordering::SeqCst);
+                let _guard = ActiveGuard(Arc::clone(&ctx.active));
+                let id = ctx.sessions.fetch_add(1, Ordering::Relaxed) + 1;
+                let session = Session::new(id, ctx.db.clone()).with_stats(Arc::clone(&ctx.stats));
+                handle_connection(stream, id, session, &ctx);
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                if shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                if ctx.shutdown.load(Ordering::SeqCst) && ctx.rx.is_empty() {
                     return;
                 }
             }
             Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+/// Configures the socket, applies the fault plan, and serves the frame
+/// loop. An injected worker panic deliberately escapes this function —
+/// the supervisor's respawn path is part of what the chaos suite tests.
+fn handle_connection(stream: TcpStream, id: u64, session: Session, ctx: &WorkerCtx) {
+    let _ = stream.set_read_timeout(Some(POLL_SLICE));
+    let _ = stream.set_write_timeout(Some(ctx.config.write_timeout));
+    let _ = stream.set_nodelay(true);
+
+    match &ctx.config.fault_plan {
+        Some(plan) => {
+            let schedule = plan.schedule_for(id);
+            if schedule.panics_worker() {
+                // The unwind drops the stream (client sees a reset) and
+                // the ActiveGuard (capacity restored); the supervisor
+                // counts the corpse and respawns the worker.
+                panic!(
+                    "injected worker panic on connection {id} (fault seed {})",
+                    plan.seed()
+                );
+            }
+            if plan.wraps_streams() {
+                let mut faulty = Faulty::new(stream, schedule);
+                serve_connection(&mut faulty, session, &ctx.shutdown, &ctx.stats, &ctx.config);
+                ctx.stats.add_faults(faulty.injected());
+            } else {
+                let mut stream = stream;
+                serve_connection(&mut stream, session, &ctx.shutdown, &ctx.stats, &ctx.config);
+            }
+        }
+        None => {
+            let mut stream = stream;
+            serve_connection(&mut stream, session, &ctx.shutdown, &ctx.stats, &ctx.config);
         }
     }
 }
@@ -333,19 +451,15 @@ enum ReadStep {
     Failed(FrameError),
 }
 
-fn serve_connection(
-    mut stream: TcpStream,
+fn serve_connection<S: Read + Write>(
+    stream: &mut S,
     mut session: Session,
     shutdown: &AtomicBool,
-    metrics: &Metrics,
+    stats: &ServerStats,
     config: &ServerConfig,
 ) {
-    let _ = stream.set_read_timeout(Some(POLL_SLICE));
-    let _ = stream.set_write_timeout(Some(config.write_timeout));
-    let _ = stream.set_nodelay(true);
-
     loop {
-        match read_step(&mut stream, config.read_timeout) {
+        match read_step(stream, config.read_timeout) {
             ReadStep::Idle => {
                 // Between frames: an idle client is fine, but shutdown
                 // means we stop waiting for it.
@@ -355,22 +469,22 @@ fn serve_connection(
             }
             ReadStep::Eof => return,
             ReadStep::Failed(err) => {
-                metrics.errors.fetch_add(1, Ordering::Relaxed);
+                stats.errors.fetch_add(1, Ordering::Relaxed);
                 // Best effort: the stream may no longer be writable, and
                 // after a framing error it is not re-usable anyway.
                 if let Ok(payload) = Response::from_frame_error(&err).encode() {
-                    let _ = frame::write_frame(&mut stream, &payload);
+                    let _ = frame::write_frame(stream, &payload);
                 }
                 return;
             }
             ReadStep::Frame(payload) => {
-                metrics.requests.fetch_add(1, Ordering::Relaxed);
+                stats.requests.fetch_add(1, Ordering::Relaxed);
                 let response = match Request::decode(&payload) {
                     Ok(request) => session.handle(request),
                     Err(err) => Response::from_error(&err),
                 };
                 if response.is_error() {
-                    metrics.errors.fetch_add(1, Ordering::Relaxed);
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
                 let payload = match response.encode() {
                     Ok(p) => p,
@@ -381,10 +495,10 @@ fn serve_connection(
                     .encode()
                     .expect("static error response encodes"),
                 };
-                if frame::write_frame(&mut stream, &payload).is_err() {
+                if frame::write_frame(stream, &payload).is_err() {
                     return;
                 }
-                metrics.responses.fetch_add(1, Ordering::Relaxed);
+                stats.responses.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -396,7 +510,7 @@ fn serve_connection(
 /// slice so the caller can check the shutdown flag — an idle session may
 /// sit for hours. Once the first header byte has arrived the rest of the
 /// frame must follow within `read_timeout` (slow-loris defence).
-fn read_step(stream: &mut TcpStream, read_timeout: Duration) -> ReadStep {
+fn read_step<S: Read>(stream: &mut S, read_timeout: Duration) -> ReadStep {
     let mut header = [0u8; HEADER_LEN];
     match read_full(stream, &mut header, read_timeout, true) {
         Fill::Done => {}
@@ -451,12 +565,19 @@ enum Fill {
     Err(FrameError),
 }
 
-/// Fills `buf` from a socket whose read timeout is [`POLL_SLICE`].
+/// Fills `buf` from a stream whose blocking reads time out about every
+/// [`POLL_SLICE`] (the socket read timeout; injected `WouldBlock`s from a
+/// fault schedule land on the same arm).
 ///
 /// With `allow_idle`, a slice that delivers no first byte returns
 /// [`Fill::Idle`] (caller decides whether to keep waiting). After the
 /// first byte, timeouts keep polling until `deadline` has elapsed.
-fn read_full(stream: &mut TcpStream, buf: &mut [u8], deadline: Duration, allow_idle: bool) -> Fill {
+fn read_full<S: Read>(
+    stream: &mut S,
+    buf: &mut [u8],
+    deadline: Duration,
+    allow_idle: bool,
+) -> Fill {
     if buf.is_empty() {
         return Fill::Done;
     }
@@ -501,10 +622,9 @@ fn io_err(e: std::io::Error) -> FungusError {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::client::{Client, ClientError};
+    use crate::client::{Client, ClientError, RetryPolicy};
     use crate::protocol::{ErrorCode, Response};
     use fungus_core::Database;
-    use std::io::Write;
 
     fn test_db() -> SharedDatabase {
         let db = SharedDatabase::new(Database::new(5));
@@ -571,6 +691,7 @@ mod tests {
             Err(ClientError::Protocol(_)) | Err(ClientError::Disconnected) => {}
             Ok(()) => panic!("third connection should have been rejected"),
             Err(ClientError::Frame(_)) => {} // reset before the reply arrived
+            Err(ClientError::RetriesExhausted { .. }) => {}
         }
         drop(c3);
         c1.close();
@@ -618,6 +739,7 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         let now = handle.db().now();
         assert!(now.get() >= 10, "decay clock stuck at {now:?}");
+        assert!(handle.driver_ticks() >= 10, "driver tick counter stuck");
         client.close();
         handle.shutdown().unwrap();
     }
@@ -644,5 +766,90 @@ mod tests {
         restored.restore_checkpoint(&dir).unwrap();
         assert_eq!(restored.container("r").unwrap().read().live_count(), 2);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A worker scheduled to die takes only its own connection with it:
+    /// the supervisor respawns the worker, the counters record the death,
+    /// and the very next connection is served normally.
+    #[test]
+    fn worker_panic_is_isolated_and_respawned() {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+
+        let config = ServerConfig {
+            workers: 2,
+            // Doom the worker handling connection 1; no stream faults.
+            fault_plan: Some(FaultPlan::new(77).with_worker_panic_on(1)),
+            ..ServerConfig::default()
+        };
+        let handle = serve(test_db(), config).unwrap();
+
+        // Connection 1: its worker dies; the client sees a dead socket,
+        // not a valid response.
+        let mut doomed = Client::connect(handle.addr()).unwrap();
+        assert!(doomed.ping().is_err(), "doomed connection answered");
+        drop(doomed);
+
+        // Wait for the supervisor to notice and respawn.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while handle.metrics().workers_respawned < 1 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        std::panic::set_hook(prev);
+        let m = handle.metrics();
+        assert_eq!(m.worker_panics, 1, "{m:?}");
+        assert_eq!(m.workers_respawned, 1, "{m:?}");
+
+        // The pool is whole again: two fresh connections both work.
+        let mut a = Client::connect(handle.addr()).unwrap();
+        let mut b = Client::connect(handle.addr()).unwrap();
+        a.ping().unwrap();
+        b.ping().unwrap();
+        a.close();
+        b.close();
+        handle.shutdown().unwrap();
+    }
+
+    /// Stream faults tear frames and drop connections, but a retrying
+    /// client gets every idempotent request through, and the server's
+    /// protocol handling never corrupts a response.
+    #[test]
+    fn faulty_streams_are_survivable_with_retry() {
+        let config = ServerConfig {
+            fault_plan: Some(
+                FaultPlan::new(21)
+                    .with_torn_writes(0.10)
+                    .with_disconnects(0.05)
+                    .with_transients(0.10),
+            ),
+            ..ServerConfig::default()
+        };
+        let handle = serve(test_db(), config).unwrap();
+        let mut client = Client::connect_with_retry(
+            handle.addr(),
+            RetryPolicy::new(99)
+                .with_max_attempts(8)
+                .with_base_delay(Duration::from_millis(1)),
+        )
+        .unwrap();
+
+        let mut ok = 0u32;
+        for _ in 0..50 {
+            // Idempotent probes: every one must eventually succeed.
+            let resp = client.dot(".containers").expect("retry exhausted");
+            assert_eq!(resp.row_count(), Some(1), "corrupted response");
+            ok += 1;
+        }
+        assert_eq!(ok, 50);
+        let stats = client.stats();
+        client.close();
+        let report = handle.shutdown().unwrap();
+        assert!(
+            report.metrics.faults_injected > 0,
+            "plan injected nothing: {:?}",
+            report.metrics
+        );
+        // The client felt the faults (retries happened) but hid them.
+        assert!(stats.retries > 0, "suspiciously clean run: {stats:?}");
     }
 }

@@ -9,10 +9,13 @@
 //! its lock inside [`Session::handle`], which is what lets hundreds of
 //! sessions share one catalog without starving the decay driver.
 
+use std::sync::Arc;
+
 use fungus_core::{HealthReport, SharedDatabase};
 use fungus_types::Value;
 
-use crate::protocol::{ErrorCode, HealthSummary, Request, Response};
+use crate::protocol::{ErrorCode, HealthSummary, Request, Response, StatsSummary};
+use crate::stats::ServerStats;
 
 /// One client's server-side state.
 pub struct Session {
@@ -20,6 +23,7 @@ pub struct Session {
     db: SharedDatabase,
     statements: u64,
     rng_seed: u64,
+    stats: Option<Arc<ServerStats>>,
 }
 
 impl Session {
@@ -34,7 +38,18 @@ impl Session {
             db,
             statements: 0,
             rng_seed: z ^ (z >> 31),
+            stats: None,
         }
+    }
+
+    /// Attaches the server's shared counters, which lets `.health` and
+    /// `.stats` report fault/panic/respawn telemetry. Sessions built
+    /// without stats (unit tests, embedded use) answer those commands
+    /// with the per-container data only.
+    #[must_use]
+    pub fn with_stats(mut self, stats: Arc<ServerStats>) -> Self {
+        self.stats = Some(stats);
+        self
     }
 
     /// The session id.
@@ -116,8 +131,36 @@ impl Session {
                         .map(|(name, report)| summarise(&name, &report))
                         .collect(),
                 };
-                Response::Health { reports }
+                Response::Health {
+                    reports,
+                    server: self.stats_summary(),
+                }
             }
+            ".stats" => match self.stats_summary() {
+                Some(s) => Response::Rows {
+                    columns: vec!["counter".into(), "value".into()],
+                    rows: vec![
+                        ("accepted", s.accepted),
+                        ("rejected", s.rejected),
+                        ("requests", s.requests),
+                        ("responses", s.responses),
+                        ("errors", s.errors),
+                        ("faults_injected", s.faults_injected),
+                        ("worker_panics", s.worker_panics),
+                        ("workers_respawned", s.workers_respawned),
+                        ("driver_ticks", s.driver_ticks),
+                    ]
+                    .into_iter()
+                    .map(|(name, v)| vec![Value::Str(name.into()), Value::Int(v as i64)])
+                    .collect(),
+                    distilled: 0,
+                    consumed: 0,
+                },
+                None => Response::Error {
+                    code: ErrorCode::Execution,
+                    message: "no server stats attached to this session".into(),
+                },
+            },
             ".containers" => {
                 let names = self.db.container_names();
                 Response::Rows {
@@ -150,10 +193,18 @@ impl Session {
             other => Response::Error {
                 code: ErrorCode::Parse,
                 message: format!(
-                    "unknown command `{other}` (try .ping .tick .health .containers .session)"
+                    "unknown command `{other}` \
+                     (try .ping .tick .health .containers .session .stats)"
                 ),
             },
         }
+    }
+
+    /// The server counters in wire form, when this session has them.
+    fn stats_summary(&self) -> Option<StatsSummary> {
+        self.stats
+            .as_ref()
+            .map(|s| StatsSummary::from(s.snapshot()))
     }
 }
 
@@ -257,6 +308,38 @@ mod tests {
             line: ".nonsense".into(),
         });
         assert!(r.is_error());
+    }
+
+    #[test]
+    fn stats_command_needs_attached_counters() {
+        let mut bare = session();
+        let r = bare.handle(Request::Dot {
+            line: ".stats".into(),
+        });
+        assert!(r.is_error(), "{r:?}");
+
+        let stats = Arc::new(crate::stats::ServerStats::default());
+        let mut s = session().with_stats(Arc::clone(&stats));
+        let r = s.handle(Request::Dot {
+            line: ".stats".into(),
+        });
+        assert_eq!(r.row_count(), Some(9), "{r:?}");
+        // `.health` carries the same summary inline.
+        let r = s.handle(Request::Dot {
+            line: ".health".into(),
+        });
+        match r {
+            Response::Health { server, .. } => assert!(server.is_some()),
+            other => panic!("{other:?}"),
+        }
+        // Without stats, `.health` still works, just without the summary.
+        let r = bare.handle(Request::Dot {
+            line: ".health".into(),
+        });
+        match r {
+            Response::Health { server, .. } => assert!(server.is_none()),
+            other => panic!("{other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Shared server counters, fault accounting included.
+//!
+//! One [`ServerStats`] is shared by the accept thread, every worker, the
+//! supervisor that respawns dead workers, and every [`Session`] (so the
+//! `.health` / `.stats` dot commands can report it). All counters are
+//! monotone relaxed atomics — they are operational telemetry, not
+//! synchronisation.
+//!
+//! [`Session`]: crate::session::Session
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Monotone counters shared by every server thread.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections handed to the worker pool.
+    pub(crate) accepted: AtomicU64,
+    /// Connections refused at capacity.
+    pub(crate) rejected: AtomicU64,
+    /// Requests decoded.
+    pub(crate) requests: AtomicU64,
+    /// Responses written back.
+    pub(crate) responses: AtomicU64,
+    /// Error responses among them (protocol + engine failures).
+    pub(crate) errors: AtomicU64,
+    /// Faults the injection layer put on connection streams.
+    pub(crate) faults_injected: AtomicU64,
+    /// Worker threads that died to a panic (injected or organic).
+    pub(crate) worker_panics: AtomicU64,
+    /// Replacement workers the supervisor spawned.
+    pub(crate) workers_respawned: AtomicU64,
+    /// Decay-driver tick counter, linked once the driver is spawned.
+    driver_ticks: Mutex<Option<Arc<AtomicU64>>>,
+}
+
+/// A point-in-time copy of the server counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    /// Connections handed to the worker pool.
+    pub accepted: u64,
+    /// Connections refused at capacity.
+    pub rejected: u64,
+    /// Requests decoded.
+    pub requests: u64,
+    /// Responses written back (absent faults, exactly one per request;
+    /// under fault injection a torn response leaves a gap).
+    pub responses: u64,
+    /// Error responses among them (protocol + engine failures).
+    pub errors: u64,
+    /// Faults injected into connection streams by the fault plan.
+    pub faults_injected: u64,
+    /// Worker threads lost to panics.
+    pub worker_panics: u64,
+    /// Workers the supervisor respawned to replace them.
+    pub workers_respawned: u64,
+    /// Completed decay-driver ticks (0 when no driver is configured).
+    pub driver_ticks: u64,
+}
+
+impl ServerStats {
+    /// Links the decay driver's tick counter so snapshots (and the
+    /// `.stats` command) can report maintenance progress.
+    pub(crate) fn link_driver(&self, ticks: Arc<AtomicU64>) {
+        *self.driver_ticks.lock() = Some(ticks);
+    }
+
+    /// Adds stream-fault injections from a finished connection.
+    pub(crate) fn add_faults(&self, n: u64) {
+        if n > 0 {
+            self.faults_injected.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Completed decay-driver ticks (0 without a driver).
+    pub fn driver_ticks(&self) -> u64 {
+        self.driver_ticks
+            .lock()
+            .as_ref()
+            .map(|t| t.load(Ordering::Relaxed))
+            .unwrap_or(0)
+    }
+
+    /// Copies every counter.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
+            driver_ticks: self.driver_ticks(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_counters_and_driver_link() {
+        let stats = ServerStats::default();
+        stats.requests.fetch_add(3, Ordering::Relaxed);
+        stats.add_faults(2);
+        stats.add_faults(0);
+        let snap = stats.snapshot();
+        assert_eq!(snap.requests, 3);
+        assert_eq!(snap.faults_injected, 2);
+        assert_eq!(snap.driver_ticks, 0, "no driver linked yet");
+
+        let ticks = Arc::new(AtomicU64::new(17));
+        stats.link_driver(Arc::clone(&ticks));
+        assert_eq!(stats.snapshot().driver_ticks, 17);
+        ticks.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(stats.driver_ticks(), 18);
+    }
+}

@@ -33,6 +33,35 @@ impl ClientOp {
             ClientOp::Sql(s) | ClientOp::Dot(s) => s,
         }
     }
+
+    /// Whether a client may blindly re-send this operation after an
+    /// ambiguous transport failure (connection died between send and
+    /// response). Mirrors the server client's idempotency guard: probes
+    /// and non-`CONSUME` `SELECT`s are safe; `INSERT`s, consuming reads,
+    /// and `.tick` are not — replaying those could double-write, consume
+    /// a second batch, or advance the decay clock twice.
+    ///
+    /// This lives here (textually, not via `fungus-server` types) because
+    /// the workload crate sits *below* the server crate; the two
+    /// classifications are kept in lockstep by the chaos suite.
+    pub fn is_retry_safe(&self) -> bool {
+        match self {
+            ClientOp::Dot(line) => {
+                let verb = line.split_whitespace().next().unwrap_or("");
+                matches!(
+                    verb,
+                    ".ping" | ".health" | ".containers" | ".session" | ".stats"
+                )
+            }
+            ClientOp::Sql(sql) => {
+                let head = sql.trim_start();
+                let is_select = head
+                    .get(..6)
+                    .is_some_and(|h| h.eq_ignore_ascii_case("select"));
+                is_select && !sql.to_ascii_uppercase().contains("CONSUME")
+            }
+        }
+    }
 }
 
 /// A deterministic per-client operation stream: ingest + recency-biased
@@ -46,6 +75,7 @@ pub struct ClientMix {
     insert_w: f64,
     batch_max: usize,
     health_every: u64,
+    fault_aware: bool,
     issued: u64,
 }
 
@@ -80,6 +110,7 @@ impl ClientMix {
             insert_w: 0.5,
             batch_max: 4,
             health_every: 0,
+            fault_aware: false,
             issued: 0,
         }
     }
@@ -106,6 +137,28 @@ impl ClientMix {
         self
     }
 
+    /// Fault-aware mode, for driving a server behind a faulty transport:
+    /// reads stay non-consuming (harvest shapes are demoted to plain
+    /// stale scans) so every query in the stream is safe for the
+    /// client's retry layer to replay ([`ClientOp::is_retry_safe`]).
+    /// `INSERT`s still flow — a chaos run needs writes to have something
+    /// to corrupt — but they surface transport failures to the harness
+    /// instead of being retried. Overrides any earlier
+    /// [`with_consuming_reads`](Self::with_consuming_reads).
+    #[must_use]
+    pub fn with_fault_aware(mut self, on: bool) -> Self {
+        self.fault_aware = on;
+        if on {
+            self.mix = self.mix.with_consuming_reads(false);
+        }
+        self
+    }
+
+    /// Whether fault-aware mode is on.
+    pub fn fault_aware(&self) -> bool {
+        self.fault_aware
+    }
+
     /// Operations drawn so far.
     pub fn issued(&self) -> u64 {
         self.issued
@@ -122,7 +175,14 @@ impl ClientMix {
         if self.rng.gen::<f64>() < self.insert_w {
             ClientOp::Sql(self.insert_statement())
         } else {
-            let (_, sql) = self.mix.next_statement(now);
+            let (_, mut sql) = self.mix.next_statement(now);
+            // Harvest shapes always consume; in fault-aware mode demote
+            // them to plain stale scans so every read stays replayable.
+            if self.fault_aware {
+                if let Some(stripped) = sql.strip_suffix(" CONSUME") {
+                    sql = stripped.to_string();
+                }
+            }
             ClientOp::Sql(sql)
         }
     }
@@ -167,6 +227,34 @@ mod tests {
                     parse_statement(&sql).unwrap_or_else(|e| panic!("`{sql}`: {e}"));
                 }
                 ClientOp::Dot(line) => assert!(line.starts_with('.')),
+            }
+        }
+    }
+
+    #[test]
+    fn retry_safety_matches_the_server_guard() {
+        assert!(ClientOp::Dot(".health r".into()).is_retry_safe());
+        assert!(ClientOp::Dot(".stats".into()).is_retry_safe());
+        assert!(ClientOp::Sql("SELECT * FROM r WHERE sensor = 3".into()).is_retry_safe());
+        assert!(!ClientOp::Dot(".tick 4".into()).is_retry_safe());
+        assert!(!ClientOp::Sql("SELECT * FROM r CONSUME".into()).is_retry_safe());
+        assert!(!ClientOp::Sql("INSERT INTO r VALUES (1, 2.0)".into()).is_retry_safe());
+    }
+
+    #[test]
+    fn fault_aware_mode_keeps_all_reads_replayable() {
+        let mut mix = ClientMix::new(5, "r", "sensor", "reading", 20, 16)
+            .with_consuming_reads(true)
+            .with_health_every(10)
+            .with_fault_aware(true);
+        assert!(mix.fault_aware());
+        for i in 0..256u64 {
+            let op = mix.next_op(Tick(i + 1));
+            if !op.text().starts_with("INSERT") {
+                assert!(
+                    op.is_retry_safe(),
+                    "unsafe read in fault-aware mode: {op:?}"
+                );
             }
         }
     }

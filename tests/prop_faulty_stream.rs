@@ -1,0 +1,240 @@
+//! Property tests for the fault-injection layer and the client retry
+//! policy — the two halves of the chaos suite's survivability claim.
+//!
+//! The core theorem, stated over arbitrary frame streams and fault
+//! seeds: a faulty transport can **truncate** a conversation but never
+//! **corrupt** it. Whatever the schedule does, the frames that come out
+//! of the decoder are exactly a prefix of the fault-free decode, and the
+//! terminal condition is clean EOF or a typed `Truncated` error — never
+//! a garbled frame, never a panic.
+//!
+//! The retry half pins the backoff schedule's contract: monotone
+//! non-decreasing delays, every delay within the cap, the attempt budget
+//! exact, and the same seed replaying the same jitter.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use spacefungus::fungus_server::frame::encode_frame;
+use spacefungus::fungus_server::{
+    drain_frames, Client, ClientError, FaultPlan, Faulty, FrameError, RetryPolicy,
+};
+
+/// Read-side fault pipe: the payloads as one encoded byte stream, served
+/// through a [`Faulty`] reader under the given plan and connection id.
+fn faulty_decode(
+    payloads: &[Vec<u8>],
+    plan: &FaultPlan,
+    conn: u64,
+) -> (Vec<Vec<u8>>, Option<FrameError>) {
+    let mut stream = Vec::new();
+    for p in payloads {
+        stream.extend_from_slice(&encode_frame(p).unwrap());
+    }
+    let mut faulty = Faulty::new(stream.as_slice(), plan.schedule_for(conn));
+    drain_frames(&mut faulty)
+}
+
+proptest! {
+    /// Under any fault schedule, decoding through the faulty stream
+    /// yields a prefix of the original frame sequence, and the terminal
+    /// condition is clean (None) or a typed Truncated error. Oversized
+    /// is impossible for well-formed input; garbled frames would show up
+    /// as a non-prefix mismatch.
+    #[test]
+    fn faulty_streams_truncate_but_never_corrupt(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200usize),
+            1..8usize,
+        ),
+        seed in any::<u64>(),
+        conn in 1u64..64,
+        disconnect in 0.0f64..0.3,
+        transient in 0.0f64..0.4,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_disconnects(disconnect)
+            .with_transients(transient);
+        let (frames, err) = faulty_decode(&payloads, &plan, conn);
+
+        prop_assert!(frames.len() <= payloads.len());
+        for (got, want) in frames.iter().zip(payloads.iter()) {
+            prop_assert_eq!(got, want, "frame garbled in transit");
+        }
+        match err {
+            None => {}
+            Some(FrameError::Truncated { have, need }) => prop_assert!(have < need),
+            Some(other) => prop_assert!(false, "unexpected terminal error {:?}", other),
+        }
+    }
+
+    /// The same plan and connection id replay the *exact* same decode —
+    /// frames and terminal error both — while a different seed is free to
+    /// diverge. This is what makes a chaos failure reproducible from its
+    /// seed alone.
+    #[test]
+    fn fault_schedules_replay_deterministically(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 1..64usize),
+            1..5usize,
+        ),
+        seed in any::<u64>(),
+        conn in 1u64..16,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_disconnects(0.1)
+            .with_transients(0.2);
+        let first = faulty_decode(&payloads, &plan, conn);
+        let second = faulty_decode(&payloads, &plan, conn);
+        prop_assert_eq!(first, second);
+    }
+
+    /// Torn writes obey the prefix property at the byte level: whatever
+    /// lands in the inner stream is a strict prefix of what was sent.
+    #[test]
+    fn torn_writes_emit_strict_prefixes(
+        payload in proptest::collection::vec(any::<u8>(), 1..300usize),
+        seed in any::<u64>(),
+    ) {
+        let frame = encode_frame(&payload).unwrap();
+        let plan = FaultPlan::new(seed).with_torn_writes(1.0);
+        let mut out = Vec::new();
+        {
+            let mut w = Faulty::new(&mut out, plan.schedule_for(1));
+            let err = std::io::Write::write_all(&mut w, &frame).unwrap_err();
+            prop_assert_eq!(err.kind(), std::io::ErrorKind::ConnectionReset);
+            prop_assert!(w.is_dead());
+        }
+        prop_assert!(out.len() < frame.len());
+        prop_assert_eq!(&out[..], &frame[..out.len()]);
+    }
+
+    /// Purely transient fault plans (WouldBlock/Interrupted/delays, no
+    /// stream kills) are invisible to a retrying reader: every frame
+    /// arrives intact.
+    #[test]
+    fn transient_only_plans_lose_nothing(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..128usize),
+            1..6usize,
+        ),
+        seed in any::<u64>(),
+        transient in 0.0f64..0.9,
+    ) {
+        let plan = FaultPlan::new(seed)
+            .with_transients(transient)
+            .with_read_delays(0.05, Duration::from_micros(50));
+        let (frames, err) = faulty_decode(&payloads, &plan, 5);
+        prop_assert_eq!(frames, payloads);
+        prop_assert_eq!(err, None);
+    }
+
+    /// Backoff schedules are monotone non-decreasing, capped, exactly
+    /// `max_attempts - 1` long, and reproducible from their seed.
+    #[test]
+    fn backoff_schedules_are_monotone_capped_and_seeded(
+        seed in any::<u64>(),
+        attempts in 1u32..12,
+        base_ms in 0u64..20,
+        cap_ms in 1u64..200,
+    ) {
+        let policy = RetryPolicy::new(seed)
+            .with_max_attempts(attempts)
+            .with_base_delay(Duration::from_millis(base_ms))
+            .with_max_delay(Duration::from_millis(cap_ms));
+        let delays = policy.backoff_delays();
+
+        prop_assert_eq!(delays.len(), attempts.saturating_sub(1) as usize);
+        for pair in delays.windows(2) {
+            prop_assert!(pair[0] <= pair[1], "delays not monotone: {:?}", delays);
+        }
+        let cap = Duration::from_millis(cap_ms);
+        prop_assert!(delays.iter().all(|d| *d <= cap), "delay above cap: {:?}", delays);
+        prop_assert_eq!(delays, policy.backoff_delays(), "same seed must replay");
+    }
+
+    /// Jitter stays within one base-delay of the deterministic
+    /// exponential floor (before capping), so backoff timing is
+    /// predictable to within the documented bound.
+    #[test]
+    fn jitter_is_bounded_by_one_base_delay(
+        seed in any::<u64>(),
+        base_ms in 1u64..10,
+    ) {
+        let base = Duration::from_millis(base_ms);
+        let policy = RetryPolicy::new(seed)
+            .with_max_attempts(6)
+            .with_base_delay(base)
+            .with_max_delay(Duration::from_secs(3600)); // cap out of the way
+        for (i, d) in policy.backoff_delays().into_iter().enumerate() {
+            let floor = base * 2u32.pow(i as u32);
+            prop_assert!(d >= floor, "delay {i} below exponential floor");
+            prop_assert!(d < floor + base, "delay {i} jittered past one base");
+        }
+    }
+}
+
+/// The attempt budget is exact: against an address that accepts and
+/// immediately hangs up, an idempotent request fails with
+/// `RetriesExhausted` whose attempt count equals the policy budget, and
+/// the client's retry counter shows budget − 1 resends.
+#[test]
+fn retry_budget_is_respected_against_a_hostile_server() {
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    // Accept and instantly drop every connection. Deliberately not
+    // joined: the thread parks in accept() once the client gives up.
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            drop(stream);
+        }
+    });
+
+    let budget = 5u32;
+    let policy = RetryPolicy::new(3)
+        .with_max_attempts(budget)
+        .with_base_delay(Duration::from_millis(1))
+        .with_max_delay(Duration::from_millis(4));
+    let mut client = Client::connect_with_retry(addr, policy).unwrap();
+    match client.dot(".health") {
+        Err(ClientError::RetriesExhausted { attempts, last }) => {
+            assert_eq!(attempts, budget, "attempt budget not exact");
+            assert!(last.is_transport(), "final error not transport: {last}");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
+    assert_eq!(client.stats().retries, u64::from(budget) - 1);
+}
+
+/// Non-idempotent requests never enter the retry loop: one transport
+/// error, zero resends, and the error surfaces unchanged.
+#[test]
+fn consuming_requests_are_never_replayed() {
+    use std::net::TcpListener;
+
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            drop(stream);
+        }
+    });
+
+    let policy = RetryPolicy::new(9)
+        .with_max_attempts(6)
+        .with_base_delay(Duration::from_millis(1));
+    let mut client = Client::connect_with_retry(addr, policy).unwrap();
+    let err = client
+        .sql("SELECT * FROM r CONSUME")
+        .expect_err("hostile server must fail the request");
+    assert!(
+        !matches!(err, ClientError::RetriesExhausted { .. }),
+        "consuming read went through the retry loop: {err:?}"
+    );
+    assert!(err.is_transport());
+    assert_eq!(client.stats().retries, 0, "non-idempotent op was resent");
+    assert_eq!(client.stats().not_retried, 1);
+}
