@@ -120,19 +120,58 @@ impl WeightedIndexSampler {
     }
 
     /// Draws `k` distinct indices (or fewer if fewer have positive weight),
-    /// re-weighting after each draw. O(k·n); fine for the small `k` fungi
-    /// use per tick.
+    /// re-weighting after each draw.
+    ///
+    /// Weights are evaluated exactly once per index and memoised — the
+    /// closure may be expensive (EGI's is a `powf` per live tuple), and the
+    /// naive re-evaluation made every draw cost two weight passes. The
+    /// draw itself keeps the same sequential accumulate-and-walk
+    /// arithmetic as [`sample`](Self::sample) (a chosen index contributes
+    /// exactly like a zero weight), so the picks and the RNG stream are
+    /// bit-identical to the unmemoised form.
     pub fn sample_distinct<R: RngCore>(
         rng: &mut R,
         n: usize,
         k: usize,
         mut w: impl FnMut(usize) -> f64,
     ) -> Vec<usize> {
+        let mut weights: Vec<f64> = (0..n)
+            .map(|i| {
+                let wi = w(i);
+                if wi.is_finite() && wi > 0.0 {
+                    wi
+                } else {
+                    0.0
+                }
+            })
+            .collect();
         let mut chosen: Vec<usize> = Vec::with_capacity(k.min(n));
         for _ in 0..k {
-            let picked = Self::sample(rng, n, |i| if chosen.contains(&i) { 0.0 } else { w(i) });
-            match picked {
-                Some(i) => chosen.push(i),
+            let mut total = 0.0f64;
+            for &wi in &weights {
+                if wi > 0.0 {
+                    total += wi;
+                }
+            }
+            if total <= 0.0 {
+                break;
+            }
+            let mut target = rng.gen_range(0.0..total);
+            let mut last_positive = None;
+            for (i, &wi) in weights.iter().enumerate() {
+                if wi > 0.0 {
+                    last_positive = Some(i);
+                    if target < wi {
+                        break;
+                    }
+                    target -= wi;
+                }
+            }
+            match last_positive {
+                Some(i) => {
+                    chosen.push(i);
+                    weights[i] = 0.0;
+                }
                 None => break,
             }
         }
@@ -212,6 +251,44 @@ mod tests {
         // Asking for more than available positive weights truncates.
         let picks = WeightedIndexSampler::sample_distinct(&mut rng, 3, 10, |_| 1.0);
         assert_eq!(picks.len(), 3);
+    }
+
+    #[test]
+    fn memoised_distinct_matches_naive_rejection_form() {
+        // The memoised sampler must consume the RNG and pick exactly like
+        // the original draw-and-mask formulation.
+        fn naive<R: RngCore>(
+            rng: &mut R,
+            n: usize,
+            k: usize,
+            w: impl Fn(usize) -> f64,
+        ) -> Vec<usize> {
+            let mut chosen: Vec<usize> = Vec::new();
+            for _ in 0..k {
+                let picked = WeightedIndexSampler::sample(rng, n, |i| {
+                    if chosen.contains(&i) {
+                        0.0
+                    } else {
+                        w(i)
+                    }
+                });
+                match picked {
+                    Some(i) => chosen.push(i),
+                    None => break,
+                }
+            }
+            chosen
+        }
+        let w = |i: usize| ((i % 7) as f64).powf(3.2).max(1e-9);
+        for seed in 0..20u64 {
+            let mut a = DeterministicRng::new(seed).stream("t");
+            let mut b = DeterministicRng::new(seed).stream("t");
+            let fast = WeightedIndexSampler::sample_distinct(&mut a, 200, 5, w);
+            let slow = naive(&mut b, 200, 5, w);
+            assert_eq!(fast, slow, "seed {seed}");
+            // Streams stayed in lockstep afterwards too.
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
     }
 
     #[test]

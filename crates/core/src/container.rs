@@ -2,11 +2,13 @@
 
 use fungus_clock::DeterministicRng;
 use fungus_fungi::Fungus;
-use fungus_query::{execute, LogicalPlan, Planner, ResultSet, SelectStatement};
+use fungus_query::{execute, LogicalPlan, Planner, QueryExtent, ResultSet, SelectStatement};
+use fungus_shard::ShardedExtent;
 use fungus_storage::{SpotCensus, TableStats, TableStore};
 use fungus_types::{Result, Schema, Tick, Tuple, TupleId, Value};
 
 use crate::distill::Distiller;
+use crate::extent::Extent;
 use crate::metrics::EngineMetrics;
 use crate::policy::ContainerPolicy;
 
@@ -26,7 +28,7 @@ pub struct DecayReport {
 /// The paper's relation `R(t, f, A1..An)` with its attached fungus.
 pub struct Container {
     name: String,
-    store: TableStore,
+    extent: Extent,
     policy: ContainerPolicy,
     fungus: Box<dyn Fungus>,
     distiller: Distiller,
@@ -51,10 +53,18 @@ impl Container {
             &schema,
             container_rng.derive_seed("distill"),
         )?;
-        let store = TableStore::new(schema, policy.storage.clone())?;
+        let extent = match policy.sharding {
+            Some(spec) => Extent::Sharded(ShardedExtent::new(
+                schema,
+                policy.storage.clone(),
+                spec,
+                &container_rng,
+            )?),
+            None => Extent::Mono(TableStore::new(schema, policy.storage.clone())?),
+        };
         Ok(Container {
             name,
-            store,
+            extent,
             policy,
             fungus,
             distiller,
@@ -64,7 +74,9 @@ impl Container {
 
     /// Rebuilds a container around a restored store (snapshot recovery).
     /// The fungus restarts from its seed; summaries restart empty (they
-    /// describe departed data, which the snapshot does not carry).
+    /// describe departed data, which the snapshot does not carry). If the
+    /// policy asks for sharding, the monolithic snapshot is re-sharded on
+    /// the way in.
     pub fn from_store(
         name: impl Into<String>,
         store: TableStore,
@@ -80,9 +92,17 @@ impl Container {
             store.schema(),
             container_rng.derive_seed("distill"),
         )?;
+        let extent = match policy.sharding {
+            Some(spec) => Extent::Sharded(ShardedExtent::from_monolithic(
+                &store,
+                spec,
+                &container_rng,
+            )?),
+            None => Extent::Mono(store),
+        };
         Ok(Container {
             name,
-            store,
+            extent,
             policy,
             fungus,
             distiller,
@@ -97,7 +117,7 @@ impl Container {
 
     /// The container's schema.
     pub fn schema(&self) -> &Schema {
-        self.store.schema()
+        self.extent.schema()
     }
 
     /// The active policy.
@@ -105,15 +125,39 @@ impl Container {
         &self.policy
     }
 
-    /// Immutable view of the underlying store.
-    pub fn store(&self) -> &TableStore {
-        &self.store
+    /// The underlying extent, whatever its layout.
+    pub fn extent(&self) -> &Extent {
+        &self.extent
     }
 
-    /// Mutable access to the store, for advanced callers (experiments that
-    /// drive decay by hand). Invariants are maintained by the store itself.
+    /// Mutable access to the extent, for advanced callers (experiments
+    /// that drive decay by hand). Invariants are maintained by the extent
+    /// itself.
+    pub fn extent_mut(&mut self) -> &mut Extent {
+        &mut self.extent
+    }
+
+    /// Immutable view of the underlying store.
+    ///
+    /// # Panics
+    ///
+    /// If the container is sharded; use [`extent`](Self::extent) (or
+    /// [`Extent::as_sharded`]) for layout-aware access.
+    pub fn store(&self) -> &TableStore {
+        self.extent
+            .as_store()
+            .expect("store(): container is sharded; use extent()")
+    }
+
+    /// Mutable access to the monolithic store.
+    ///
+    /// # Panics
+    ///
+    /// If the container is sharded; use [`extent_mut`](Self::extent_mut).
     pub fn store_mut(&mut self) -> &mut TableStore {
-        &mut self.store
+        self.extent
+            .as_store_mut()
+            .expect("store_mut(): container is sharded; use extent_mut()")
     }
 
     /// Operation counters.
@@ -128,12 +172,22 @@ impl Container {
 
     /// Live tuple count.
     pub fn live_count(&self) -> usize {
-        self.store.live_count()
+        self.extent.live_count()
+    }
+
+    /// Resident shard count (1 for a monolithic container).
+    pub fn shard_count(&self) -> usize {
+        self.extent.shard_count()
+    }
+
+    /// Whole shards skipped by query-time shard pruning so far.
+    pub fn shards_pruned(&self) -> u64 {
+        self.extent.shards_pruned()
     }
 
     /// Inserts one row at `now`.
     pub fn insert(&mut self, values: Vec<Value>, now: Tick) -> Result<TupleId> {
-        let id = self.store.insert(values, now)?;
+        let id = QueryExtent::insert(&mut self.extent, values, now)?;
         self.metrics.inserts += 1;
         Ok(id)
     }
@@ -150,13 +204,13 @@ impl Container {
 
     /// Plans a parsed SELECT against this container.
     pub fn plan(&self, stmt: &SelectStatement) -> Result<LogicalPlan> {
-        Planner.plan(stmt, self.store.schema())
+        Planner.plan(stmt, self.extent.schema())
     }
 
     /// Executes a plan at `now`, routing consumed tuples through the
     /// distiller (second natural law + cooking).
     pub fn query(&mut self, plan: &LogicalPlan, now: Tick) -> Result<ResultSet> {
-        let result = execute(plan, &mut self.store, now)?;
+        let result = execute(plan, &mut self.extent, now)?;
         self.metrics.queries += 1;
         if plan.consume {
             self.metrics.consuming_queries += 1;
@@ -178,10 +232,11 @@ impl Container {
     /// evicted tuples (already distilled) so the caller can route them to
     /// other containers — the engine's rot-routing path.
     pub fn decay_tick_collect(&mut self, now: Tick) -> (DecayReport, Vec<Tuple>) {
-        self.fungus.tick(&mut self.store, now);
+        self.fungus.tick(&mut self.extent, now);
         self.metrics.decay_passes += 1;
 
-        let evicted: Vec<Tuple> = self.store.evict_rotten();
+        let drops_before = self.extent.shards_dropped();
+        let evicted: Vec<Tuple> = self.extent.evict_rotten();
         let before = self.distiller.total_absorbed();
         self.distiller.absorb_all(&evicted, true);
         let distilled = self.distiller.total_absorbed() - before;
@@ -193,13 +248,16 @@ impl Container {
 
         let compacted = match self.policy.compact_every {
             Some(every) if every > 0 && self.metrics.decay_passes.is_multiple_of(every) => {
-                let report = self.store.compact();
+                let report = self.extent.compact();
                 self.metrics.compactions += 1;
                 self.metrics.segments_dropped += report.segments_dropped as u64;
                 true
             }
             _ => false,
         };
+        // Rot drops happen during eviction; dead-shard drops during
+        // compaction. Count both after the pass.
+        self.metrics.shards_dropped += self.extent.shards_dropped() - drops_before;
 
         (
             DecayReport {
@@ -226,18 +284,18 @@ impl Container {
 
     /// Point-in-time storage statistics.
     pub fn stats(&self, now: Tick) -> TableStats {
-        self.store.stats(now)
+        self.extent.stats(now)
     }
 
     /// Census of rotting spots and holes (the Blue-Cheese structure).
     pub fn spot_census(&self) -> SpotCensus {
-        SpotCensus::collect(&self.store)
+        self.extent.census()
     }
 
     /// Cures every infection — the "owner taking care" intervention the
     /// paper mentions ("when not being taking care of by its owner").
     pub fn cure_all(&mut self) -> usize {
-        self.store.cure_all()
+        self.extent.cure_all()
     }
 }
 
@@ -245,7 +303,8 @@ impl std::fmt::Debug for Container {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Container")
             .field("name", &self.name)
-            .field("live", &self.store.live_count())
+            .field("live", &self.extent.live_count())
+            .field("shards", &self.extent.shard_count())
             .field("fungus", &self.fungus.name())
             .finish_non_exhaustive()
     }
@@ -413,6 +472,49 @@ mod tests {
         let cured = c.cure_all();
         assert!(cured > 0);
         assert_eq!(c.store().infected_count(), 0);
+    }
+
+    #[test]
+    fn sharded_container_matches_monolithic_run() {
+        let run = |sharding: Option<fungus_shard::ShardSpec>| {
+            let mut policy = ContainerPolicy::new(FungusSpec::Egi(Default::default()))
+                .with_decay_period(TickDelta(1));
+            policy.sharding = sharding;
+            let mut c = container_with_policy(policy);
+            for i in 0..120i64 {
+                c.insert(vec![Value::Int(i)], Tick(i as u64 / 4)).unwrap();
+            }
+            for t in 30..70u64 {
+                c.decay_tick(Tick(t));
+            }
+            let plan = c.plan(&select("SELECT v FROM test WHERE v >= 30")).unwrap();
+            let rows = c.query(&plan, Tick(70)).unwrap().rows;
+            (c.live_count(), c.metrics().tuples_rotted, rows)
+        };
+        let mono = run(None);
+        let sharded = run(Some(fungus_shard::ShardSpec::new(16).with_workers(1)));
+        assert_eq!(mono, sharded, "sharding must not change any answer");
+    }
+
+    #[test]
+    fn sharded_container_drops_whole_shards() {
+        let policy = ContainerPolicy::new(FungusSpec::Retention { max_age: 2 })
+            .with_sharding(fungus_shard::ShardSpec::new(8).with_workers(1));
+        let mut c = container_with_policy(policy);
+        for i in 0..32i64 {
+            c.insert(vec![Value::Int(i)], Tick(0)).unwrap();
+        }
+        assert_eq!(c.shard_count(), 4);
+        c.decay_tick(Tick(1));
+        c.decay_tick(Tick(2));
+        c.decay_tick(Tick(3));
+        assert_eq!(c.live_count(), 0);
+        assert_eq!(
+            c.metrics().shards_dropped,
+            4,
+            "every shard rotted wholesale and detached in one piece"
+        );
+        assert_eq!(c.metrics().tuples_rotted, 32);
     }
 
     #[test]

@@ -301,6 +301,7 @@ impl Database {
                         consumed: Vec::new(),
                         scanned: 0,
                         pruned_segments: 0,
+                        pruned_shards: 0,
                         used_index: false,
                     },
                     distilled: 0,
@@ -309,8 +310,11 @@ impl Database {
             Statement::Explain(stmt) => {
                 let c = self.container(&stmt.table)?;
                 let mut guard = c.write();
-                let result =
-                    fungus_query::execute_parsed(Statement::Explain(stmt), guard.store_mut(), now)?;
+                let result = fungus_query::execute_parsed(
+                    Statement::Explain(stmt),
+                    guard.extent_mut(),
+                    now,
+                )?;
                 Ok(QueryOutcome {
                     result,
                     distilled: 0,
@@ -321,7 +325,7 @@ impl Database {
                 let mut guard = c.write();
                 let result = fungus_query::execute_parsed(
                     Statement::Delete { table, predicate },
-                    guard.store_mut(),
+                    guard.extent_mut(),
                     now,
                 )?;
                 Ok(QueryOutcome {
@@ -340,9 +344,9 @@ impl Database {
             } => {
                 let c = self.container(&table)?;
                 if ordered {
-                    c.write().store_mut().create_ord_index(&column)?;
+                    c.write().extent_mut().create_ord_index(&column)?;
                 } else {
-                    c.write().store_mut().create_index(&column)?;
+                    c.write().extent_mut().create_index(&column)?;
                 }
                 Ok(QueryOutcome {
                     result: ResultSet {
@@ -351,6 +355,7 @@ impl Database {
                         consumed: Vec::new(),
                         scanned: 0,
                         pruned_segments: 0,
+                        pruned_shards: 0,
                         used_index: false,
                     },
                     distilled: 0,
@@ -375,6 +380,7 @@ impl Database {
                         consumed: Vec::new(),
                         scanned: 0,
                         pruned_segments: 0,
+                        pruned_shards: 0,
                         used_index: false,
                     },
                     distilled: 0,
@@ -424,6 +430,18 @@ impl Database {
         Ok(HealthMonitor::new().inspect(&guard, self.now()))
     }
 
+    /// Aggregate shard telemetry across every container.
+    pub fn shard_telemetry(&self) -> crate::metrics::ShardTelemetry {
+        let mut t = crate::metrics::ShardTelemetry::default();
+        for c in self.containers.values() {
+            let g = c.read();
+            t.resident += g.shard_count() as u64;
+            t.dropped += g.metrics().shards_dropped;
+            t.pruned += g.shards_pruned();
+        }
+        t
+    }
+
     /// Health reports for every container.
     pub fn health_all(&self) -> Vec<(String, HealthReport)> {
         let monitor = HealthMonitor::new();
@@ -434,11 +452,13 @@ impl Database {
             .collect()
     }
 
-    /// Saves a container's extent to a snapshot file.
+    /// Saves a container's extent to a snapshot file. Sharded extents are
+    /// serialized in the monolithic format (the logical state is
+    /// layout-independent), so snapshots stay portable across layouts.
     pub fn save_container(&self, name: &str, path: impl AsRef<std::path::Path>) -> Result<()> {
         let c = self.container(name)?;
         let guard = c.read();
-        fungus_storage::save_to_file(guard.store(), path)
+        save_extent(guard.extent(), path)
     }
 
     /// Loads a container extent from a snapshot file and adopts it under
@@ -465,7 +485,7 @@ impl Database {
         manifest.push_str(&format!("clock\t{}\n", self.now().get()));
         for (name, container) in &self.containers {
             let guard = container.read();
-            fungus_storage::save_to_file(guard.store(), dir.join(format!("{name}.snap")))?;
+            save_extent(guard.extent(), dir.join(format!("{name}.snap")))?;
             let policy_json = serde_json_lite(guard.policy())?;
             manifest.push_str(&format!("container\t{name}\t{policy_json}\n"));
         }
@@ -512,6 +532,17 @@ impl Database {
             }
         }
         Ok(())
+    }
+}
+
+/// Writes any extent layout in the monolithic snapshot format; a sharded
+/// container's policy re-shards it on restore.
+fn save_extent(extent: &crate::extent::Extent, path: impl AsRef<std::path::Path>) -> Result<()> {
+    match extent {
+        crate::extent::Extent::Mono(store) => fungus_storage::save_to_file(store, path),
+        crate::extent::Extent::Sharded(ext) => {
+            fungus_storage::save_to_file(&ext.to_monolithic()?, path)
+        }
     }
 }
 

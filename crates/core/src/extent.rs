@@ -1,0 +1,288 @@
+//! The container's physical extent: monolithic or time-range sharded.
+//!
+//! A [`Container`](crate::Container) does not care how its relation is
+//! laid out; everything it does — fungus ticks, query execution, eviction,
+//! compaction, statistics — goes through this enum, which is either one
+//! [`TableStore`] (the seed layout) or a [`ShardedExtent`] (an ordered set
+//! of time-range shards, selected by
+//! [`ContainerPolicy::with_sharding`](crate::ContainerPolicy::with_sharding)).
+//!
+//! Both variants implement [`DecaySurface`] and [`QueryExtent`], and the
+//! sharded layout is bit-for-bit equivalent to the monolithic one under
+//! the same seed; only the cost model differs (shard pruning, dirty-shard
+//! skipping, O(1) whole-shard rot drops).
+
+use fungus_query::{LogicalPlan, QueryExtent, ScanOutcome};
+use fungus_shard::ShardedExtent;
+use fungus_storage::{
+    CompactionReport, DecaySurface, SpotCensus, TableStats, TableStore, TombstoneReason,
+};
+use fungus_types::{Freshness, Result, Schema, Tick, Tuple, TupleId, TupleMeta, Value};
+
+/// One container's tuple storage, in whichever layout the policy chose.
+#[derive(Debug)]
+pub enum Extent {
+    /// A single monolithic [`TableStore`].
+    Mono(TableStore),
+    /// An ordered set of time-range shards.
+    Sharded(ShardedExtent),
+}
+
+impl Extent {
+    /// The extent's schema.
+    pub fn schema(&self) -> &Schema {
+        match self {
+            Extent::Mono(s) => s.schema(),
+            Extent::Sharded(s) => s.schema(),
+        }
+    }
+
+    /// Live tuple count.
+    pub fn live_count(&self) -> usize {
+        match self {
+            Extent::Mono(s) => s.live_count(),
+            Extent::Sharded(s) => s.live_count(),
+        }
+    }
+
+    /// Removes and returns every rotten live tuple.
+    pub fn evict_rotten(&mut self) -> Vec<Tuple> {
+        match self {
+            Extent::Mono(s) => s.evict_rotten(),
+            Extent::Sharded(s) => s.evict_rotten(),
+        }
+    }
+
+    /// Reclaims dead storage (dead segments, or whole dead shards).
+    pub fn compact(&mut self) -> CompactionReport {
+        match self {
+            Extent::Mono(s) => s.compact(),
+            Extent::Sharded(s) => s.compact(),
+        }
+    }
+
+    /// Clears every infection; returns how many tuples were cured.
+    pub fn cure_all(&mut self) -> usize {
+        match self {
+            Extent::Mono(s) => s.cure_all(),
+            Extent::Sharded(s) => s.cure_all(),
+        }
+    }
+
+    /// Point-in-time storage statistics.
+    pub fn stats(&self, now: Tick) -> TableStats {
+        match self {
+            Extent::Mono(s) => s.stats(now),
+            Extent::Sharded(s) => s.stats(now),
+        }
+    }
+
+    /// Census of infected spots and rot holes.
+    pub fn census(&self) -> SpotCensus {
+        match self {
+            Extent::Mono(s) => SpotCensus::collect(s),
+            Extent::Sharded(s) => s.census(),
+        }
+    }
+
+    /// Infected live tuples.
+    pub fn infected_count(&self) -> usize {
+        match self {
+            Extent::Mono(s) => s.infected_count(),
+            Extent::Sharded(s) => s.infected_count(),
+        }
+    }
+
+    /// Resident shard count — 1 for a monolithic extent (it *is* one
+    /// undivided time range).
+    pub fn shard_count(&self) -> usize {
+        match self {
+            Extent::Mono(_) => 1,
+            Extent::Sharded(s) => s.shard_count(),
+        }
+    }
+
+    /// Shards dropped whole (always 0 for a monolithic extent).
+    pub fn shards_dropped(&self) -> u64 {
+        match self {
+            Extent::Mono(_) => 0,
+            Extent::Sharded(s) => s.shards_dropped(),
+        }
+    }
+
+    /// Whole shards skipped by scan pruning (always 0 for a monolithic
+    /// extent; segment zone maps are counted separately per query).
+    pub fn shards_pruned(&self) -> u64 {
+        match self {
+            Extent::Mono(_) => 0,
+            Extent::Sharded(s) => s.shards_pruned(),
+        }
+    }
+
+    /// The monolithic store, if this extent is one.
+    pub fn as_store(&self) -> Option<&TableStore> {
+        match self {
+            Extent::Mono(s) => Some(s),
+            Extent::Sharded(_) => None,
+        }
+    }
+
+    /// Mutable monolithic store, if this extent is one.
+    pub fn as_store_mut(&mut self) -> Option<&mut TableStore> {
+        match self {
+            Extent::Mono(s) => Some(s),
+            Extent::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded extent, if this extent is one.
+    pub fn as_sharded(&self) -> Option<&ShardedExtent> {
+        match self {
+            Extent::Mono(_) => None,
+            Extent::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Builds a hash index on `column` (covers future shards too).
+    pub fn create_index(&mut self, column: &str) -> Result<()> {
+        match self {
+            Extent::Mono(s) => s.create_index(column),
+            Extent::Sharded(s) => s.create_index(column),
+        }
+    }
+
+    /// Builds an ordered index on `column`.
+    pub fn create_ord_index(&mut self, column: &str) -> Result<()> {
+        match self {
+            Extent::Mono(s) => s.create_ord_index(column),
+            Extent::Sharded(s) => s.create_ord_index(column),
+        }
+    }
+}
+
+impl DecaySurface for Extent {
+    fn live_count(&self) -> usize {
+        Extent::live_count(self)
+    }
+
+    fn for_each_live_meta(&self, f: &mut dyn FnMut(TupleId, &TupleMeta)) {
+        match self {
+            Extent::Mono(s) => DecaySurface::for_each_live_meta(s, f),
+            Extent::Sharded(s) => DecaySurface::for_each_live_meta(s, f),
+        }
+    }
+
+    fn meta(&self, id: TupleId) -> Option<TupleMeta> {
+        match self {
+            Extent::Mono(s) => DecaySurface::meta(s, id),
+            Extent::Sharded(s) => DecaySurface::meta(s, id),
+        }
+    }
+
+    fn decay(&mut self, id: TupleId, amount: f64) -> Option<Freshness> {
+        match self {
+            Extent::Mono(s) => DecaySurface::decay(s, id, amount),
+            Extent::Sharded(s) => DecaySurface::decay(s, id, amount),
+        }
+    }
+
+    fn scale_freshness(&mut self, id: TupleId, factor: f64) -> Option<Freshness> {
+        match self {
+            Extent::Mono(s) => DecaySurface::scale_freshness(s, id, factor),
+            Extent::Sharded(s) => DecaySurface::scale_freshness(s, id, factor),
+        }
+    }
+
+    fn infect(&mut self, id: TupleId, now: Tick) -> bool {
+        match self {
+            Extent::Mono(s) => DecaySurface::infect(s, id, now),
+            Extent::Sharded(s) => DecaySurface::infect(s, id, now),
+        }
+    }
+
+    fn cure(&mut self, id: TupleId) -> bool {
+        match self {
+            Extent::Mono(s) => DecaySurface::cure(s, id),
+            Extent::Sharded(s) => DecaySurface::cure(s, id),
+        }
+    }
+
+    fn infected_ids(&self) -> Vec<TupleId> {
+        match self {
+            Extent::Mono(s) => DecaySurface::infected_ids(s),
+            Extent::Sharded(s) => DecaySurface::infected_ids(s),
+        }
+    }
+
+    fn live_neighbors(&self, id: TupleId) -> (Option<TupleId>, Option<TupleId>) {
+        match self {
+            Extent::Mono(s) => DecaySurface::live_neighbors(s, id),
+            Extent::Sharded(s) => DecaySurface::live_neighbors(s, id),
+        }
+    }
+
+    // Forwarded explicitly so the sharded layout's parallel gather is
+    // reached (the trait default would rebuild it via for_each_live_meta).
+    fn seed_candidates(&self, now: Tick) -> Vec<(TupleId, f64)> {
+        match self {
+            Extent::Mono(s) => DecaySurface::seed_candidates(s, now),
+            Extent::Sharded(s) => DecaySurface::seed_candidates(s, now),
+        }
+    }
+}
+
+impl QueryExtent for Extent {
+    fn schema(&self) -> &Schema {
+        Extent::schema(self)
+    }
+
+    fn scan(&self, plan: &LogicalPlan, now: Tick) -> Result<ScanOutcome> {
+        match self {
+            Extent::Mono(s) => QueryExtent::scan(s, plan, now),
+            Extent::Sharded(s) => QueryExtent::scan(s, plan, now),
+        }
+    }
+
+    fn tuple(&mut self, id: TupleId) -> Option<&Tuple> {
+        match self {
+            Extent::Mono(s) => QueryExtent::tuple(s, id),
+            Extent::Sharded(s) => QueryExtent::tuple(s, id),
+        }
+    }
+
+    fn delete(&mut self, id: TupleId, reason: TombstoneReason) -> Option<Tuple> {
+        match self {
+            Extent::Mono(s) => QueryExtent::delete(s, id, reason),
+            Extent::Sharded(s) => QueryExtent::delete(s, id, reason),
+        }
+    }
+
+    fn touch(&mut self, id: TupleId, now: Tick) {
+        match self {
+            Extent::Mono(s) => QueryExtent::touch(s, id, now),
+            Extent::Sharded(s) => QueryExtent::touch(s, id, now),
+        }
+    }
+
+    fn insert(&mut self, values: Vec<Value>, now: Tick) -> Result<TupleId> {
+        match self {
+            Extent::Mono(s) => QueryExtent::insert(s, values, now),
+            Extent::Sharded(s) => QueryExtent::insert(s, values, now),
+        }
+    }
+
+    fn live_ids(&self) -> Vec<TupleId> {
+        match self {
+            Extent::Mono(s) => QueryExtent::live_ids(s),
+            Extent::Sharded(s) => QueryExtent::live_ids(s),
+        }
+    }
+
+    fn create_index(&mut self, column: &str) -> Result<()> {
+        Extent::create_index(self, column)
+    }
+
+    fn create_ord_index(&mut self, column: &str) -> Result<()> {
+        Extent::create_ord_index(self, column)
+    }
+}

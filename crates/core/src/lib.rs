@@ -42,6 +42,7 @@ pub mod container;
 pub mod database;
 pub mod ddl;
 pub mod distill;
+pub mod extent;
 pub mod health;
 pub mod metrics;
 pub mod policy;
@@ -51,8 +52,10 @@ pub mod shared;
 pub use container::{Container, DecayReport};
 pub use database::{Database, QueryOutcome};
 pub use distill::{DistillSpec, DistillTrigger, Distiller};
+pub use extent::Extent;
+pub use fungus_shard::{ShardSpec, ShardedExtent};
 pub use health::{HealthMonitor, HealthReport, HealthStatus};
-pub use metrics::EngineMetrics;
+pub use metrics::{EngineMetrics, ShardTelemetry};
 pub use policy::ContainerPolicy;
 pub use route::RouteSpec;
 pub use shared::SharedDatabase;

@@ -24,6 +24,10 @@ pub struct EngineMetrics {
     pub compactions: u64,
     /// Segments dropped by compaction.
     pub segments_dropped: u64,
+    /// Whole shards detached in O(1) because every live tuple had rotted
+    /// (always 0 on monolithic extents).
+    #[serde(default)]
+    pub shards_dropped: u64,
     /// Rotted tuples that were delivered along at least one rot route
     /// (preserved in another container rather than lost).
     pub rot_routed: u64,
@@ -48,6 +52,19 @@ impl EngineMetrics {
             self.tuples_consumed as f64 / total as f64
         }
     }
+}
+
+/// Aggregate shard-layout telemetry across a catalog, for operators
+/// (`.stats` on the server) and experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ShardTelemetry {
+    /// Resident shards across every container (a monolithic extent counts
+    /// as its one undivided shard).
+    pub resident: u64,
+    /// Shards detached whole — O(1) rot drops plus dead-shard compaction.
+    pub dropped: u64,
+    /// Whole shards skipped by query-time shard pruning.
+    pub pruned: u64,
 }
 
 #[cfg(test)]

@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use fungus_fungi::FungusSpec;
+use fungus_shard::ShardSpec;
 use fungus_storage::StorageConfig;
 use fungus_types::{Result, TickDelta};
 
@@ -21,6 +22,9 @@ pub struct ContainerPolicy {
     pub compact_every: Option<u64>,
     /// Distillation pipelines fed by departing tuples.
     pub distill: Vec<DistillSpec>,
+    /// Time-range sharding of the extent (None = one monolithic store).
+    #[serde(default)]
+    pub sharding: Option<ShardSpec>,
 }
 
 impl ContainerPolicy {
@@ -34,6 +38,7 @@ impl ContainerPolicy {
             storage: StorageConfig::default(),
             compact_every: Some(64),
             distill: Vec::new(),
+            sharding: None,
         }
     }
 
@@ -70,12 +75,22 @@ impl ContainerPolicy {
         self
     }
 
+    /// Splits the extent into time-range shards.
+    #[must_use]
+    pub fn with_sharding(mut self, spec: ShardSpec) -> Self {
+        self.sharding = Some(spec);
+        self
+    }
+
     /// Validates all nested configuration.
     pub fn validate(&self) -> Result<()> {
         self.fungus.validate()?;
         self.storage.validate()?;
         for d in &self.distill {
             d.validate()?;
+        }
+        if let Some(sharding) = &self.sharding {
+            sharding.validate()?;
         }
         Ok(())
     }

@@ -112,6 +112,11 @@ impl SharedDatabase {
         self.inner.read().container_names()
     }
 
+    /// Aggregate shard telemetry across every container.
+    pub fn shard_telemetry(&self) -> crate::metrics::ShardTelemetry {
+        self.inner.read().shard_telemetry()
+    }
+
     /// Live tuple count of one container (0 when it does not exist).
     pub fn live_count(&self, container: &str) -> usize {
         self.inner

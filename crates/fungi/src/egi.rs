@@ -148,13 +148,10 @@ impl EgiFungus {
         if self.config.seeds_per_tick == 0 {
             return;
         }
-        // Candidates: live, uninfected tuples.
-        let mut candidates: Vec<(TupleId, f64)> = Vec::with_capacity(surface.live_count());
-        surface.for_each_live_meta(&mut |id, meta| {
-            if !meta.infected {
-                candidates.push((id, meta.age(now).as_f64()));
-            }
-        });
+        // Candidates: live, uninfected tuples, in id order. The surface
+        // hook lets partitioned extents gather per-shard and merge, with
+        // identical output — so the draws below are layout-independent.
+        let candidates: Vec<(TupleId, f64)> = surface.seed_candidates(now);
         if candidates.is_empty() {
             return;
         }

@@ -18,10 +18,11 @@
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use fungus_storage::{TableStore, TombstoneReason};
+use fungus_storage::TombstoneReason;
 use fungus_types::{ColumnDef, DataType, FungusError, Result, Schema, Tick, Tuple, TupleId, Value};
 
 use crate::expr::AggFunc;
+use crate::extent::QueryExtent;
 use crate::parser::{parse_statement, Statement};
 use crate::plan::{LogicalPlan, PlannedExpr, Planner};
 
@@ -40,6 +41,9 @@ pub struct ResultSet {
     pub scanned: usize,
     /// Segments skipped by zone-map pruning.
     pub pruned_segments: usize,
+    /// Whole shards skipped by shard-summary pruning (always 0 on a
+    /// monolithic extent).
+    pub pruned_shards: usize,
     /// Whether a secondary hash index answered the scan.
     pub used_index: bool,
 }
@@ -69,17 +73,21 @@ impl ResultSet {
     }
 }
 
-/// Parses, plans, and executes one statement string against a table.
+/// Parses, plans, and executes one statement string against an extent.
 ///
 /// `INSERT` statements evaluate their literal rows and append them at
 /// `now`; the result set reports the inserted count.
-pub fn execute_statement(sql: &str, table: &mut TableStore, now: Tick) -> Result<ResultSet> {
+pub fn execute_statement<E: QueryExtent>(sql: &str, table: &mut E, now: Tick) -> Result<ResultSet> {
     execute_parsed(parse_statement(sql)?, table, now)
 }
 
 /// Executes an already-parsed statement (lets callers that route by table
 /// name avoid a second parse).
-pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Result<ResultSet> {
+pub fn execute_parsed<E: QueryExtent>(
+    stmt: Statement,
+    table: &mut E,
+    now: Tick,
+) -> Result<ResultSet> {
     match stmt {
         Statement::Select(stmt) => {
             let plan = Planner.plan(&stmt, table.schema())?;
@@ -97,6 +105,7 @@ pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Res
                 consumed: Vec::new(),
                 scanned: 0,
                 pruned_segments: 0,
+                pruned_shards: 0,
                 used_index: false,
             })
         }
@@ -107,13 +116,14 @@ pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Res
             }
             let matched: Vec<TupleId> = {
                 let mut ids = Vec::new();
-                for t in table.iter_live() {
+                for id in table.live_ids() {
+                    let t = table.tuple(id).expect("live id from the same extent");
                     let keep = match &predicate {
                         Some(p) => p.eval_predicate(t, &schema, now)?,
                         None => true,
                     };
                     if keep {
-                        ids.push(t.meta.id);
+                        ids.push(id);
                     }
                 }
                 ids
@@ -130,6 +140,7 @@ pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Res
                 consumed: Vec::new(),
                 scanned: 0,
                 pruned_segments: 0,
+                pruned_shards: 0,
                 used_index: false,
             })
         }
@@ -149,6 +160,7 @@ pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Res
                 consumed: Vec::new(),
                 scanned: 0,
                 pruned_segments: 0,
+                pruned_shards: 0,
                 used_index: false,
             })
         }
@@ -173,6 +185,7 @@ pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Res
                 consumed: Vec::new(),
                 scanned: 0,
                 pruned_segments: 0,
+                pruned_shards: 0,
                 used_index: false,
             })
         }
@@ -180,47 +193,14 @@ pub fn execute_parsed(stmt: Statement, table: &mut TableStore, now: Tick) -> Res
 }
 
 /// Executes a compiled plan.
-pub fn execute(plan: &LogicalPlan, table: &mut TableStore, now: Tick) -> Result<ResultSet> {
+pub fn execute<E: QueryExtent>(plan: &LogicalPlan, table: &mut E, now: Tick) -> Result<ResultSet> {
     let schema = table.schema().clone();
 
     // ---- phase 1: scan ----------------------------------------------
-    // A secondary hash index answers equality probes without touching the
-    // segments; everything else walks them with zone-map pruning.
-    let mut matched: Vec<TupleId> = Vec::new();
-    let mut scanned = 0usize;
-    let mut pruned_segments = 0usize;
-    let mut used_index = false;
-    if let Some(candidates) = index_candidates(plan, table) {
-        used_index = true;
-        for id in candidates {
-            let Some(tuple) = table.get(id) else { continue };
-            scanned += 1;
-            let keep = match &plan.predicate {
-                Some(p) => p.eval_predicate(tuple, &schema, now)?,
-                None => true,
-            };
-            if keep {
-                matched.push(id);
-            }
-        }
-    } else {
-        for seg in table.segments() {
-            if !plan.pruning.is_trivial() && !plan.pruning.segment_may_match(seg) {
-                pruned_segments += 1;
-                continue;
-            }
-            for tuple in seg.iter_live() {
-                scanned += 1;
-                let keep = match &plan.predicate {
-                    Some(p) => p.eval_predicate(tuple, &schema, now)?,
-                    None => true,
-                };
-                if keep {
-                    matched.push(tuple.meta.id);
-                }
-            }
-        }
-    }
+    // The extent owns the access-path choice (indexes, zone-map pruning,
+    // shard pruning); the matched ids come back in global id order.
+    let scan = table.scan(plan, now)?;
+    let matched = scan.matched;
 
     // ---- phase 2: shape ----------------------------------------------
     let columns: Vec<String> = plan.outputs.iter().map(|o| o.name.clone()).collect();
@@ -253,75 +233,18 @@ pub fn execute(plan: &LogicalPlan, table: &mut TableStore, now: Tick) -> Result<
         columns,
         rows,
         consumed,
-        scanned,
-        pruned_segments,
-        used_index,
+        scanned: scan.scanned,
+        pruned_segments: scan.pruned_segments,
+        pruned_shards: scan.pruned_shards,
+        used_index: scan.used_index,
     })
-}
-
-/// Finds the first conjunctive equality bound whose column carries a hash
-/// index and returns the candidate ids (insertion-ordered). The remaining
-/// predicate still re-checks each candidate, so an index can only narrow
-/// the scan, never change the answer.
-fn index_candidates(plan: &LogicalPlan, table: &TableStore) -> Option<Vec<TupleId>> {
-    use crate::prune::ColumnBound;
-    for bound in plan.pruning.bounds() {
-        match bound {
-            ColumnBound::Eq { col, value } => {
-                if let Some(ids) = table.index_probe(*col, std::slice::from_ref(value)) {
-                    return Some(ids);
-                }
-            }
-            ColumnBound::OneOf { col, values } => {
-                if let Some(ids) = table.index_probe(*col, values) {
-                    return Some(ids);
-                }
-            }
-            _ => {}
-        }
-    }
-    // No equality probe available: try an ordered-index range. Combine the
-    // tightest-first Above/Below bounds per column.
-    type RangeBound<'a> = (Option<(&'a Value, bool)>, Option<(&'a Value, bool)>);
-    let mut ranges: HashMap<usize, RangeBound<'_>> = HashMap::new();
-    for bound in plan.pruning.bounds() {
-        match bound {
-            ColumnBound::Above {
-                col,
-                value,
-                inclusive,
-            } => {
-                let entry = ranges.entry(*col).or_default();
-                if entry.0.is_none() {
-                    entry.0 = Some((value, *inclusive));
-                }
-            }
-            ColumnBound::Below {
-                col,
-                value,
-                inclusive,
-            } => {
-                let entry = ranges.entry(*col).or_default();
-                if entry.1.is_none() {
-                    entry.1 = Some((value, *inclusive));
-                }
-            }
-            _ => {}
-        }
-    }
-    for (col, (lo, hi)) in ranges {
-        if let Some(ids) = table.ord_range_probe(col, lo, hi) {
-            return Some(ids);
-        }
-    }
-    None
 }
 
 /// Scalar mode: evaluate outputs per matched tuple, sort, limit.
 /// Returns the rows plus the ids that were actually returned.
-fn scalar_rows(
+fn scalar_rows<E: QueryExtent>(
     plan: &LogicalPlan,
-    table: &TableStore,
+    table: &mut E,
     matched: &[TupleId],
     schema: &Schema,
     now: Tick,
@@ -330,7 +253,7 @@ fn scalar_rows(
     let mut shaped: Vec<(Vec<Value>, Vec<Value>, TupleId)> = Vec::with_capacity(matched.len());
     for id in matched {
         let tuple = table
-            .get(*id)
+            .tuple(*id)
             .expect("matched tuple is live within the same borrow");
         let mut row = Vec::with_capacity(plan.outputs.len());
         for out in &plan.outputs {
@@ -613,9 +536,9 @@ impl Acc {
 /// Aggregate mode: group matched tuples, fold accumulators, emit one row
 /// per group (or exactly one row for the implicit global group), then sort
 /// against the *output* schema and limit.
-fn aggregate_rows(
+fn aggregate_rows<E: QueryExtent>(
     plan: &LogicalPlan,
-    table: &TableStore,
+    table: &mut E,
     matched: &[TupleId],
     schema: &Schema,
     now: Tick,
@@ -650,7 +573,7 @@ fn aggregate_rows(
     }
 
     for id in matched {
-        let tuple = table.get(*id).expect("matched tuple is live");
+        let tuple = table.tuple(*id).expect("matched tuple is live");
         let key: Vec<Value> = key_indices
             .iter()
             .map(|i| tuple.values[*i].clone())
@@ -766,7 +689,7 @@ fn aggregate_rows(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fungus_storage::StorageConfig;
+    use fungus_storage::{StorageConfig, TableStore};
     use fungus_types::DataType;
 
     /// sensors(sensor Int, v Float, tag Str): 12 rows, sensor = i % 3,

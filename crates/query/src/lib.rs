@@ -24,15 +24,17 @@
 
 pub mod exec;
 pub mod expr;
+pub mod extent;
 pub mod parser;
 pub mod plan;
 pub mod prune;
 
 pub use exec::{execute, execute_parsed, execute_statement, ResultSet};
 pub use expr::{AggFunc, BinOp, CmpOp, Expr, MetaField, ScalarFunc};
+pub use extent::{scan_store, QueryExtent, ScanOutcome};
 pub use parser::{
     parse_expr, parse_statement, CreateContainerStatement, ProjExpr, Projection, SelectStatement,
     SortKey, Statement,
 };
 pub use plan::{LogicalPlan, OutputColumn, PlannedExpr, Planner};
-pub use prune::{ColumnBound, PruningPredicate};
+pub use prune::{ColumnBound, MetaBound, MetaRanges, PruningPredicate};

@@ -1,17 +1,20 @@
-//! Segment pruning from predicate analysis.
+//! Segment and shard pruning from predicate analysis.
 //!
 //! The planner extracts conjunctive column/literal constraints from a WHERE
 //! clause; the executor checks them against each segment's zone map and
-//! skips segments that cannot contain a match. Pruning must be
-//! *conservative*: a segment is only skipped when the zone map proves no
-//! tuple in it can satisfy the predicate.
+//! skips segments that cannot contain a match. Sharded extents additionally
+//! extract *metadata* bounds (`$freshness`, `$age`, `$id`, `$inserted_at`)
+//! and check them against per-shard summary ranges, skipping whole shards
+//! before any tuple is touched. Pruning must be *conservative*: a segment
+//! or shard is only skipped when its summary proves no tuple in it can
+//! satisfy the predicate.
 
-use fungus_types::Value;
+use fungus_types::{Tick, Value};
 
 use fungus_storage::Segment;
 use fungus_types::Schema;
 
-use crate::expr::{CmpOp, Expr};
+use crate::expr::{CmpOp, Expr, MetaField};
 
 /// One provable constraint on a column.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,30 +76,100 @@ impl ColumnBound {
     }
 }
 
+/// One provable constraint on tuple *metadata*: `$field op literal`.
+///
+/// Unlike [`ColumnBound`] these are checked against whole-shard summary
+/// ranges, not segment zone maps — a shard whose freshness or tick range
+/// provably excludes the bound is skipped without touching a tuple.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaBound {
+    /// Which pseudo-column the bound constrains. `$reads` is never
+    /// collected (shards keep no read-count summary).
+    pub field: MetaField,
+    /// The comparison (never `Ne` — a range rarely proves a ≠).
+    pub op: CmpOp,
+    /// The numeric literal. Non-numeric comparisons are not collected.
+    pub value: f64,
+}
+
+/// Conservative metadata ranges for one shard, maintained by the sharded
+/// extent: id span, insertion-tick span, and freshness envelope (all
+/// inclusive). The envelope may be loose — `freshness_lo` at most the true
+/// minimum, `freshness_hi` at least the true maximum — loose only ever
+/// means less pruning, never a wrong answer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetaRanges {
+    /// Smallest live-range tuple id in the shard.
+    pub min_id: u64,
+    /// Largest live-range tuple id in the shard.
+    pub max_id: u64,
+    /// Earliest insertion tick.
+    pub min_tick: u64,
+    /// Latest insertion tick.
+    pub max_tick: u64,
+    /// Lower bound on live-tuple freshness.
+    pub freshness_lo: f64,
+    /// Upper bound on live-tuple freshness.
+    pub freshness_hi: f64,
+}
+
+impl MetaBound {
+    /// Can any tuple inside `ranges` (at time `now`) satisfy this bound?
+    pub fn shard_may_match(&self, ranges: &MetaRanges, now: Tick) -> bool {
+        let (lo, hi) = match self.field {
+            MetaField::Freshness => (ranges.freshness_lo, ranges.freshness_hi),
+            MetaField::Id => (ranges.min_id as f64, ranges.max_id as f64),
+            MetaField::InsertedAt => (ranges.min_tick as f64, ranges.max_tick as f64),
+            MetaField::Age => (
+                now.get().saturating_sub(ranges.max_tick) as f64,
+                now.get().saturating_sub(ranges.min_tick) as f64,
+            ),
+            // No shard summary covers read counts.
+            MetaField::Reads => return true,
+        };
+        let x = self.value;
+        match self.op {
+            CmpOp::Eq => lo <= x && x <= hi,
+            CmpOp::Lt => lo < x,
+            CmpOp::Le => lo <= x,
+            CmpOp::Gt => hi > x,
+            CmpOp::Ge => hi >= x,
+            CmpOp::Ne => true,
+        }
+    }
+}
+
 /// The conjunction of provable bounds extracted from a predicate.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PruningPredicate {
     bounds: Vec<ColumnBound>,
+    meta_bounds: Vec<MetaBound>,
 }
 
 impl PruningPredicate {
     /// Extracts bounds from `predicate`. Only top-level conjunctions
-    /// contribute; anything else (OR, NOT, non-literal operands,
-    /// pseudo-columns) is ignored, which keeps pruning sound.
+    /// contribute; anything else (OR, NOT, non-literal operands) is
+    /// ignored, which keeps pruning sound.
     pub fn analyze(predicate: Option<&Expr>, schema: &Schema) -> PruningPredicate {
-        let mut bounds = Vec::new();
+        let mut out = PruningPredicate::default();
         if let Some(p) = predicate {
-            collect(p, schema, &mut bounds);
+            collect(p, schema, &mut out);
         }
-        PruningPredicate { bounds }
+        out
     }
 
-    /// The extracted bounds.
+    /// The extracted column bounds.
     pub fn bounds(&self) -> &[ColumnBound] {
         &self.bounds
     }
 
-    /// True when no bound could be extracted (every segment must be read).
+    /// The extracted metadata bounds (shard-level pruning).
+    pub fn meta_bounds(&self) -> &[MetaBound] {
+        &self.meta_bounds
+    }
+
+    /// True when no column bound could be extracted (every segment must be
+    /// read).
     pub fn is_trivial(&self) -> bool {
         self.bounds.is_empty()
     }
@@ -105,28 +178,47 @@ impl PruningPredicate {
     pub fn segment_may_match(&self, segment: &Segment) -> bool {
         self.bounds.iter().all(|b| b.segment_may_match(segment))
     }
+
+    /// Could a shard summarised by `ranges` contain a matching tuple at
+    /// time `now`? Checks metadata bounds only — column bounds are still
+    /// applied per segment inside surviving shards.
+    pub fn shard_may_match(&self, ranges: &MetaRanges, now: Tick) -> bool {
+        self.meta_bounds
+            .iter()
+            .all(|b| b.shard_may_match(ranges, now))
+    }
 }
 
-fn collect(expr: &Expr, schema: &Schema, out: &mut Vec<ColumnBound>) {
+fn collect(expr: &Expr, schema: &Schema, out: &mut PruningPredicate) {
     match expr {
         Expr::And(a, b) => {
             collect(a, schema, out);
             collect(b, schema, out);
         }
         Expr::Compare { left, op, right } => {
-            // col op literal, or literal op col (flipped).
+            // col op literal, or literal op col (flipped); same for the
+            // metadata pseudo-columns.
             if let (Expr::Column(name), Expr::Literal(v)) = (&**left, &**right) {
-                push_bound(schema, name, *op, v, out);
+                push_bound(schema, name, *op, v, &mut out.bounds);
             } else if let (Expr::Literal(v), Expr::Column(name)) = (&**left, &**right) {
-                push_bound(schema, name, flip(*op), v, out);
+                push_bound(schema, name, flip(*op), v, &mut out.bounds);
+            } else if let (Expr::Meta(field), Expr::Literal(v)) = (&**left, &**right) {
+                push_meta_bound(*field, *op, v, &mut out.meta_bounds);
+            } else if let (Expr::Literal(v), Expr::Meta(field)) = (&**left, &**right) {
+                push_meta_bound(*field, flip(*op), v, &mut out.meta_bounds);
             }
         }
         Expr::Between { expr, low, high } => {
             if let (Expr::Column(name), Expr::Literal(lo), Expr::Literal(hi)) =
                 (&**expr, &**low, &**high)
             {
-                push_bound(schema, name, CmpOp::Ge, lo, out);
-                push_bound(schema, name, CmpOp::Le, hi, out);
+                push_bound(schema, name, CmpOp::Ge, lo, &mut out.bounds);
+                push_bound(schema, name, CmpOp::Le, hi, &mut out.bounds);
+            } else if let (Expr::Meta(field), Expr::Literal(lo), Expr::Literal(hi)) =
+                (&**expr, &**low, &**high)
+            {
+                push_meta_bound(*field, CmpOp::Ge, lo, &mut out.meta_bounds);
+                push_meta_bound(*field, CmpOp::Le, hi, &mut out.meta_bounds);
             }
         }
         Expr::InList { expr, list } => {
@@ -143,12 +235,21 @@ fn collect(expr: &Expr, schema: &Schema, out: &mut Vec<ColumnBound>) {
                     }
                 }
                 if let Some(col) = schema.index_of(name) {
-                    out.push(ColumnBound::OneOf { col, values });
+                    out.bounds.push(ColumnBound::OneOf { col, values });
                 }
             }
         }
         _ => {}
     }
+}
+
+fn push_meta_bound(field: MetaField, op: CmpOp, value: &Value, out: &mut Vec<MetaBound>) {
+    if matches!(op, CmpOp::Ne) || matches!(field, MetaField::Reads) {
+        return;
+    }
+    // Non-numeric literals cannot bound a numeric range; evaluator decides.
+    let Some(value) = value.as_f64() else { return };
+    out.push(MetaBound { field, op, value });
 }
 
 fn flip(op: CmpOp) -> CmpOp {
@@ -319,6 +420,93 @@ mod tests {
             .map(|(i, _)| i)
             .collect();
         assert_eq!(survivors, vec![1]);
+    }
+
+    #[test]
+    fn meta_bounds_prune_shards_conservatively() {
+        let e = parse_expr("$freshness < 0.5 AND $age > 10").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert_eq!(p.meta_bounds().len(), 2);
+        assert!(p.is_trivial(), "meta bounds never prune segments");
+        // A fresh, young shard provably excludes both conjuncts.
+        let fresh_young = MetaRanges {
+            min_id: 0,
+            max_id: 99,
+            min_tick: 95,
+            max_tick: 100,
+            freshness_lo: 0.9,
+            freshness_hi: 1.0,
+        };
+        assert!(!p.shard_may_match(&fresh_young, Tick(100)));
+        // A stale, old shard may contain matches.
+        let stale_old = MetaRanges {
+            min_tick: 0,
+            max_tick: 50,
+            freshness_lo: 0.1,
+            freshness_hi: 0.8,
+            ..fresh_young
+        };
+        assert!(p.shard_may_match(&stale_old, Tick(100)));
+    }
+
+    #[test]
+    fn meta_bound_shapes() {
+        // Flipped literal side, BETWEEN, and $id ranges all collect.
+        let e = parse_expr("0.5 > $freshness").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert_eq!(
+            p.meta_bounds(),
+            &[MetaBound {
+                field: MetaField::Freshness,
+                op: CmpOp::Lt,
+                value: 0.5
+            }]
+        );
+        let e = parse_expr("$inserted_at BETWEEN 10 AND 20").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert_eq!(p.meta_bounds().len(), 2);
+        let ranges = MetaRanges {
+            min_id: 0,
+            max_id: 9,
+            min_tick: 30,
+            max_tick: 40,
+            freshness_lo: 0.0,
+            freshness_hi: 1.0,
+        };
+        assert!(!p.shard_may_match(&ranges, Tick(50)));
+        let e = parse_expr("$id > 20").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert!(
+            !p.shard_may_match(&ranges, Tick(50)),
+            "ids 0..=9 exclude > 20"
+        );
+        let e = parse_expr("$id <= 5").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert!(p.shard_may_match(&ranges, Tick(50)));
+    }
+
+    #[test]
+    fn unprunable_meta_shapes_keep_every_shard() {
+        let ranges = MetaRanges {
+            min_id: 50,
+            max_id: 99,
+            min_tick: 0,
+            max_tick: 10,
+            freshness_lo: 0.9,
+            freshness_hi: 1.0,
+        };
+        for pred in ["$reads > 3", "$freshness <> 0.5", "$freshness = 'x'"] {
+            let e = parse_expr(pred).unwrap();
+            let p = PruningPredicate::analyze(Some(&e), &schema());
+            assert!(
+                p.shard_may_match(&ranges, Tick(100)),
+                "{pred} must not prune"
+            );
+        }
+        // OR is not analysed: no meta bounds collected.
+        let e = parse_expr("$freshness < 0.5 OR $id = 1").unwrap();
+        let p = PruningPredicate::analyze(Some(&e), &schema());
+        assert!(p.meta_bounds().is_empty());
     }
 
     #[test]

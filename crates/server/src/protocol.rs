@@ -121,6 +121,16 @@ pub struct StatsSummary {
     pub workers_respawned: u64,
     /// Completed decay-driver ticks (0 without a driver).
     pub driver_ticks: u64,
+    /// Resident shards across every container (monolithic extents count
+    /// as one shard).
+    #[serde(default)]
+    pub shards: u64,
+    /// Shards detached whole in O(1) instead of tuple-by-tuple eviction.
+    #[serde(default)]
+    pub shards_dropped: u64,
+    /// Whole shards skipped by query-time shard pruning.
+    #[serde(default)]
+    pub shards_pruned: u64,
 }
 
 impl From<crate::stats::MetricsSnapshot> for StatsSummary {
@@ -135,6 +145,9 @@ impl From<crate::stats::MetricsSnapshot> for StatsSummary {
             worker_panics: m.worker_panics,
             workers_respawned: m.workers_respawned,
             driver_ticks: m.driver_ticks,
+            shards: m.shards,
+            shards_dropped: m.shards_dropped,
+            shards_pruned: m.shards_pruned,
         }
     }
 }
@@ -321,6 +334,9 @@ mod tests {
                     worker_panics: 1,
                     workers_respawned: 1,
                     driver_ticks: 1234,
+                    shards: 12,
+                    shards_dropped: 3,
+                    shards_pruned: 40,
                 }),
             },
             Response::Pong,

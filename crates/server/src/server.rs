@@ -153,6 +153,7 @@ pub fn serve(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
 
     let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
+    stats.link_shards(db.clone());
     let active = Arc::new(AtomicUsize::new(0));
     let sessions = Arc::new(AtomicU64::new(0));
     let workers = config.workers.max(1);

@@ -149,6 +149,9 @@ impl Session {
                         ("worker_panics", s.worker_panics),
                         ("workers_respawned", s.workers_respawned),
                         ("driver_ticks", s.driver_ticks),
+                        ("shards", s.shards),
+                        ("shards_dropped", s.shards_dropped),
+                        ("shards_pruned", s.shards_pruned),
                     ]
                     .into_iter()
                     .map(|(name, v)| vec![Value::Str(name.into()), Value::Int(v as i64)])
@@ -323,7 +326,7 @@ mod tests {
         let r = s.handle(Request::Dot {
             line: ".stats".into(),
         });
-        assert_eq!(r.row_count(), Some(9), "{r:?}");
+        assert_eq!(r.row_count(), Some(12), "{r:?}");
         // `.health` carries the same summary inline.
         let r = s.handle(Request::Dot {
             line: ".health".into(),

@@ -13,6 +13,8 @@ use std::sync::Arc;
 
 use parking_lot::Mutex;
 
+use fungus_core::{ShardTelemetry, SharedDatabase};
+
 /// Monotone counters shared by every server thread.
 #[derive(Debug, Default)]
 pub struct ServerStats {
@@ -34,6 +36,8 @@ pub struct ServerStats {
     pub(crate) workers_respawned: AtomicU64,
     /// Decay-driver tick counter, linked once the driver is spawned.
     driver_ticks: Mutex<Option<Arc<AtomicU64>>>,
+    /// Catalog handle for shard-layout gauges, linked by `serve`.
+    shard_source: Mutex<Option<SharedDatabase>>,
 }
 
 /// A point-in-time copy of the server counters.
@@ -58,6 +62,14 @@ pub struct MetricsSnapshot {
     pub workers_respawned: u64,
     /// Completed decay-driver ticks (0 when no driver is configured).
     pub driver_ticks: u64,
+    /// Resident shards across every container (monolithic extents count
+    /// as one shard; 0 when no catalog is linked).
+    pub shards: u64,
+    /// Shards detached whole in O(1) — rot drops plus dead-shard
+    /// compaction drops.
+    pub shards_dropped: u64,
+    /// Whole shards skipped by query-time shard pruning.
+    pub shards_pruned: u64,
 }
 
 impl ServerStats {
@@ -65,6 +77,21 @@ impl ServerStats {
     /// `.stats` command) can report maintenance progress.
     pub(crate) fn link_driver(&self, ticks: Arc<AtomicU64>) {
         *self.driver_ticks.lock() = Some(ticks);
+    }
+
+    /// Links the catalog so snapshots can report shard-layout gauges
+    /// (resident shards, whole-shard drops, shard prune counts).
+    pub(crate) fn link_shards(&self, db: SharedDatabase) {
+        *self.shard_source.lock() = Some(db);
+    }
+
+    /// Current shard telemetry (zeros without a linked catalog).
+    pub fn shard_telemetry(&self) -> ShardTelemetry {
+        self.shard_source
+            .lock()
+            .as_ref()
+            .map(|db| db.shard_telemetry())
+            .unwrap_or_default()
     }
 
     /// Adds stream-fault injections from a finished connection.
@@ -85,6 +112,7 @@ impl ServerStats {
 
     /// Copies every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        let shards = self.shard_telemetry();
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -95,6 +123,9 @@ impl ServerStats {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             workers_respawned: self.workers_respawned.load(Ordering::Relaxed),
             driver_ticks: self.driver_ticks(),
+            shards: shards.resident,
+            shards_dropped: shards.dropped,
+            shards_pruned: shards.pruned,
         }
     }
 }
@@ -119,5 +150,29 @@ mod tests {
         assert_eq!(stats.snapshot().driver_ticks, 17);
         ticks.fetch_add(1, Ordering::Relaxed);
         assert_eq!(stats.driver_ticks(), 18);
+    }
+
+    #[test]
+    fn shard_gauges_come_from_the_linked_catalog() {
+        use fungus_types::{DataType, Schema, Value};
+
+        let stats = ServerStats::default();
+        assert_eq!(stats.snapshot().shards, 0, "no catalog linked yet");
+
+        let mut db = fungus_core::Database::new(1);
+        db.create_container(
+            "r",
+            Schema::from_pairs(&[("v", DataType::Int)]).unwrap(),
+            fungus_core::ContainerPolicy::immortal()
+                .with_sharding(fungus_core::ShardSpec::new(4).with_workers(1)),
+        )
+        .unwrap();
+        for i in 0..10i64 {
+            db.insert("r", vec![Value::Int(i)]).unwrap();
+        }
+        stats.link_shards(SharedDatabase::new(db));
+        let snap = stats.snapshot();
+        assert_eq!(snap.shards, 3, "10 rows at 4 per shard → 3 resident");
+        assert_eq!(snap.shards_dropped, 0);
     }
 }

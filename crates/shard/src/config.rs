@@ -1,0 +1,87 @@
+//! Shard layout configuration.
+
+use serde::{Deserialize, Serialize};
+
+use fungus_types::{FungusError, Result};
+
+/// How a container's extent is split into time-range shards.
+///
+/// Shards are cut along the insertion (time) axis: the first
+/// `rows_per_shard` tuple ids land in shard 0, the next in shard 1, and so
+/// on. A shard that has handed out its full id range is *sealed*; only the
+/// tail shard accepts inserts. The split is a function of ids alone, so
+/// the same workload produces the same shard boundaries on every run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardSpec {
+    /// Tuple ids per shard (the time-range width of one shard).
+    pub rows_per_shard: u64,
+    /// Worker threads for fan-out (decay ticks, parallel scans).
+    /// `None` picks the machine's available parallelism; `Some(1)` runs
+    /// every fan-out inline on the calling thread.
+    #[serde(default)]
+    pub workers: Option<usize>,
+}
+
+impl ShardSpec {
+    /// A spec splitting every `rows_per_shard` inserted rows.
+    pub fn new(rows_per_shard: u64) -> Self {
+        ShardSpec {
+            rows_per_shard,
+            workers: None,
+        }
+    }
+
+    /// Sets an explicit fan-out worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Validates the spec.
+    pub fn validate(&self) -> Result<()> {
+        if self.rows_per_shard == 0 {
+            return Err(FungusError::InvalidConfig(
+                "rows_per_shard must be at least 1".into(),
+            ));
+        }
+        if self.workers == Some(0) {
+            return Err(FungusError::InvalidConfig(
+                "shard workers must be at least 1 when set".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ShardSpec {
+    fn default() -> Self {
+        ShardSpec {
+            rows_per_shard: 4096,
+            workers: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert!(ShardSpec::new(0).validate().is_err());
+        assert!(ShardSpec::new(16).with_workers(0).validate().is_err());
+        assert!(ShardSpec::new(16).validate().is_ok());
+        assert!(ShardSpec::default().validate().is_ok());
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = ShardSpec::new(128).with_workers(4);
+        let json = fungus_types::json::to_string(&spec).unwrap();
+        let back: ShardSpec = fungus_types::json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // `workers` is optional on the wire.
+        let bare: ShardSpec = fungus_types::json::from_str(r#"{"rows_per_shard":7}"#).unwrap();
+        assert_eq!(bare, ShardSpec::new(7));
+    }
+}

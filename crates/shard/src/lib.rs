@@ -1,0 +1,38 @@
+//! # fungus-shard
+//!
+//! Time-range sharded container extents. A relation's extent becomes an
+//! ordered set of **shards** — contiguous slices of the insertion-time
+//! axis — each behind its own lock with its own freshness/zone summary:
+//!
+//! - **Pruning:** scans skip whole shards via per-shard min/max tick, id,
+//!   and freshness bounds before touching tuples (segment zone maps still
+//!   apply inside surviving shards).
+//! - **Decay fan-out:** eviction detection and candidate gathers run one
+//!   task per shard on a work-stealing [`ShardPool`]; clean shards are
+//!   skipped outright via per-shard dirty flags.
+//! - **O(1) rot drops:** a shard whose live tuples have all rotted is
+//!   detached whole — one id-range gap — instead of being tombstoned
+//!   tuple by tuple and compacted later.
+//! - **Determinism:** EGI seed selection stays globally age-weighted on
+//!   the container's single RNG stream over the id-ordered candidate
+//!   list, and spread stays local along the time axis, so a sharded
+//!   extent is bit-for-bit equivalent to a monolithic one under the same
+//!   seed — for *any* shard count. Per-shard RNG streams are split from
+//!   the container RNG by shard base and reserved for shard-local
+//!   randomness that must not depend on layout history.
+//!
+//! See [`ShardedExtent`] for the equivalence contract and the cost-model
+//! differences (which are the point of sharding).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod config;
+pub mod extent;
+pub mod pool;
+pub mod shard;
+
+pub use config::ShardSpec;
+pub use extent::ShardedExtent;
+pub use pool::ShardPool;
+pub use shard::Shard;

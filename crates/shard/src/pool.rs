@@ -1,0 +1,149 @@
+//! A small work-stealing pool for shard fan-out.
+//!
+//! Decay ticks and scans issue one task per shard. Tasks are preloaded
+//! round-robin onto per-worker queues; an idle worker steals from the back
+//! of its neighbours' queues. Results are returned **slot-indexed** — the
+//! output `Vec` is ordered by task index no matter which worker ran what —
+//! so fan-out never perturbs determinism.
+//!
+//! With one worker (or one task) the pool runs inline on the calling
+//! thread: no threads are spawned, no locks are taken. This is the
+//! configuration benchmarked on single-core hosts, where sharding must win
+//! algorithmically (dirty-shard skipping, whole-shard drops) rather than
+//! through parallelism.
+
+use std::collections::VecDeque;
+
+use parking_lot::Mutex;
+
+/// Fixed-width fan-out executor for per-shard tasks.
+#[derive(Debug)]
+pub struct ShardPool {
+    workers: usize,
+}
+
+impl ShardPool {
+    /// A pool with `workers` threads; `None` uses the machine's available
+    /// parallelism. A requested width of 0 is treated as 1.
+    pub fn new(workers: Option<usize>) -> Self {
+        let workers = workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        ShardPool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Configured fan-out width.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f(0..n_tasks)` and returns the results indexed by task.
+    ///
+    /// Inline when the pool has one worker or there is at most one task;
+    /// otherwise scoped threads drain round-robin queues with stealing.
+    pub fn run<T, F>(&self, n_tasks: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        if self.workers <= 1 || n_tasks <= 1 {
+            return (0..n_tasks).map(&f).collect();
+        }
+        let width = self.workers.min(n_tasks);
+        let queues: Vec<Mutex<VecDeque<usize>>> =
+            (0..width).map(|_| Mutex::new(VecDeque::new())).collect();
+        for task in 0..n_tasks {
+            queues[task % width].lock().push_back(task);
+        }
+
+        let mut results: Vec<Option<T>> = Vec::with_capacity(n_tasks);
+        results.resize_with(n_tasks, || None);
+        std::thread::scope(|scope| {
+            let queues = &queues;
+            let f = &f;
+            let handles: Vec<_> = (0..width)
+                .map(|me| {
+                    scope.spawn(move || {
+                        let mut done = Vec::new();
+                        while let Some(task) = Self::next_task(queues, me) {
+                            done.push((task, f(task)));
+                        }
+                        done
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (task, value) in handle.join().expect("shard pool worker panicked") {
+                    results[task] = Some(value);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("every task ran exactly once"))
+            .collect()
+    }
+
+    /// Pops from the worker's own queue, else steals from the back of a
+    /// neighbour's. `None` only when every queue is empty (each task is
+    /// popped under a lock, so none runs twice).
+    fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+        if let Some(task) = queues[me].lock().pop_front() {
+            return Some(task);
+        }
+        for offset in 1..queues.len() {
+            let victim = (me + offset) % queues.len();
+            if let Some(task) = queues[victim].lock().pop_back() {
+                return Some(task);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn inline_pool_runs_in_order() {
+        let pool = ShardPool::new(Some(1));
+        let order = Mutex::new(Vec::new());
+        let out = pool.run(5, |i| {
+            order.lock().push(i);
+            i * 10
+        });
+        assert_eq!(out, vec![0, 10, 20, 30, 40]);
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_pool_returns_slot_indexed_results() {
+        let pool = ShardPool::new(Some(4));
+        assert_eq!(pool.workers(), 4);
+        let ran = AtomicUsize::new(0);
+        let out = pool.run(33, |i| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            i * i
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 33);
+        assert_eq!(out, (0..33).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let pool = ShardPool::new(Some(8));
+        assert_eq!(pool.run(2, |i| i + 1), vec![1, 2]);
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_width_requests_clamp_to_one() {
+        assert_eq!(ShardPool::new(Some(0)).workers(), 1);
+    }
+}

@@ -1,0 +1,252 @@
+//! One time-range shard: a [`TableStore`] plus summary bounds.
+//!
+//! A shard owns a contiguous tuple-id range `[base, base + capacity)` —
+//! ids are insertion-ordered, so this is a contiguous slice of the time
+//! axis. Alongside the store it keeps the conservative summary the extent
+//! prunes and schedules with: min/max insertion tick, a freshness
+//! envelope, and a dirty flag set by any freshness mutation since the last
+//! eviction pass.
+//!
+//! The freshness envelope is maintained *incrementally* and is only ever
+//! loose, never wrong: inserts raise the upper bound to 1.0, every decay
+//! result lowers the lower bound, and an eviction pass over a dirty shard
+//! recomputes both exactly. Loose bounds cost pruning opportunities, not
+//! correctness.
+
+use fungus_query::MetaRanges;
+use fungus_storage::{StorageConfig, TableStore};
+use fungus_types::{Result, Schema, Tick};
+
+/// A single time-range shard of a container extent.
+#[derive(Debug)]
+pub struct Shard {
+    store: TableStore,
+    base: u64,
+    capacity: u64,
+    rng_seed: u64,
+    dirty: bool,
+    freshness_lo: f64,
+    freshness_hi: f64,
+    min_tick: u64,
+    max_tick: u64,
+}
+
+impl Shard {
+    /// An empty shard owning ids `[base, base + capacity)`.
+    pub fn new(
+        schema: Schema,
+        config: StorageConfig,
+        base: u64,
+        capacity: u64,
+        rng_seed: u64,
+    ) -> Result<Shard> {
+        let store = TableStore::with_base(schema, config, fungus_types::TupleId(base))?;
+        Ok(Shard {
+            store,
+            base,
+            capacity,
+            rng_seed,
+            dirty: false,
+            freshness_lo: 1.0,
+            freshness_hi: 0.0,
+            min_tick: u64::MAX,
+            max_tick: 0,
+        })
+    }
+
+    /// Read access to the backing store.
+    pub fn store(&self) -> &TableStore {
+        &self.store
+    }
+
+    /// Mutable access to the backing store.
+    pub fn store_mut(&mut self) -> &mut TableStore {
+        &mut self.store
+    }
+
+    /// Consumes the shard, yielding the backing store (whole-shard drop).
+    pub fn into_store(self) -> TableStore {
+        self.store
+    }
+
+    /// First id of this shard's range.
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// One past the highest id handed out so far.
+    pub fn end(&self) -> u64 {
+        self.store.next_id().get()
+    }
+
+    /// Ids allocated so far (live + tombstoned).
+    pub fn allocated(&self) -> u64 {
+        self.end() - self.base
+    }
+
+    /// Whether the shard has handed out its full id range; sealed shards
+    /// never receive another insert.
+    pub fn is_sealed(&self) -> bool {
+        self.allocated() >= self.capacity
+    }
+
+    /// The seed of this shard's RNG stream, split from the container RNG
+    /// by shard base — stable across runs and across shard drops, so any
+    /// shard-local randomness (e.g. maintenance jitter) is reproducible
+    /// regardless of how many shards exist around it. The equivalence-
+    /// critical draws (EGI seeding) deliberately do *not* use it; they
+    /// stay on the container's single stream.
+    pub fn rng_seed(&self) -> u64 {
+        self.rng_seed
+    }
+
+    /// Whether any freshness has changed since the last eviction pass.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Marks the shard dirty (some tuple's decay state changed).
+    pub fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Records an insert at `now`: fresh tuple, so the freshness upper
+    /// bound snaps to 1.0 and the tick range widens to include `now`.
+    pub fn note_insert(&mut self, now: Tick) {
+        self.freshness_hi = 1.0;
+        if self.freshness_lo > 1.0 {
+            self.freshness_lo = 1.0;
+        }
+        self.min_tick = self.min_tick.min(now.get());
+        self.max_tick = self.max_tick.max(now.get());
+    }
+
+    /// Records a decay/scale result: the lower freshness bound can only
+    /// move down between recomputes.
+    pub fn note_freshness(&mut self, freshness: f64) {
+        self.freshness_lo = self.freshness_lo.min(freshness);
+        self.dirty = true;
+    }
+
+    /// Recomputes the exact summary from live tuples and clears the dirty
+    /// flag. Called at the end of an eviction pass, when the shard has
+    /// just been scanned anyway.
+    pub fn recompute_bounds(&mut self) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut min_tick = u64::MAX;
+        let mut max_tick = 0u64;
+        for t in self.store.iter_live() {
+            let f = t.meta.freshness.get();
+            lo = lo.min(f);
+            hi = hi.max(f);
+            min_tick = min_tick.min(t.meta.inserted_at.get());
+            max_tick = max_tick.max(t.meta.inserted_at.get());
+        }
+        if lo.is_finite() {
+            self.freshness_lo = lo;
+            self.freshness_hi = hi;
+        } else {
+            // Empty shard: an inverted envelope that cannot satisfy any
+            // bound; scans skip empty shards before consulting it.
+            self.freshness_lo = 1.0;
+            self.freshness_hi = 0.0;
+        }
+        self.min_tick = min_tick;
+        self.max_tick = max_tick;
+        self.dirty = false;
+    }
+
+    /// Installs an exact summary computed by the caller (the eviction pass
+    /// folds this into its detection sweep so a dirty shard is scanned
+    /// once, not twice) and clears the dirty flag. Callers pass the
+    /// accumulator identities (`lo = ∞`, `hi = −∞`) for an emptied shard;
+    /// the envelope then inverts exactly as [`recompute_bounds`] would.
+    ///
+    /// [`recompute_bounds`]: Self::recompute_bounds
+    pub fn set_bounds(&mut self, lo: f64, hi: f64, min_tick: u64, max_tick: u64) {
+        if lo.is_finite() {
+            self.freshness_lo = lo;
+            self.freshness_hi = hi;
+        } else {
+            self.freshness_lo = 1.0;
+            self.freshness_hi = 0.0;
+        }
+        self.min_tick = min_tick;
+        self.max_tick = max_tick;
+        self.dirty = false;
+    }
+
+    /// The conservative summary used for whole-shard pruning.
+    pub fn ranges(&self) -> MetaRanges {
+        MetaRanges {
+            min_id: self.base,
+            max_id: self.end().saturating_sub(1),
+            min_tick: self.min_tick,
+            max_tick: self.max_tick,
+            freshness_lo: self.freshness_lo,
+            freshness_hi: self.freshness_hi,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_types::{DataType, TupleId, Value};
+
+    fn shard() -> Shard {
+        let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+        Shard::new(schema, StorageConfig::for_tests(), 100, 16, 7).unwrap()
+    }
+
+    #[test]
+    fn ids_start_at_base_and_seal_at_capacity() {
+        let mut s = shard();
+        assert_eq!(s.allocated(), 0);
+        assert!(!s.is_sealed());
+        for i in 0..16i64 {
+            let id = s
+                .store_mut()
+                .insert(vec![Value::Int(i)], Tick(i as u64))
+                .unwrap();
+            s.note_insert(Tick(i as u64));
+            assert_eq!(id, TupleId(100 + i as u64));
+        }
+        assert!(s.is_sealed());
+        assert_eq!(s.end(), 116);
+        let r = s.ranges();
+        assert_eq!((r.min_id, r.max_id), (100, 115));
+        assert_eq!((r.min_tick, r.max_tick), (0, 15));
+    }
+
+    #[test]
+    fn freshness_envelope_stays_conservative() {
+        let mut s = shard();
+        for i in 0..4i64 {
+            s.store_mut().insert(vec![Value::Int(i)], Tick(1)).unwrap();
+            s.note_insert(Tick(1));
+        }
+        assert!(!s.dirty());
+        let f = s.store_mut().decay(TupleId(101), 0.7).unwrap();
+        s.note_freshness(f.get());
+        assert!(s.dirty());
+        let r = s.ranges();
+        assert!(r.freshness_lo <= 0.3 + 1e-12);
+        assert_eq!(r.freshness_hi, 1.0);
+
+        s.recompute_bounds();
+        assert!(!s.dirty());
+        let r = s.ranges();
+        assert!((r.freshness_lo - 0.3).abs() < 1e-12);
+        assert_eq!(r.freshness_hi, 1.0);
+    }
+
+    #[test]
+    fn recompute_on_empty_shard_inverts_envelope() {
+        let mut s = shard();
+        s.recompute_bounds();
+        let r = s.ranges();
+        assert!(r.freshness_lo > r.freshness_hi);
+    }
+}

@@ -390,6 +390,18 @@ impl Segment {
         self.approx_bytes = bytes;
     }
 
+    /// Consumes the segment, yielding its live tuples in id order (the
+    /// whole-shard drop path — no tombstones are written).
+    pub(crate) fn into_live(self) -> Box<dyn Iterator<Item = Tuple>> {
+        match self.repr {
+            Repr::Dense(slots) => Box::new(slots.into_iter().filter_map(|s| match s {
+                Slot::Live(t) => Some(t),
+                Slot::Tombstone(_) => None,
+            })),
+            Repr::Sparse { live, .. } => Box::new(live.into_iter().map(|(_, t)| t)),
+        }
+    }
+
     /// Restores an allocated slot during snapshot decode / WAL replay.
     /// Slots must be appended in id order starting at `base`.
     pub(crate) fn push_slot_restored(&mut self, slot: Slot) {

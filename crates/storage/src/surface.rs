@@ -54,6 +54,23 @@ pub trait DecaySurface {
         self.for_each_live_meta(&mut |id, meta| out.push((id, *meta)));
         out
     }
+
+    /// `(id, age in ticks)` of every live **uninfected** tuple, in id order
+    /// — the EGI seed candidate list.
+    ///
+    /// A dedicated hook so partitioned surfaces can gather candidates
+    /// per-partition (in parallel) and merge in id order; the output must
+    /// be identical to this default for determinism to hold across
+    /// layouts.
+    fn seed_candidates(&self, now: Tick) -> Vec<(TupleId, f64)> {
+        let mut out = Vec::with_capacity(self.live_count());
+        self.for_each_live_meta(&mut |id, meta| {
+            if !meta.infected {
+                out.push((id, meta.age(now).as_f64()));
+            }
+        });
+        out
+    }
 }
 
 impl DecaySurface for TableStore {

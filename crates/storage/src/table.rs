@@ -72,6 +72,17 @@ impl TableStore {
         })
     }
 
+    /// Creates an empty store whose first insert receives id `base`.
+    ///
+    /// Sharded extents give every shard a contiguous id range; each shard's
+    /// store keeps absolute ids so tuple ids stay globally unique and
+    /// time-ordered across the whole extent.
+    pub fn with_base(schema: Schema, config: StorageConfig, base: TupleId) -> Result<Self> {
+        let mut store = TableStore::new(schema, config)?;
+        store.next_id = base.get();
+        Ok(store)
+    }
+
     /// The store's schema.
     #[inline]
     pub fn schema(&self) -> &Schema {
@@ -310,6 +321,35 @@ impl TableStore {
         None
     }
 
+    /// Greatest live id strictly below `id`, or `None`. Unlike
+    /// [`live_neighbors`](Self::live_neighbors) the scan is clamped to this
+    /// store's own id range, so a sharded extent probing a predecessor
+    /// shard does not pay for the id distance between shards.
+    pub fn prev_live_below(&self, id: TupleId) -> Option<TupleId> {
+        let floor = self.segments.first()?.base();
+        let mut cur = TupleId(id.get().min(self.next_id)).pred()?;
+        while cur >= floor {
+            if self.get(cur).is_some() {
+                return Some(cur);
+            }
+            cur = cur.pred()?;
+        }
+        None
+    }
+
+    /// Smallest live id at or above `id`, clamped to this store's range.
+    pub fn next_live_from(&self, id: TupleId) -> Option<TupleId> {
+        let mut cur = id.max(self.segments.first()?.base());
+        let end = TupleId(self.next_id);
+        while cur < end {
+            if self.get(cur).is_some() {
+                return Some(cur);
+            }
+            cur = cur.succ();
+        }
+        None
+    }
+
     /// Marks `id` infected at `now`, maintaining the infected index.
     /// Returns false if the tuple is not live.
     pub fn infect(&mut self, id: TupleId, now: Tick) -> bool {
@@ -519,15 +559,22 @@ impl TableStore {
         TableStats::collect(self, now)
     }
 
+    /// Consumes the store, returning every live tuple in id order.
+    ///
+    /// This is the whole-shard drop path: no per-tuple tombstoning, index
+    /// maintenance, or hole bookkeeping happens — the caller records one
+    /// id-range gap for the entire store instead.
+    pub fn into_live_tuples(self) -> Vec<Tuple> {
+        self.segments
+            .into_iter()
+            .flat_map(Segment::into_live)
+            .collect()
+    }
+
     /// Overwrites the eviction counters with exact recorded values
-    /// (snapshot restore only — replay cannot reconstruct `rotted_unread`).
-    pub(crate) fn set_counters(
-        &mut self,
-        rotted: u64,
-        consumed: u64,
-        deleted: u64,
-        rotted_unread: u64,
-    ) {
+    /// (snapshot restore and shard/monolithic conversions — replay cannot
+    /// reconstruct `rotted_unread`).
+    pub fn set_counters(&mut self, rotted: u64, consumed: u64, deleted: u64, rotted_unread: u64) {
         self.evicted_rotted = rotted;
         self.evicted_consumed = consumed;
         self.evicted_deleted = deleted;

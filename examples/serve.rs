@@ -3,13 +3,19 @@
 //! ```text
 //! cargo run --release --example serve -- [--port N] [--tick-ms N]
 //!     [--workers N] [--seed N] [--ddl script.sql] [--checkpoint DIR]
-//!     [--fault-seed N]
+//!     [--fault-seed N] [--shards N]
 //! ```
 //!
 //! Binds a TCP listener, spawns the worker pool and the wall-clock decay
 //! driver, and serves until killed. Talk to it with
 //! `fungus_server::Client` or the E11 load generator. Without `--ddl` it
 //! creates a demo `sensors` container.
+//!
+//! `--shards N` splits every container's extent into time-range shards of
+//! N rows each: decay fans out per shard, scans prune whole shards by
+//! tick/freshness bounds, and fully rotted shards detach in O(1). Answers
+//! are bit-identical to the unsharded layout under the same seed; the
+//! shard gauges show up in `.stats`.
 //!
 //! `--fault-seed N` arms the chaos fault plan: every connection's streams
 //! get a deterministic schedule (seeded by N) of torn writes, transient
@@ -31,7 +37,7 @@
 
 use std::time::{Duration, Instant};
 
-use spacefungus::fungus_core::{Database, SharedDatabase};
+use spacefungus::fungus_core::{Database, ShardSpec, SharedDatabase};
 use spacefungus::fungus_server::{
     serve, Client, ClientError, FaultPlan, RetryPolicy, ServerConfig,
 };
@@ -48,6 +54,7 @@ struct Args {
     workers: usize,
     seed: u64,
     fault_seed: Option<u64>,
+    shards: Option<u64>,
     ddl: Option<String>,
     checkpoint: Option<std::path::PathBuf>,
     smoke: bool,
@@ -60,6 +67,7 @@ fn parse_args() -> Args {
         workers: 8,
         seed: 42,
         fault_seed: None,
+        shards: None,
         ddl: None,
         checkpoint: None,
         smoke: false,
@@ -75,6 +83,9 @@ fn parse_args() -> Args {
             "--fault-seed" => {
                 args.fault_seed = Some(value("--fault-seed").parse().expect("--fault-seed: u64"))
             }
+            "--shards" => {
+                args.shards = Some(value("--shards").parse().expect("--shards: rows per shard"))
+            }
             "--ddl" => {
                 let path = value("--ddl");
                 args.ddl = Some(std::fs::read_to_string(&path).expect("read DDL script"));
@@ -84,7 +95,7 @@ fn parse_args() -> Args {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve [--port N] [--tick-ms N] [--workers N] [--seed N] \
-                     [--fault-seed N] [--ddl FILE] [--checkpoint DIR] [--smoke]"
+                     [--fault-seed N] [--shards N] [--ddl FILE] [--checkpoint DIR] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -101,6 +112,10 @@ fn main() {
     let script = args.ddl.as_deref().unwrap_or(DEFAULT_DDL);
     for outcome in db.execute_script(script).expect("DDL script failed") {
         drop(outcome);
+    }
+    if let Some(rows_per_shard) = args.shards {
+        apply_sharding(&db, rows_per_shard);
+        eprintln!("sharding: time-range shards of {rows_per_shard} rows");
     }
     eprintln!("containers: {:?}", db.container_names());
 
@@ -132,6 +147,25 @@ fn main() {
     // un-checkpointed state, which the paper says is rotting anyway.)
     loop {
         std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
+/// Re-creates every (still empty, just-DDL'd) container with a sharded
+/// extent policy; the DDL language has no SHARDS clause, so the flag
+/// applies the layout programmatically at boot.
+fn apply_sharding(db: &SharedDatabase, rows_per_shard: u64) {
+    let spec = ShardSpec::new(rows_per_shard);
+    let mut guard = db.write();
+    for name in guard.container_names() {
+        let (schema, policy) = {
+            let c = guard.container(&name).expect("container just listed");
+            let g = c.read();
+            (g.schema().clone(), g.policy().clone())
+        };
+        guard.drop_container(&name);
+        guard
+            .create_container(name, schema, policy.with_sharding(spec))
+            .expect("re-create container with sharding");
     }
 }
 

@@ -51,6 +51,7 @@ pub use fungus_core;
 pub use fungus_fungi;
 pub use fungus_query;
 pub use fungus_server;
+pub use fungus_shard;
 pub use fungus_storage;
 pub use fungus_summary;
 pub use fungus_types;
@@ -65,6 +66,7 @@ pub mod prelude {
     };
     pub use fungus_fungi::{EgiConfig, FungusSpec, SeedBias};
     pub use fungus_query::{parse_statement, Expr, ResultSet, Statement};
+    pub use fungus_shard::{ShardSpec, ShardedExtent};
     pub use fungus_storage::{SpotCensus, StorageConfig, TableStats, TableStore};
     pub use fungus_summary::{AnySummary, SummarySpec};
     pub use fungus_types::{

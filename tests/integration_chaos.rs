@@ -31,6 +31,7 @@ use spacefungus::fungus_core::{Database, SharedDatabase};
 use spacefungus::fungus_server::{
     serve, Client, ClientError, ErrorCode, FaultPlan, Response, RetryPolicy, ServerConfig,
 };
+use spacefungus::fungus_shard::ShardSpec;
 use spacefungus::fungus_types::Tick;
 use spacefungus::fungus_workload::{ClientMix, ClientOp};
 
@@ -74,8 +75,11 @@ fn insert_rows(op: &ClientOp) -> u64 {
     }
 }
 
-#[test]
-fn chaos_clients_survive_the_fault_plan() {
+/// The chaos scenario, parameterised over the extent layout: `None` runs
+/// the monolithic store, `Some(rows)` re-creates the container with
+/// time-range shards of `rows` tuples before the storm starts. Every
+/// invariant in the module doc must hold for both layouts.
+fn run_chaos_plan(rows_per_shard: Option<u64>) {
     const CLIENTS: usize = 8;
     const PER_CLIENT: u64 = 200;
 
@@ -90,6 +94,21 @@ fn chaos_clients_survive_the_fault_plan() {
          WITH FUNGUS ttl(1000000)",
     )
     .unwrap();
+    if let Some(rows) = rows_per_shard {
+        // The DDL language has no SHARDS clause; apply the layout
+        // programmatically, the same way `examples/serve.rs --shards`
+        // does at boot.
+        let mut guard = db.write();
+        let (schema, policy) = {
+            let c = guard.container("r").expect("container just created");
+            let g = c.read();
+            (g.schema().clone(), g.policy().clone())
+        };
+        guard.drop_container("r");
+        guard
+            .create_container("r", schema, policy.with_sharding(ShardSpec::new(rows)))
+            .expect("re-create container with sharding");
+    }
 
     let config = ServerConfig {
         workers: CLIENTS,
@@ -205,6 +224,18 @@ fn chaos_clients_survive_the_fault_plan() {
         "phantom rows: {live} live > {committed} committed + {ambiguous} ambiguous"
     );
 
+    if let Some(rows) = rows_per_shard {
+        // The storm really ran against a sharded extent, not a layout
+        // that silently fell back to monolithic.
+        let guard = handle.db().write();
+        let c = guard.container("r").expect("container survived chaos");
+        let shards = c.read().shard_count();
+        assert!(
+            shards >= 4,
+            "sharded chaos run ended with {shards} shards (rows_per_shard {rows}, live {live})"
+        );
+    }
+
     let report = handle.shutdown().expect("graceful shutdown after chaos");
     let m = report.metrics;
     assert!(m.faults_injected > 0, "server injected no stream faults");
@@ -217,6 +248,19 @@ fn chaos_clients_survive_the_fault_plan() {
         "supervisor lost workers: {} panics, {} respawns",
         m.worker_panics, m.workers_respawned
     );
+}
+
+#[test]
+fn chaos_clients_survive_the_fault_plan() {
+    run_chaos_plan(None);
+}
+
+/// The same storm against a time-range-sharded extent: the committed-write
+/// ledger, decay schedule, and supervisor invariants must not care how the
+/// extent is laid out. 64-row shards put the run well past four shards.
+#[test]
+fn chaos_survives_on_a_sharded_extent() {
+    run_chaos_plan(Some(64));
 }
 
 /// With the fault plan disabled the same harness must behave exactly like
