@@ -1,4 +1,4 @@
-//! Runs the entire experiment suite (E1–E12 + A1) and writes one TSV per
+//! Runs the entire experiment suite (E1–E13 + A1) and writes one TSV per
 //! experiment into the directory given as the first argument (default
 //! `results/`).
 //!
@@ -39,6 +39,7 @@ fn main() {
         ("e10", fungus_bench::e10_health::run),
         ("e11", fungus_bench::e11_server::run),
         ("e12", fungus_bench::e12_sharding::run),
+        ("e13", fungus_bench::e13_adaptive::run),
         ("a1", fungus_bench::a1_access_paths::run),
     ];
     for (name, run) in experiments {

@@ -1,4 +1,4 @@
-//! Prints the e12_sharding experiment table (see DESIGN.md / EXPERIMENTS.md).
+//! Prints the e13_adaptive experiment table (see DESIGN.md / EXPERIMENTS.md).
 
 use fungus_bench::harness::Scale;
 
@@ -17,6 +17,6 @@ fn main() {
         .unwrap_or(1);
     print!(
         "{}",
-        fungus_bench::e12_sharding::run_with_workers(scale, workers)
+        fungus_bench::e13_adaptive::run_with_workers(scale, workers)
     );
 }

@@ -167,14 +167,16 @@ fn run_layout(label: &str, spec: Option<ShardSpec>, s: &Sizing) -> Vec<String> {
     ]
 }
 
-/// Runs E12 and renders the layout comparison table.
-pub fn run(scale: Scale) -> String {
+/// Runs E12 with explicit shard-worker parallelism (the CI matrix runs
+/// 1 and 2 workers; recorded tables use 1 so wins are algorithmic).
+pub fn run_with_workers(scale: Scale, workers: usize) -> String {
     let s = sizing(scale);
     let mut table = TableBuilder::new(
         format!(
             "E12 sharded vs monolithic extent: {} preloaded rows, {} churn ticks \
-             (insert {} + recency read + decay per tick), identical rot under one seed",
-            s.preload, s.iters, s.insert_batch
+             (insert {} + recency read + decay per tick), identical rot under one \
+             seed, {} worker(s)",
+            s.preload, s.iters, s.insert_batch, workers
         ),
         &[
             "layout",
@@ -195,13 +197,18 @@ pub fn run(scale: Scale) -> String {
         // preload under this insert/kill balance), so `count` is the
         // resident shard count once the churn settles.
         let rows_per_shard = (s.preload * 5 / (2 * count)).max(1);
-        // One fan-out worker: the host the tables are recorded on is
-        // single-core, so every win below is algorithmic (dirty-shard
-        // skipping, O(1) drops, shard pruning), not parallelism.
-        let spec = ShardSpec::new(rows_per_shard).with_workers(1);
+        let spec = ShardSpec::new(rows_per_shard).with_workers(workers);
         table.row(run_layout(&format!("shard/{count}"), Some(spec), &s));
     }
     table.render()
+}
+
+/// Runs E12 and renders the layout comparison table with one fan-out
+/// worker: the host the tables are recorded on is single-core, so every
+/// win is algorithmic (dirty-shard skipping, O(1) drops, shard pruning),
+/// not parallelism.
+pub fn run(scale: Scale) -> String {
+    run_with_workers(scale, 1)
 }
 
 #[cfg(test)]

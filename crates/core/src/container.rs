@@ -110,6 +110,44 @@ impl Container {
         })
     }
 
+    /// Rebuilds a *sharded* container from a shard-aware checkpoint: a
+    /// layout manifest plus one restored store per resident shard. Unlike
+    /// [`from_store`](Self::from_store) — which flattens and re-shards —
+    /// this preserves the checkpointed boundaries, summaries, dirty flags,
+    /// and lifecycle counters exactly. The fungus restarts from its seed,
+    /// as in every restore path.
+    pub fn from_sharded_parts(
+        name: impl Into<String>,
+        manifest: &fungus_shard::ShardLayoutManifest,
+        stores: Vec<TableStore>,
+        policy: ContainerPolicy,
+        rng: &DeterministicRng,
+    ) -> Result<Self> {
+        let name = name.into();
+        policy.validate()?;
+        let container_rng = DeterministicRng::new(rng.derive_seed(&name));
+        let fungus = policy.fungus.build(&container_rng)?;
+        let distiller = Distiller::new(
+            &policy.distill,
+            &manifest.schema,
+            container_rng.derive_seed("distill"),
+        )?;
+        let extent = Extent::Sharded(ShardedExtent::from_manifest(
+            policy.storage.clone(),
+            manifest,
+            stores,
+            &container_rng,
+        )?);
+        Ok(Container {
+            name,
+            extent,
+            policy,
+            fungus,
+            distiller,
+            metrics: EngineMetrics::default(),
+        })
+    }
+
     /// Container name.
     pub fn name(&self) -> &str {
         &self.name
@@ -185,6 +223,21 @@ impl Container {
         self.extent.shards_pruned()
     }
 
+    /// Tail shards sealed early by the adaptive split rule.
+    pub fn shards_split(&self) -> u64 {
+        self.extent.shards_split()
+    }
+
+    /// Underfull sealed shards merged into a neighbor.
+    pub fn shards_merged(&self) -> u64 {
+        self.extent.shards_merged()
+    }
+
+    /// Shards reassembled from a shard-aware checkpoint.
+    pub fn shards_restored(&self) -> u64 {
+        self.extent.shards_restored()
+    }
+
     /// Inserts one row at `now`.
     pub fn insert(&mut self, values: Vec<Value>, now: Tick) -> Result<TupleId> {
         let id = QueryExtent::insert(&mut self.extent, values, now)?;
@@ -236,6 +289,8 @@ impl Container {
         self.metrics.decay_passes += 1;
 
         let drops_before = self.extent.shards_dropped();
+        let splits_before = self.extent.shards_split();
+        let merges_before = self.extent.shards_merged();
         let evicted: Vec<Tuple> = self.extent.evict_rotten();
         let before = self.distiller.total_absorbed();
         self.distiller.absorb_all(&evicted, true);
@@ -256,8 +311,11 @@ impl Container {
             _ => false,
         };
         // Rot drops happen during eviction; dead-shard drops during
-        // compaction. Count both after the pass.
+        // compaction; adaptive splits and merges at the eviction sweep.
+        // Count them all after the pass.
         self.metrics.shards_dropped += self.extent.shards_dropped() - drops_before;
+        self.metrics.shards_split += self.extent.shards_split() - splits_before;
+        self.metrics.shards_merged += self.extent.shards_merged() - merges_before;
 
         (
             DecayReport {

@@ -438,6 +438,9 @@ impl Database {
             t.resident += g.shard_count() as u64;
             t.dropped += g.metrics().shards_dropped;
             t.pruned += g.shards_pruned();
+            t.split += g.shards_split();
+            t.merged += g.shards_merged();
+            t.restored += g.shards_restored();
         }
         t
     }
@@ -474,10 +477,16 @@ impl Database {
         self.adopt_container(container)
     }
 
-    /// Checkpoints every container into `dir` (one `<name>.snap` per
-    /// container plus a `MANIFEST` recording the clock and the policies),
-    /// so a whole database can be restored with
+    /// Checkpoints every container into `dir`, plus a `MANIFEST` recording
+    /// the clock, the policies, and (for sharded containers) the shard
+    /// layout, so a whole database can be restored with
     /// [`restore_checkpoint`](Self::restore_checkpoint).
+    ///
+    /// Monolithic containers write one `<name>.snap`. Sharded containers
+    /// write one `<name>.shard-<base>.snap` per resident shard and a
+    /// `layout` manifest line carrying boundaries, summaries, dirty flags,
+    /// dropped ranges, and lifecycle counters — restore reassembles the
+    /// extent shard by shard instead of flattening and re-splitting it.
     pub fn checkpoint(&self, dir: impl AsRef<std::path::Path>) -> Result<()> {
         let dir = dir.as_ref();
         std::fs::create_dir_all(dir)?;
@@ -485,7 +494,21 @@ impl Database {
         manifest.push_str(&format!("clock\t{}\n", self.now().get()));
         for (name, container) in &self.containers {
             let guard = container.read();
-            save_extent(guard.extent(), dir.join(format!("{name}.snap")))?;
+            match guard.extent() {
+                crate::extent::Extent::Mono(store) => {
+                    fungus_storage::save_to_file(store, dir.join(format!("{name}.snap")))?;
+                }
+                crate::extent::Extent::Sharded(ext) => {
+                    ext.for_each_shard_store(|base, store| {
+                        fungus_storage::save_to_file(
+                            store,
+                            dir.join(format!("{name}.shard-{base}.snap")),
+                        )
+                    })?;
+                    let layout_json = serde_json_lite(&ext.manifest())?;
+                    manifest.push_str(&format!("layout\t{name}\t{layout_json}\n"));
+                }
+            }
             let policy_json = serde_json_lite(guard.policy())?;
             manifest.push_str(&format!("container\t{name}\t{policy_json}\n"));
         }
@@ -494,17 +517,25 @@ impl Database {
     }
 
     /// Restores a database from a [`checkpoint`](Self::checkpoint)
-    /// directory: clock position, every container, and its policy. The
-    /// database must be empty (freshly constructed with the original seed
-    /// for identical post-restore decay behaviour).
+    /// directory: clock position, every container, its policy, and — for
+    /// sharded containers — the exact shard layout (boundaries, summaries,
+    /// dirty flags, counters). The database must be empty (freshly
+    /// constructed with the original seed for identical post-restore decay
+    /// behaviour).
     pub fn restore_checkpoint(&mut self, dir: impl AsRef<std::path::Path>) -> Result<()> {
         let dir = dir.as_ref();
         if self.container_count() != 0 {
-            return Err(FungusError::InvalidConfig(
-                "restore_checkpoint requires an empty database".into(),
-            ));
+            return Err(FungusError::InvalidConfig(format!(
+                "restore_checkpoint requires an empty database (existing containers: {})",
+                self.container_names().join(", ")
+            )));
         }
+        // Parse the whole manifest before acting on it: `layout` lines may
+        // precede or follow their `container` line.
         let manifest = std::fs::read_to_string(dir.join("MANIFEST"))?;
+        let mut clock = None;
+        let mut containers: Vec<(String, String)> = Vec::new();
+        let mut layouts: BTreeMap<String, String> = BTreeMap::new();
         for line in manifest.lines() {
             let mut parts = line.splitn(3, '\t');
             match parts.next() {
@@ -512,7 +543,7 @@ impl Database {
                     let tick: u64 = parts.next().and_then(|t| t.parse().ok()).ok_or_else(|| {
                         FungusError::CorruptSnapshot("bad clock line in MANIFEST".into())
                     })?;
-                    self.scheduler.clock().reset_to(Tick(tick));
+                    clock = Some(Tick(tick));
                 }
                 Some("container") => {
                     let name = parts.next().ok_or_else(|| {
@@ -521,8 +552,16 @@ impl Database {
                     let policy_json = parts.next().ok_or_else(|| {
                         FungusError::CorruptSnapshot("missing container policy".into())
                     })?;
-                    let policy: ContainerPolicy = serde_json_parse(policy_json)?;
-                    self.load_container(name, dir.join(format!("{name}.snap")), policy)?;
+                    containers.push((name.to_string(), policy_json.to_string()));
+                }
+                Some("layout") => {
+                    let name = parts.next().ok_or_else(|| {
+                        FungusError::CorruptSnapshot("missing layout container name".into())
+                    })?;
+                    let layout_json = parts.next().ok_or_else(|| {
+                        FungusError::CorruptSnapshot("missing layout manifest".into())
+                    })?;
+                    layouts.insert(name.to_string(), layout_json.to_string());
                 }
                 _ => {
                     return Err(FungusError::CorruptSnapshot(format!(
@@ -530,6 +569,34 @@ impl Database {
                     )))
                 }
             }
+        }
+        if let Some(tick) = clock {
+            self.scheduler.clock().reset_to(tick);
+        }
+        for (name, policy_json) in containers {
+            let policy: ContainerPolicy = serde_json_parse(&policy_json)?;
+            match layouts.remove(&name) {
+                Some(layout_json) => {
+                    let layout: fungus_shard::ShardLayoutManifest = serde_json_parse(&layout_json)?;
+                    let mut stores = Vec::with_capacity(layout.shards.len());
+                    for record in &layout.shards {
+                        stores.push(fungus_storage::load_from_file(
+                            dir.join(format!("{name}.shard-{}.snap", record.base)),
+                        )?);
+                    }
+                    let container =
+                        Container::from_sharded_parts(&name, &layout, stores, policy, &self.rng)?;
+                    self.adopt_container(container)?;
+                }
+                None => {
+                    self.load_container(&name, dir.join(format!("{name}.snap")), policy)?;
+                }
+            }
+        }
+        if let Some(name) = layouts.into_keys().next() {
+            return Err(FungusError::CorruptSnapshot(format!(
+                "layout manifest for unknown container `{name}`"
+            )));
         }
         Ok(())
     }
@@ -1001,6 +1068,107 @@ mod tests {
         busy.create_container("x", schema(), ContainerPolicy::immortal())
             .unwrap();
         assert!(busy.restore_checkpoint(&dir).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_preserves_adaptive_shard_layouts() {
+        use fungus_shard::ShardSpec;
+        // An adaptive sharded container with real lifecycle history:
+        // enough churn to split the tail, rot out whole shards, and merge
+        // hollowed neighbors — then prove the checkpoint round-trips the
+        // exact shard structure, not a flattened re-split of it.
+        let spec = ShardSpec::new(16).with_adaptive().with_low_water(0.5);
+        let policy =
+            ContainerPolicy::new(FungusSpec::Retention { max_age: 30 }).with_sharding(spec);
+        let mut db = Database::new(77);
+        db.create_container("r", schema(), policy).unwrap();
+        db.create_container("plain", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        db.execute("INSERT INTO plain VALUES (9)").unwrap();
+        for round in 0..10 {
+            for v in 0..12 {
+                db.execute(&format!("INSERT INTO r VALUES ({})", round * 12 + v))
+                    .unwrap();
+            }
+            db.run_for(3);
+        }
+        // Post-sweep activity the checkpoint must carry: inserts leave a
+        // non-zero tail gauge, and an un-swept decay leaves a dirty flag.
+        db.execute("INSERT INTO r VALUES (777), (778)").unwrap();
+        {
+            use fungus_storage::DecaySurface;
+            let c = db.container("r").unwrap();
+            let mut g = c.write();
+            let id = fungus_query::QueryExtent::live_ids(g.extent())[0];
+            DecaySurface::decay(g.extent_mut(), id, 0.01).unwrap();
+        }
+        let structure_before = {
+            let c = db.container("r").unwrap();
+            let g = c.read();
+            let ext = g.extent().as_sharded().unwrap();
+            assert!(ext.shard_count() >= 4, "want a multi-shard layout");
+            assert!(
+                ext.structure().shards.iter().any(|s| s.dirty),
+                "want at least one dirty flag to round-trip"
+            );
+            ext.structure()
+        };
+        let live_before = db.container("r").unwrap().read().live_count();
+
+        let dir =
+            std::env::temp_dir().join(format!("fungus-shard-checkpoint-{}", std::process::id()));
+        db.checkpoint(&dir).unwrap();
+
+        let mut restored = Database::new(77);
+        restored.restore_checkpoint(&dir).unwrap();
+        let c = restored.container("r").unwrap();
+        {
+            let g = c.read();
+            let ext = g.extent().as_sharded().unwrap();
+            assert_eq!(
+                ext.structure(),
+                structure_before,
+                "boundaries, summaries, dirty flags, and counters must \
+                 round-trip exactly"
+            );
+        }
+        assert_eq!(c.read().live_count(), live_before);
+        let telemetry = restored.shard_telemetry();
+        assert_eq!(telemetry.restored as usize, structure_before.shards.len());
+        assert_eq!(telemetry.split, structure_before.shards_split);
+        assert_eq!(telemetry.merged, structure_before.shards_merged);
+
+        // The restored database decays identically to the original.
+        db.run_for(20);
+        restored.run_for(20);
+        assert_eq!(
+            restored.container("r").unwrap().read().live_count(),
+            db.container("r").unwrap().read().live_count()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn non_empty_restore_error_names_the_containers() {
+        let mut db = Database::new(5);
+        db.create_container("a", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        let dir =
+            std::env::temp_dir().join(format!("fungus-busy-checkpoint-{}", std::process::id()));
+        db.checkpoint(&dir).unwrap();
+
+        let mut busy = Database::new(6);
+        busy.create_container("orders", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        busy.create_container("users", schema(), ContainerPolicy::immortal())
+            .unwrap();
+        let err = busy.restore_checkpoint(&dir).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("orders") && msg.contains("users"),
+            "error must name the offending containers, got: {msg}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -18,9 +18,21 @@
 //! | `stochastic(p)` / `stochastic(p, age_scale)` | random eviction |
 //! | `importance(rate)` / `importance(rate, shield)` | access-aware decay |
 //! | `egi()` / `egi(seeds, spread, rot_rate)` | the paper's fungus |
+//!
+//! Sharding grammar (either form, anywhere after the column list):
+//!
+//! | SQL | effect |
+//! |---|---|
+//! | `SHARDS n` | fixed time-range shards of `n` rows |
+//! | `WITH SHARDING (rows_per_shard = n, adaptive = on\|off, low_water = f, workers = n)` | full control; only `rows_per_shard` is required |
+//!
+//! [`resolve_sharding`] is the **single** place a declarative sharding
+//! request becomes a [`ShardSpec`] — the server's `--shards` flag and the
+//! `serve` example route through it too, so defaults stay in one place.
 
 use fungus_fungi::{EgiConfig, FungusSpec};
-use fungus_query::CreateContainerStatement;
+use fungus_query::{CreateContainerStatement, ShardingClause};
+use fungus_shard::ShardSpec;
 use fungus_types::{ColumnDef, DataType, FungusError, Result, Schema, TickDelta};
 
 use crate::policy::ContainerPolicy;
@@ -96,6 +108,28 @@ fn resolve_fungus(name: &str, args: &[f64]) -> Result<FungusSpec> {
     Ok(spec)
 }
 
+/// Resolves a declarative sharding request into a [`ShardSpec`]. Options
+/// left unset in the SQL take the spec's defaults (fixed layout, engine
+/// low-water mark, worker autodetection), so `SHARDS n` is exactly
+/// `WITH SHARDING (rows_per_shard = n)`.
+///
+/// This is the one place DDL becomes a shard specification; every other
+/// entry point (server flags, examples) funnels through it.
+pub fn resolve_sharding(clause: &ShardingClause) -> Result<ShardSpec> {
+    let mut spec = ShardSpec::new(clause.rows_per_shard);
+    if clause.adaptive == Some(true) {
+        spec = spec.with_adaptive();
+    }
+    if let Some(low_water) = clause.low_water {
+        spec = spec.with_low_water(low_water);
+    }
+    if let Some(workers) = clause.workers {
+        spec = spec.with_workers(workers as usize);
+    }
+    spec.validate()?;
+    Ok(spec)
+}
+
 /// Resolves a parsed `CREATE CONTAINER` into `(name, schema, policy)`.
 pub fn resolve_create_container(
     stmt: &CreateContainerStatement,
@@ -116,6 +150,9 @@ pub fn resolve_create_container(
     let mut policy = ContainerPolicy::new(fungus);
     if let Some(every) = stmt.decay_every {
         policy = policy.with_decay_period(TickDelta(every));
+    }
+    if let Some(clause) = &stmt.sharding {
+        policy = policy.with_sharding(resolve_sharding(clause)?);
     }
     Ok((stmt.name.clone(), schema, policy))
 }
@@ -201,6 +238,77 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn shards_shorthand_resolves_to_a_fixed_spec() {
+        let (_, _, policy) = resolve("CREATE CONTAINER t (a INT) SHARDS 512").unwrap();
+        let spec = policy.sharding.expect("sharding set");
+        assert_eq!(spec, ShardSpec::new(512));
+        assert!(!spec.adaptive);
+    }
+
+    #[test]
+    fn with_sharding_resolves_every_option() {
+        let (_, _, policy) = resolve(
+            "CREATE CONTAINER t (a INT) WITH FUNGUS ttl(30) \
+             WITH SHARDING (rows_per_shard = 256, adaptive = on, \
+                            low_water = 0.4, workers = 2) \
+             DECAY EVERY 3",
+        )
+        .unwrap();
+        assert_eq!(policy.fungus, FungusSpec::Retention { max_age: 30 });
+        assert_eq!(policy.decay_period, TickDelta(3));
+        let spec = policy.sharding.expect("sharding set");
+        assert_eq!(
+            spec,
+            ShardSpec::new(256)
+                .with_adaptive()
+                .with_low_water(0.4)
+                .with_workers(2)
+        );
+        // Clause order is free: sharding may precede the fungus.
+        let (_, _, swapped) = resolve(
+            "CREATE CONTAINER t (a INT) WITH SHARDING (rows_per_shard = 256, \
+             adaptive = on, low_water = 0.4, workers = 2) WITH FUNGUS ttl(30) \
+             DECAY EVERY 3",
+        )
+        .unwrap();
+        assert_eq!(swapped.sharding, policy.sharding);
+        assert_eq!(swapped.fungus, policy.fungus);
+    }
+
+    #[test]
+    fn adaptive_off_is_the_fixed_layout() {
+        let (_, _, policy) = resolve(
+            "CREATE CONTAINER t (a INT) WITH SHARDING (rows_per_shard = 64, adaptive = off)",
+        )
+        .unwrap();
+        assert_eq!(policy.sharding, Some(ShardSpec::new(64)));
+    }
+
+    #[test]
+    fn bad_sharding_ddl_is_rejected() {
+        // Parse-level rejections.
+        for sql in [
+            "CREATE CONTAINER t (a INT) SHARDS 0",
+            "CREATE CONTAINER t (a INT) SHARDS banana",
+            "CREATE CONTAINER t (a INT) WITH SHARDING (adaptive = on)",
+            "CREATE CONTAINER t (a INT) WITH SHARDING (rows_per_shard = 8, adaptive = maybe)",
+            "CREATE CONTAINER t (a INT) WITH SHARDING (rows_per_shard = 8, bananas = 2)",
+            "CREATE CONTAINER t (a INT) SHARDS 8 SHARDS 9",
+            "CREATE CONTAINER t (a INT) SHARDS 8 WITH SHARDING (rows_per_shard = 9)",
+        ] {
+            assert!(parse_statement(sql).is_err(), "{sql}");
+        }
+        // Resolve-level rejections (parses, but the spec is invalid).
+        assert!(
+            resolve(
+                "CREATE CONTAINER t (a INT) WITH SHARDING (rows_per_shard = 8, low_water = 1.5)"
+            )
+            .is_err(),
+            "low_water must stay below 1"
+        );
     }
 
     #[test]

@@ -119,6 +119,33 @@ impl Extent {
         }
     }
 
+    /// Tail shards sealed early by the adaptive split rule (always 0 for
+    /// a monolithic extent).
+    pub fn shards_split(&self) -> u64 {
+        match self {
+            Extent::Mono(_) => 0,
+            Extent::Sharded(s) => s.shards_split(),
+        }
+    }
+
+    /// Underfull sealed shards merged into a neighbor (always 0 for a
+    /// monolithic extent).
+    pub fn shards_merged(&self) -> u64 {
+        match self {
+            Extent::Mono(_) => 0,
+            Extent::Sharded(s) => s.shards_merged(),
+        }
+    }
+
+    /// Shards reassembled from a shard-aware checkpoint (always 0 for a
+    /// monolithic extent).
+    pub fn shards_restored(&self) -> u64 {
+        match self {
+            Extent::Mono(_) => 0,
+            Extent::Sharded(s) => s.shards_restored(),
+        }
+    }
+
     /// The monolithic store, if this extent is one.
     pub fn as_store(&self) -> Option<&TableStore> {
         match self {

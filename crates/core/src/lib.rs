@@ -51,6 +51,7 @@ pub mod shared;
 
 pub use container::{Container, DecayReport};
 pub use database::{Database, QueryOutcome};
+pub use ddl::{resolve_create_container, resolve_sharding};
 pub use distill::{DistillSpec, DistillTrigger, Distiller};
 pub use extent::Extent;
 pub use fungus_shard::{ShardSpec, ShardedExtent};

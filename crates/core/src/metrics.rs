@@ -28,6 +28,13 @@ pub struct EngineMetrics {
     /// (always 0 on monolithic extents).
     #[serde(default)]
     pub shards_dropped: u64,
+    /// Tail shards sealed early by the adaptive split rule (always 0 on
+    /// monolithic or non-adaptive extents).
+    #[serde(default)]
+    pub shards_split: u64,
+    /// Underfull sealed shards merged into a time-adjacent neighbor.
+    #[serde(default)]
+    pub shards_merged: u64,
     /// Rotted tuples that were delivered along at least one rot route
     /// (preserved in another container rather than lost).
     pub rot_routed: u64,
@@ -65,6 +72,15 @@ pub struct ShardTelemetry {
     pub dropped: u64,
     /// Whole shards skipped by query-time shard pruning.
     pub pruned: u64,
+    /// Tail shards sealed early by the adaptive split rule.
+    #[serde(default)]
+    pub split: u64,
+    /// Underfull sealed shards merged into a neighbor.
+    #[serde(default)]
+    pub merged: u64,
+    /// Shards reassembled from a shard-aware checkpoint.
+    #[serde(default)]
+    pub restored: u64,
 }
 
 #[cfg(test)]

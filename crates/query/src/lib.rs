@@ -34,7 +34,7 @@ pub use expr::{AggFunc, BinOp, CmpOp, Expr, MetaField, ScalarFunc};
 pub use extent::{scan_store, QueryExtent, ScanOutcome};
 pub use parser::{
     parse_expr, parse_statement, CreateContainerStatement, ProjExpr, Projection, SelectStatement,
-    SortKey, Statement,
+    ShardingClause, SortKey, Statement,
 };
 pub use plan::{LogicalPlan, OutputColumn, PlannedExpr, Planner};
 pub use prune::{ColumnBound, MetaBound, MetaRanges, PruningPredicate};

@@ -104,7 +104,9 @@ pub enum Statement {
         ordered: bool,
     },
     /// `CREATE CONTAINER t (a INT, b FLOAT NOT NULL) [WITH FUNGUS name(args…)]
-    /// [DECAY EVERY n]` — DDL interpreted by the engine layer.
+    /// [SHARDS n | WITH SHARDING (rows_per_shard = n, …)] [DECAY EVERY n]`
+    /// — DDL interpreted by the engine layer; clauses may appear in any
+    /// order after the column list.
     CreateContainer(CreateContainerStatement),
     /// `DELETE FROM t [WHERE p]` — owner deletion (tombstoned as
     /// `Deleted`, not `Consumed`: the rows were discarded, not read).
@@ -130,6 +132,27 @@ pub struct CreateContainerStatement {
     pub fungus: Option<(String, Vec<f64>)>,
     /// Optional decay cadence in ticks.
     pub decay_every: Option<u64>,
+    /// Optional extent sharding, from `SHARDS n` or `WITH SHARDING (…)`.
+    pub sharding: Option<ShardingClause>,
+}
+
+/// Declarative sharding options from a `CREATE CONTAINER` statement —
+/// either the `SHARDS n` shorthand or the full
+/// `WITH SHARDING (rows_per_shard = n, adaptive = on|off, low_water = f,
+/// workers = n)` form. The engine layer resolves this into its shard
+/// specification; unset options take the engine's defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardingClause {
+    /// Target rows per time-range shard (`SHARDS n` sets only this).
+    pub rows_per_shard: u64,
+    /// `adaptive = on|off`: split hot tails early and merge hollowed-out
+    /// sealed neighbors during eviction sweeps. `None` = engine default.
+    pub adaptive: Option<bool>,
+    /// `low_water = f`: merge a sealed shard whose live fraction falls
+    /// under `f` (0 disables merging). `None` = engine default.
+    pub low_water: Option<f64>,
+    /// `workers = n`: shard worker threads. `None` = engine default.
+    pub workers: Option<u64>,
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -472,31 +495,64 @@ impl Parser {
         }
         self.expect_symbol(')')?;
         let mut fungus = None;
-        if self.eat_kw("WITH") {
-            self.expect_kw("FUNGUS")?;
-            let fname = self.expect_ident("fungus name")?;
-            let mut args = Vec::new();
-            if self.eat_symbol('(') && !self.eat_symbol(')') {
-                loop {
-                    match self.bump() {
-                        Tok::Int(i) => args.push(i as f64),
-                        Tok::Float(f) => args.push(f),
-                        _ => return Err(self.error("fungus arguments must be numbers")),
-                    }
-                    if self.eat_symbol(')') {
-                        break;
-                    }
-                    self.expect_symbol(',')?;
-                }
-            }
-            fungus = Some((fname, args));
-        }
         let mut decay_every = None;
-        if self.eat_kw("DECAY") {
-            self.expect_kw("EVERY")?;
-            match self.bump() {
-                Tok::Int(n) if n > 0 => decay_every = Some(n as u64),
-                _ => return Err(self.error("DECAY EVERY expects a positive integer")),
+        let mut sharding = None;
+        loop {
+            if self.eat_kw("WITH") {
+                if self.eat_kw("FUNGUS") {
+                    if fungus.is_some() {
+                        return Err(self.error("duplicate WITH FUNGUS clause"));
+                    }
+                    let fname = self.expect_ident("fungus name")?;
+                    let mut args = Vec::new();
+                    if self.eat_symbol('(') && !self.eat_symbol(')') {
+                        loop {
+                            match self.bump() {
+                                Tok::Int(i) => args.push(i as f64),
+                                Tok::Float(f) => args.push(f),
+                                _ => return Err(self.error("fungus arguments must be numbers")),
+                            }
+                            if self.eat_symbol(')') {
+                                break;
+                            }
+                            self.expect_symbol(',')?;
+                        }
+                    }
+                    fungus = Some((fname, args));
+                } else if self.eat_kw("SHARDING") {
+                    if sharding.is_some() {
+                        return Err(self.error("duplicate sharding clause"));
+                    }
+                    sharding = Some(self.sharding_options()?);
+                } else {
+                    return Err(self.error("expected FUNGUS or SHARDING after WITH"));
+                }
+            } else if self.eat_kw("SHARDS") {
+                if sharding.is_some() {
+                    return Err(self.error("duplicate sharding clause"));
+                }
+                match self.bump() {
+                    Tok::Int(n) if n > 0 => {
+                        sharding = Some(ShardingClause {
+                            rows_per_shard: n as u64,
+                            adaptive: None,
+                            low_water: None,
+                            workers: None,
+                        })
+                    }
+                    _ => return Err(self.error("SHARDS expects a positive integer")),
+                }
+            } else if self.eat_kw("DECAY") {
+                if decay_every.is_some() {
+                    return Err(self.error("duplicate DECAY EVERY clause"));
+                }
+                self.expect_kw("EVERY")?;
+                match self.bump() {
+                    Tok::Int(n) if n > 0 => decay_every = Some(n as u64),
+                    _ => return Err(self.error("DECAY EVERY expects a positive integer")),
+                }
+            } else {
+                break;
             }
         }
         if *self.peek() != Tok::Eof {
@@ -507,7 +563,65 @@ impl Parser {
             columns,
             fungus,
             decay_every,
+            sharding,
         }))
+    }
+
+    /// `(rows_per_shard = n, adaptive = on|off, low_water = f, workers = n)`
+    /// in any order; `rows_per_shard` is mandatory, the rest default at the
+    /// engine layer.
+    fn sharding_options(&mut self) -> Result<ShardingClause> {
+        self.expect_symbol('(')?;
+        let mut rows_per_shard = None;
+        let mut adaptive = None;
+        let mut low_water = None;
+        let mut workers = None;
+        loop {
+            let key = self.expect_ident("sharding option name")?.to_lowercase();
+            self.expect_symbol('=')?;
+            match key.as_str() {
+                "rows_per_shard" => match self.bump() {
+                    Tok::Int(n) if n > 0 => rows_per_shard = Some(n as u64),
+                    _ => return Err(self.error("rows_per_shard expects a positive integer")),
+                },
+                "adaptive" => {
+                    if self.eat_kw("ON") {
+                        adaptive = Some(true);
+                    } else if self.eat_kw("OFF") {
+                        adaptive = Some(false);
+                    } else {
+                        return Err(self.error("adaptive expects on or off"));
+                    }
+                }
+                "low_water" => match self.bump() {
+                    Tok::Float(f) => low_water = Some(f),
+                    Tok::Int(n) if n >= 0 => low_water = Some(n as f64),
+                    _ => return Err(self.error("low_water expects a number")),
+                },
+                "workers" => match self.bump() {
+                    Tok::Int(n) if n > 0 => workers = Some(n as u64),
+                    _ => return Err(self.error("workers expects a positive integer")),
+                },
+                other => {
+                    return Err(self.error(format!(
+                        "unknown sharding option `{other}` \
+                         (expected rows_per_shard, adaptive, low_water, or workers)"
+                    )))
+                }
+            }
+            if self.eat_symbol(')') {
+                break;
+            }
+            self.expect_symbol(',')?;
+        }
+        let rows_per_shard =
+            rows_per_shard.ok_or_else(|| self.error("WITH SHARDING requires rows_per_shard"))?;
+        Ok(ShardingClause {
+            rows_per_shard,
+            adaptive,
+            low_water,
+            workers,
+        })
     }
 
     fn select(&mut self) -> Result<SelectStatement> {

@@ -131,6 +131,15 @@ pub struct StatsSummary {
     /// Whole shards skipped by query-time shard pruning.
     #[serde(default)]
     pub shards_pruned: u64,
+    /// Tail shards sealed early by the adaptive split rule.
+    #[serde(default)]
+    pub shards_split: u64,
+    /// Underfull sealed shards merged into a neighbor.
+    #[serde(default)]
+    pub shards_merged: u64,
+    /// Shards reassembled from a shard-aware checkpoint restore.
+    #[serde(default)]
+    pub shards_restored: u64,
 }
 
 impl From<crate::stats::MetricsSnapshot> for StatsSummary {
@@ -148,6 +157,9 @@ impl From<crate::stats::MetricsSnapshot> for StatsSummary {
             shards: m.shards,
             shards_dropped: m.shards_dropped,
             shards_pruned: m.shards_pruned,
+            shards_split: m.shards_split,
+            shards_merged: m.shards_merged,
+            shards_restored: m.shards_restored,
         }
     }
 }
@@ -337,6 +349,9 @@ mod tests {
                     shards: 12,
                     shards_dropped: 3,
                     shards_pruned: 40,
+                    shards_split: 5,
+                    shards_merged: 2,
+                    shards_restored: 12,
                 }),
             },
             Response::Pong,

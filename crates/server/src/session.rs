@@ -152,6 +152,9 @@ impl Session {
                         ("shards", s.shards),
                         ("shards_dropped", s.shards_dropped),
                         ("shards_pruned", s.shards_pruned),
+                        ("shards_split", s.shards_split),
+                        ("shards_merged", s.shards_merged),
+                        ("shards_restored", s.shards_restored),
                     ]
                     .into_iter()
                     .map(|(name, v)| vec![Value::Str(name.into()), Value::Int(v as i64)])
@@ -326,7 +329,7 @@ mod tests {
         let r = s.handle(Request::Dot {
             line: ".stats".into(),
         });
-        assert_eq!(r.row_count(), Some(12), "{r:?}");
+        assert_eq!(r.row_count(), Some(15), "{r:?}");
         // `.health` carries the same summary inline.
         let r = s.handle(Request::Dot {
             line: ".health".into(),

@@ -70,6 +70,12 @@ pub struct MetricsSnapshot {
     pub shards_dropped: u64,
     /// Whole shards skipped by query-time shard pruning.
     pub shards_pruned: u64,
+    /// Tail shards sealed early by the adaptive split rule.
+    pub shards_split: u64,
+    /// Underfull sealed shards merged into a time-adjacent neighbor.
+    pub shards_merged: u64,
+    /// Shards reassembled from a shard-aware checkpoint restore.
+    pub shards_restored: u64,
 }
 
 impl ServerStats {
@@ -126,6 +132,9 @@ impl ServerStats {
             shards: shards.resident,
             shards_dropped: shards.dropped,
             shards_pruned: shards.pruned,
+            shards_split: shards.split,
+            shards_merged: shards.merged,
+            shards_restored: shards.restored,
         }
     }
 }

@@ -4,6 +4,10 @@ use serde::{Deserialize, Serialize};
 
 use fungus_types::{FungusError, Result};
 
+fn default_low_water() -> f64 {
+    0.25
+}
+
 /// How a container's extent is split into time-range shards.
 ///
 /// Shards are cut along the insertion (time) axis: the first
@@ -11,15 +15,34 @@ use fungus_types::{FungusError, Result};
 /// on. A shard that has handed out its full id range is *sealed*; only the
 /// tail shard accepts inserts. The split is a function of ids alone, so
 /// the same workload produces the same shard boundaries on every run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// With `adaptive` enabled the boundaries follow live-count drift instead
+/// of staying fixed: each eviction sweep seals the tail early when the
+/// observed insert rate would blow past the `rows_per_shard` row budget
+/// before the next sweep, and merges a sealed shard whose live count fell
+/// below `low_water · rows_per_shard` into its time-adjacent neighbor.
+/// Boundaries remain a pure function of the operation history (inserts
+/// and sweep timing), so adaptive runs are exactly as reproducible as
+/// fixed ones — and observationally identical to a monolithic store.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ShardSpec {
-    /// Tuple ids per shard (the time-range width of one shard).
+    /// Tuple ids per shard (the time-range width of one shard). Under
+    /// `adaptive` this is the high-water row budget a tail shard may not
+    /// outgrow between eviction sweeps.
     pub rows_per_shard: u64,
     /// Worker threads for fan-out (decay ticks, parallel scans).
     /// `None` picks the machine's available parallelism; `Some(1)` runs
     /// every fan-out inline on the calling thread.
     #[serde(default)]
     pub workers: Option<usize>,
+    /// Enables the adaptive shard lifecycle (early tail seals under insert
+    /// pressure, low-water merges of hollowed-out sealed shards).
+    #[serde(default)]
+    pub adaptive: bool,
+    /// Live fraction of `rows_per_shard` below which a sealed shard is
+    /// merge-eligible. Only consulted when `adaptive` is on.
+    #[serde(default = "default_low_water")]
+    pub low_water: f64,
 }
 
 impl ShardSpec {
@@ -28,12 +51,29 @@ impl ShardSpec {
         ShardSpec {
             rows_per_shard,
             workers: None,
+            adaptive: false,
+            low_water: default_low_water(),
         }
     }
 
     /// Sets an explicit fan-out worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers);
+        self
+    }
+
+    /// Turns on the adaptive shard lifecycle (split/merge on live-count
+    /// drift, driven by the eviction sweep).
+    pub fn with_adaptive(mut self) -> Self {
+        self.adaptive = true;
+        self
+    }
+
+    /// Sets the low-water merge fraction (and implies nothing else:
+    /// combine with [`with_adaptive`](Self::with_adaptive) to activate
+    /// merging).
+    pub fn with_low_water(mut self, low_water: f64) -> Self {
+        self.low_water = low_water;
         self
     }
 
@@ -49,6 +89,12 @@ impl ShardSpec {
                 "shard workers must be at least 1 when set".into(),
             ));
         }
+        if !self.low_water.is_finite() || self.low_water < 0.0 || self.low_water >= 1.0 {
+            return Err(FungusError::InvalidConfig(format!(
+                "shard low_water must be in [0, 1), got {}",
+                self.low_water
+            )));
+        }
         Ok(())
     }
 }
@@ -58,6 +104,8 @@ impl Default for ShardSpec {
         ShardSpec {
             rows_per_shard: 4096,
             workers: None,
+            adaptive: false,
+            low_water: default_low_water(),
         }
     }
 }
@@ -70,7 +118,18 @@ mod tests {
     fn validation_rejects_degenerate_specs() {
         assert!(ShardSpec::new(0).validate().is_err());
         assert!(ShardSpec::new(16).with_workers(0).validate().is_err());
+        assert!(ShardSpec::new(16).with_low_water(1.0).validate().is_err());
+        assert!(ShardSpec::new(16).with_low_water(-0.1).validate().is_err());
+        assert!(ShardSpec::new(16)
+            .with_low_water(f64::NAN)
+            .validate()
+            .is_err());
         assert!(ShardSpec::new(16).validate().is_ok());
+        assert!(ShardSpec::new(16)
+            .with_adaptive()
+            .with_low_water(0.5)
+            .validate()
+            .is_ok());
         assert!(ShardSpec::default().validate().is_ok());
     }
 
@@ -80,8 +139,15 @@ mod tests {
         let json = fungus_types::json::to_string(&spec).unwrap();
         let back: ShardSpec = fungus_types::json::from_str(&json).unwrap();
         assert_eq!(back, spec);
-        // `workers` is optional on the wire.
+        let spec = ShardSpec::new(64).with_adaptive().with_low_water(0.4);
+        let json = fungus_types::json::to_string(&spec).unwrap();
+        let back: ShardSpec = fungus_types::json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        // `workers` and the adaptive knobs are optional on the wire, so
+        // pre-adaptive policies parse unchanged.
         let bare: ShardSpec = fungus_types::json::from_str(r#"{"rows_per_shard":7}"#).unwrap();
         assert_eq!(bare, ShardSpec::new(7));
+        assert!(!bare.adaptive);
+        assert_eq!(bare.low_water, 0.25);
     }
 }

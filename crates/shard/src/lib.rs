@@ -13,6 +13,11 @@
 //! - **O(1) rot drops:** a shard whose live tuples have all rotted is
 //!   detached whole — one id-range gap — instead of being tombstoned
 //!   tuple by tuple and compacted later.
+//! - **Adaptive lifecycle:** with [`ShardSpec::adaptive`] on, each
+//!   eviction sweep seals the tail early under insert pressure and merges
+//!   hollowed-out sealed neighbors below a low-water live fraction —
+//!   boundaries follow live-count drift while staying a pure function of
+//!   the operation history.
 //! - **Determinism:** EGI seed selection stays globally age-weighted on
 //!   the container's single RNG stream over the id-ordered candidate
 //!   list, and spread stays local along the time axis, so a sharded
@@ -33,6 +38,9 @@ pub mod pool;
 pub mod shard;
 
 pub use config::ShardSpec;
-pub use extent::ShardedExtent;
+pub use extent::{
+    DroppedRangeManifest, ShardLayoutManifest, ShardManifest, ShardRecord, ShardStructure,
+    ShardedExtent,
+};
 pub use pool::ShardPool;
 pub use shard::Shard;

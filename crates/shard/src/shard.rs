@@ -69,9 +69,53 @@ impl Shard {
         self.store
     }
 
+    /// Rebuilds a shard from previously saved parts: a restored store plus
+    /// the exact summary state (dirty flag, freshness envelope, tick range)
+    /// recorded when the shard was saved. The fields are installed
+    /// verbatim — no normalisation — so a restored shard is structurally
+    /// identical to the one that was checkpointed. Also used by the merge
+    /// path, which unions two exact envelopes (still exact: min/max of
+    /// per-shard minima/maxima over a disjoint union).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        store: TableStore,
+        base: u64,
+        capacity: u64,
+        rng_seed: u64,
+        dirty: bool,
+        freshness_lo: f64,
+        freshness_hi: f64,
+        min_tick: u64,
+        max_tick: u64,
+    ) -> Result<Shard> {
+        let next = store.next_id().get();
+        if next < base || next - base > capacity {
+            return Err(fungus_types::FungusError::CorruptSnapshot(format!(
+                "shard store ids [{base}, {next}) do not fit capacity {capacity}"
+            )));
+        }
+        Ok(Shard {
+            store,
+            base,
+            capacity,
+            rng_seed,
+            dirty,
+            freshness_lo,
+            freshness_hi,
+            min_tick,
+            max_tick,
+        })
+    }
+
     /// First id of this shard's range.
     pub fn base(&self) -> u64 {
         self.base
+    }
+
+    /// Width of the shard's id range (the shard seals once it has handed
+    /// out this many ids).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
     }
 
     /// One past the highest id handed out so far.
@@ -88,6 +132,15 @@ impl Shard {
     /// never receive another insert.
     pub fn is_sealed(&self) -> bool {
         self.allocated() >= self.capacity
+    }
+
+    /// Seals the shard at its current allocation (the adaptive split: the
+    /// tail stops growing here and the next insert opens a fresh shard).
+    /// The shard must have allocated at least one id — a zero-width shard
+    /// would alias its successor's base.
+    pub fn seal_now(&mut self) {
+        debug_assert!(self.allocated() > 0, "cannot seal an empty shard");
+        self.capacity = self.allocated();
     }
 
     /// The seed of this shard's RNG stream, split from the container RNG

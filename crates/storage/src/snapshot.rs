@@ -8,10 +8,15 @@
 //! Format (all little-endian):
 //!
 //! ```text
-//! magic "FGSNAP01" | schema | config | next_id u64 |
+//! magic "FGSNAP04" | schema | config | base u64 | next_id u64 |
 //! counters (rotted, consumed, deleted, rotted_unread) u64×4 |
-//! slot count u64 | slots: tag u8 (0 = live + tuple, 1 = tombstone + reason)
+//! slot count u64 (== next_id − base) |
+//! slots: tag u8 (0 = live + tuple, 1 = tombstone + reason)
 //! ```
+//!
+//! `base` is the store's first allocatable id — 0 for standalone tables,
+//! the shard's global range start for the per-shard files of a sharded
+//! checkpoint. Slots cover `[base, next_id)` only.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
@@ -26,7 +31,7 @@ use crate::config::StorageConfig;
 
 use crate::table::TableStore;
 
-const MAGIC: &[u8; 8] = b"FGSNAP03";
+const MAGIC: &[u8; 8] = b"FGSNAP04";
 
 /// Serialises the entire store into one buffer.
 pub fn encode_table(store: &TableStore) -> Bytes {
@@ -37,6 +42,7 @@ pub fn encode_table(store: &TableStore) -> Bytes {
     codec::put_u64(&mut buf, cfg.segment_capacity as u64);
     codec::put_f64(&mut buf, cfg.compact_live_threshold);
     codec::put_u8(&mut buf, u8::from(cfg.zone_maps));
+    codec::put_u64(&mut buf, store.base().get());
     codec::put_u64(&mut buf, store.next_id().get());
     codec::put_u64(&mut buf, store.evicted_rotted());
     codec::put_u64(&mut buf, store.evicted_consumed());
@@ -59,8 +65,8 @@ pub fn encode_table(store: &TableStore) -> Bytes {
     // Walk every allocated slot in id order. Dropped segments leave id gaps;
     // encode those as Deleted tombstones so the id space stays dense on
     // restore (the distinction is already folded into the counters above).
-    codec::put_u64(&mut buf, store.next_id().get());
-    let mut expect = 0u64;
+    codec::put_u64(&mut buf, store.next_id().get() - store.base().get());
+    let mut expect = store.base().get();
     for seg in store.segments() {
         while expect < seg.base().get() {
             codec::put_u8(&mut buf, 1);
@@ -102,7 +108,13 @@ pub fn decode_table(mut bytes: Bytes) -> Result<TableStore> {
         compact_live_threshold: codec::get_f64(&mut bytes, "compact threshold")?,
         zone_maps: codec::get_u8(&mut bytes, "zone_maps")? != 0,
     };
+    let base = codec::get_u64(&mut bytes, "base")?;
     let next_id = codec::get_u64(&mut bytes, "next_id")?;
+    if next_id < base {
+        return Err(FungusError::CorruptSnapshot(format!(
+            "next_id {next_id} is below base {base}"
+        )));
+    }
     let rotted = codec::get_u64(&mut bytes, "evicted_rotted")?;
     let consumed = codec::get_u64(&mut bytes, "evicted_consumed")?;
     let deleted = codec::get_u64(&mut bytes, "evicted_deleted")?;
@@ -124,13 +136,13 @@ pub fn decode_table(mut bytes: Bytes) -> Result<TableStore> {
         indexed_cols.push((kind, codec::get_u32(&mut bytes, "index column")? as usize));
     }
     let slot_count = codec::get_u64(&mut bytes, "slot count")?;
-    if slot_count != next_id {
+    if slot_count != next_id - base {
         return Err(FungusError::CorruptSnapshot(format!(
-            "slot count {slot_count} disagrees with next_id {next_id}"
+            "slot count {slot_count} disagrees with id range [{base}, {next_id})"
         )));
     }
 
-    let mut store = TableStore::new(schema, config)?;
+    let mut store = TableStore::with_base(schema, config, fungus_types::TupleId(base))?;
     for _ in 0..slot_count {
         match codec::get_u8(&mut bytes, "slot tag")? {
             0 => {
@@ -290,6 +302,25 @@ mod tests {
             .insert(vec![Value::Int(99), Value::from("new")], Tick(50))
             .unwrap();
         assert_eq!(id, TupleId(20), "id allocation continues where it left off");
+    }
+
+    #[test]
+    fn based_store_roundtrips_with_absolute_ids() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int)]).unwrap();
+        let mut store =
+            TableStore::with_base(schema, StorageConfig::for_tests(), TupleId(100)).unwrap();
+        for i in 0..10i64 {
+            let id = store.insert(vec![Value::Int(i)], Tick(i as u64)).unwrap();
+            assert_eq!(id, TupleId(100 + i as u64));
+        }
+        store.delete(TupleId(103), TombstoneReason::Rotted);
+        let restored = decode_table(encode_table(&store)).unwrap();
+        assert_eq!(restored.base(), TupleId(100));
+        assert_eq!(restored.next_id(), TupleId(110));
+        assert_eq!(restored.live_count(), 9);
+        assert!(restored.get(TupleId(103)).is_none());
+        assert_eq!(restored.get(TupleId(107)).unwrap().values[0], Value::Int(7));
+        assert_eq!(restored.evicted_rotted(), store.evicted_rotted());
     }
 
     #[test]

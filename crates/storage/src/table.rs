@@ -39,6 +39,9 @@ pub struct TableStore {
     schema: Schema,
     config: StorageConfig,
     segments: Vec<Segment>,
+    /// First id this store may allocate (0 for a standalone table; a
+    /// shard's global range start when the store backs a shard).
+    base: u64,
     next_id: u64,
     total_inserted: u64,
     infected: BTreeSet<TupleId>,
@@ -60,6 +63,7 @@ impl TableStore {
             schema,
             config,
             segments: Vec::new(),
+            base: 0,
             next_id: 0,
             total_inserted: 0,
             infected: BTreeSet::new(),
@@ -79,8 +83,16 @@ impl TableStore {
     /// time-ordered across the whole extent.
     pub fn with_base(schema: Schema, config: StorageConfig, base: TupleId) -> Result<Self> {
         let mut store = TableStore::new(schema, config)?;
+        store.base = base.get();
         store.next_id = base.get();
         Ok(store)
+    }
+
+    /// First id this store may allocate (0 unless built via
+    /// [`with_base`](Self::with_base) or restored from a based snapshot).
+    #[inline]
+    pub fn base(&self) -> TupleId {
+        TupleId(self.base)
     }
 
     /// The store's schema.

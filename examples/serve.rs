@@ -11,11 +11,15 @@
 //! `fungus_server::Client` or the E11 load generator. Without `--ddl` it
 //! creates a demo `sensors` container.
 //!
-//! `--shards N` splits every container's extent into time-range shards of
-//! N rows each: decay fans out per shard, scans prune whole shards by
-//! tick/freshness bounds, and fully rotted shards detach in O(1). Answers
-//! are bit-identical to the unsharded layout under the same seed; the
-//! shard gauges show up in `.stats`.
+//! `--shards N` is sugar for adding `WITH SHARDING (rows_per_shard = N)`
+//! to every container the DDL script creates: decay fans out per shard,
+//! scans prune whole shards by tick/freshness bounds, and fully rotted
+//! shards detach in O(1). Answers are bit-identical to the unsharded
+//! layout under the same seed; the shard gauges show up in `.stats`.
+//! Prefer declaring sharding in the DDL itself (`SHARDS n`, or the full
+//! `WITH SHARDING (rows_per_shard = n, adaptive = on, …)` form for the
+//! adaptive split/merge lifecycle) — the flag survives for scripts that
+//! predate the clause and touches only containers the DDL left unsharded.
 //!
 //! `--fault-seed N` arms the chaos fault plan: every connection's streams
 //! get a deterministic schedule (seeded by N) of torn writes, transient
@@ -37,7 +41,8 @@
 
 use std::time::{Duration, Instant};
 
-use spacefungus::fungus_core::{Database, ShardSpec, SharedDatabase};
+use spacefungus::fungus_core::{resolve_sharding, Database, SharedDatabase};
+use spacefungus::fungus_query::ShardingClause;
 use spacefungus::fungus_server::{
     serve, Client, ClientError, FaultPlan, RetryPolicy, ServerConfig,
 };
@@ -150,16 +155,28 @@ fn main() {
     }
 }
 
-/// Re-creates every (still empty, just-DDL'd) container with a sharded
-/// extent policy; the DDL language has no SHARDS clause, so the flag
-/// applies the layout programmatically at boot.
+/// Re-creates every (still empty, just-DDL'd) container that the script
+/// left unsharded, as if its `CREATE CONTAINER` had carried
+/// `WITH SHARDING (rows_per_shard = N)` — the flag is boot-time sugar for
+/// the DDL clause and goes through the same [`resolve_sharding`] path, so
+/// defaults live in one place. Containers the DDL already sharded keep
+/// their declared layout.
 fn apply_sharding(db: &SharedDatabase, rows_per_shard: u64) {
-    let spec = ShardSpec::new(rows_per_shard);
+    let spec = resolve_sharding(&ShardingClause {
+        rows_per_shard,
+        adaptive: None,
+        low_water: None,
+        workers: None,
+    })
+    .expect("--shards: invalid shard spec");
     let mut guard = db.write();
     for name in guard.container_names() {
         let (schema, policy) = {
             let c = guard.container(&name).expect("container just listed");
             let g = c.read();
+            if g.policy().sharding.is_some() {
+                continue; // the DDL's own clause wins
+            }
             (g.schema().clone(), g.policy().clone())
         };
         guard.drop_container(&name);

@@ -31,7 +31,6 @@ use spacefungus::fungus_core::{Database, SharedDatabase};
 use spacefungus::fungus_server::{
     serve, Client, ClientError, ErrorCode, FaultPlan, Response, RetryPolicy, ServerConfig,
 };
-use spacefungus::fungus_shard::ShardSpec;
 use spacefungus::fungus_types::Tick;
 use spacefungus::fungus_workload::{ClientMix, ClientOp};
 
@@ -76,10 +75,10 @@ fn insert_rows(op: &ClientOp) -> u64 {
 }
 
 /// The chaos scenario, parameterised over the extent layout: `None` runs
-/// the monolithic store, `Some(rows)` re-creates the container with
-/// time-range shards of `rows` tuples before the storm starts. Every
-/// invariant in the module doc must hold for both layouts.
-fn run_chaos_plan(rows_per_shard: Option<u64>) {
+/// the monolithic store, `Some(clause)` appends the given DDL sharding
+/// clause (`SHARDS n` / `WITH SHARDING (…)`) to the `CREATE CONTAINER`.
+/// Every invariant in the module doc must hold for every layout.
+fn run_chaos_plan(sharding_clause: Option<&str>) {
     const CLIENTS: usize = 8;
     const PER_CLIENT: u64 = 200;
 
@@ -89,26 +88,12 @@ fn run_chaos_plan(rows_per_shard: Option<u64>) {
     let db = SharedDatabase::new(Database::new(seed));
     // A TTL far beyond the test horizon: nothing rots mid-run, so the
     // committed-write ledger can be checked exactly against the extent.
-    db.execute_ddl(
+    db.execute_ddl(&format!(
         "CREATE CONTAINER r (sensor INT NOT NULL, reading FLOAT) \
-         WITH FUNGUS ttl(1000000)",
-    )
+         WITH FUNGUS ttl(1000000) {}",
+        sharding_clause.unwrap_or_default()
+    ))
     .unwrap();
-    if let Some(rows) = rows_per_shard {
-        // The DDL language has no SHARDS clause; apply the layout
-        // programmatically, the same way `examples/serve.rs --shards`
-        // does at boot.
-        let mut guard = db.write();
-        let (schema, policy) = {
-            let c = guard.container("r").expect("container just created");
-            let g = c.read();
-            (g.schema().clone(), g.policy().clone())
-        };
-        guard.drop_container("r");
-        guard
-            .create_container("r", schema, policy.with_sharding(ShardSpec::new(rows)))
-            .expect("re-create container with sharding");
-    }
 
     let config = ServerConfig {
         workers: CLIENTS,
@@ -224,7 +209,7 @@ fn run_chaos_plan(rows_per_shard: Option<u64>) {
         "phantom rows: {live} live > {committed} committed + {ambiguous} ambiguous"
     );
 
-    if let Some(rows) = rows_per_shard {
+    if let Some(clause) = sharding_clause {
         // The storm really ran against a sharded extent, not a layout
         // that silently fell back to monolithic.
         let guard = handle.db().write();
@@ -232,7 +217,7 @@ fn run_chaos_plan(rows_per_shard: Option<u64>) {
         let shards = c.read().shard_count();
         assert!(
             shards >= 4,
-            "sharded chaos run ended with {shards} shards (rows_per_shard {rows}, live {live})"
+            "sharded chaos run ended with {shards} shards (`{clause}`, live {live})"
         );
     }
 
@@ -257,10 +242,225 @@ fn chaos_clients_survive_the_fault_plan() {
 
 /// The same storm against a time-range-sharded extent: the committed-write
 /// ledger, decay schedule, and supervisor invariants must not care how the
-/// extent is laid out. 64-row shards put the run well past four shards.
+/// extent is laid out. 64-row shards put the run well past four shards;
+/// the layout comes from the DDL clause, same as any user container.
 #[test]
 fn chaos_survives_on_a_sharded_extent() {
-    run_chaos_plan(Some(64));
+    run_chaos_plan(Some("SHARDS 64"));
+}
+
+/// The storm against an *adaptive* sharded extent (splits and merges
+/// armed), with a checkpoint taken mid-run — while the decay driver is
+/// ticking and a second client wave is about to hit — and restored into a
+/// fresh database afterwards. Invariants: the checkpoint captures the
+/// exact shard structure of that instant, no committed write from before
+/// the checkpoint is missing from the restore, and the serving database
+/// never loses a committed write across the whole run.
+#[test]
+fn adaptive_chaos_checkpoint_loses_no_committed_writes() {
+    const CLIENTS: usize = 4;
+    const PER_CLIENT: u64 = 150;
+
+    silence_injected_panics();
+    let seed = chaos_seed();
+
+    let db = SharedDatabase::new(Database::new(seed));
+    db.execute_ddl(
+        "CREATE CONTAINER r (sensor INT NOT NULL, reading FLOAT) \
+         WITH FUNGUS ttl(1000000) \
+         WITH SHARDING (rows_per_shard = 64, adaptive = on, low_water = 0.5)",
+    )
+    .unwrap();
+    let handle = serve(
+        db,
+        ServerConfig {
+            workers: CLIENTS,
+            tick_period: Some(Duration::from_millis(1)),
+            fault_plan: Some(FaultPlan::chaos(seed)),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Wave one: chaos clients bank a committed-write ledger.
+    let (committed1, ambiguous1) = storm(addr, seed, CLIENTS, PER_CLIENT, 0x5747_0001);
+
+    // Quiesce: wait for a couple of full decay sweeps after the last wave-
+    // one insert, so any tail split the wave's pressure armed has fired and
+    // the shard layout is at a fixed point (with the TTL far beyond the
+    // horizon, a sweep over an insert-free database cannot split, merge, or
+    // drop anything further).
+    let settled = handle.driver_ticks() + 3;
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.driver_ticks() < settled {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "decay driver stalled while quiescing before the checkpoint"
+        );
+        std::thread::sleep(Duration::from_millis(1));
+    }
+
+    // Mid-run checkpoint: the 1 ms decay driver keeps ticking through the
+    // container locks the whole time, so per-tuple freshness (and with it
+    // the envelope summaries and the sweep-relative insert gauge) drifts
+    // between any two observations. What *cannot* move between the waves
+    // is the quiesced time structure — boundaries, seals, live counts,
+    // lifecycle counters. That skeleton is what we pin across the restore;
+    // the bit-exact envelope round-trip is asserted under a frozen clock
+    // in the shard and core suites.
+    let dir = std::env::temp_dir().join(format!("fungus-chaos-ckpt-{}", std::process::id()));
+    let skeleton_at_checkpoint = {
+        let guard = handle.db().write();
+        guard.checkpoint(&dir).expect("mid-run checkpoint");
+        let c = guard.container("r").expect("container alive");
+        let g = c.read();
+        let ext = g.extent().as_sharded().expect("adaptive extent is sharded");
+        assert!(
+            ext.shard_count() >= 2,
+            "wave one left too few shards to make the round-trip interesting"
+        );
+        skeleton(&ext.structure())
+    };
+
+    // Wave two: the storm continues against the live database.
+    let (committed2, ambiguous2) = storm(addr, seed, CLIENTS, PER_CLIENT, 0x5747_0002);
+
+    // The serving database lost nothing across the whole run.
+    let live = handle.db().live_count("r") as u64;
+    let committed = committed1 + committed2;
+    let ambiguous = ambiguous1 + ambiguous2;
+    assert!(
+        live >= committed,
+        "lost committed writes: {committed} acknowledged, {live} live (seed {seed})"
+    );
+    assert!(
+        live <= committed + ambiguous,
+        "phantom rows: {live} live > {committed} committed + {ambiguous} ambiguous"
+    );
+    handle.shutdown().expect("graceful shutdown after chaos");
+
+    // The restore rebuilds the checkpoint instant exactly: same shard
+    // structure bit for bit, and every write committed before the
+    // checkpoint is present.
+    let mut restored = Database::new(seed);
+    restored.restore_checkpoint(&dir).expect("restore");
+    std::fs::remove_dir_all(&dir).ok();
+    let c = restored.container("r").expect("restored container");
+    {
+        let g = c.read();
+        let ext = g.extent().as_sharded().expect("restored extent is sharded");
+        assert_eq!(
+            skeleton(&ext.structure()),
+            skeleton_at_checkpoint,
+            "restored shard structure differs from the checkpoint instant"
+        );
+    }
+    let restored_live = c.read().live_count() as u64;
+    assert!(
+        restored_live >= committed1,
+        "restore lost committed writes: {committed1} acknowledged before the \
+         checkpoint, {restored_live} restored (seed {seed})"
+    );
+    assert!(
+        restored_live <= committed1 + ambiguous1,
+        "restore has phantom rows: {restored_live} > {committed1} + {ambiguous1}"
+    );
+}
+
+/// The decay-invariant part of a shard structure: boundaries, capacities,
+/// seals, live counts, tick ranges, dropped-range memory, and lifecycle
+/// counters — everything except the freshness envelopes, dirty flags,
+/// and the sweep-relative insert gauge, which the live decay driver
+/// keeps moving under the test.
+#[allow(clippy::type_complexity)]
+fn skeleton(
+    s: &spacefungus::fungus_shard::ShardStructure,
+) -> (
+    u64,
+    Vec<(u64, u64, u64, bool, usize, u64, u64)>,
+    Vec<(u64, u64, bool)>,
+    [u64; 3],
+) {
+    (
+        s.next_id,
+        s.shards
+            .iter()
+            .map(|r| {
+                (
+                    r.base, r.end, r.capacity, r.sealed, r.live, r.min_tick, r.max_tick,
+                )
+            })
+            .collect(),
+        s.dropped.clone(),
+        [s.shards_dropped, s.shards_split, s.shards_merged],
+    )
+}
+
+/// One wave of fault-aware chaos clients; returns the committed and
+/// ambiguous row tallies (acknowledged inserts vs. inserts that died in
+/// transit). `salt` decorrelates the waves' workloads and retry jitter.
+fn storm(
+    addr: std::net::SocketAddr,
+    seed: u64,
+    clients: usize,
+    per_client: u64,
+    salt: u64,
+) -> (u64, u64) {
+    let mut threads = Vec::new();
+    for c in 0..clients {
+        threads.push(std::thread::spawn(move || {
+            let mut mix = ClientMix::new(
+                seed ^ salt ^ ((c as u64 + 1) * 7919),
+                "r",
+                "sensor",
+                "reading",
+                32,
+                16,
+            )
+            .with_health_every(37)
+            .with_fault_aware(true);
+            let policy = RetryPolicy::new(seed.wrapping_add(salt).wrapping_add(c as u64))
+                .with_max_attempts(8)
+                .with_base_delay(Duration::from_millis(1))
+                .with_max_delay(Duration::from_millis(16));
+            let mut client = Client::connect_with_retry(addr, policy).unwrap();
+            let mut committed = 0u64;
+            let mut ambiguous = 0u64;
+            for i in 0..per_client {
+                let op = mix.next_op(Tick(i + 1));
+                let retry_safe = op.is_retry_safe();
+                let rows = insert_rows(&op);
+                let result = match &op {
+                    ClientOp::Sql(sql) => client.sql(sql.clone()),
+                    ClientOp::Dot(line) => client.dot(line.clone()),
+                };
+                match result {
+                    Ok(resp) => {
+                        assert!(!resp.is_error(), "statement failed under chaos: {resp:?}");
+                        committed += rows;
+                    }
+                    Err(ClientError::Protocol(msg)) => {
+                        panic!("client decoded a garbled response: {msg}")
+                    }
+                    Err(err) => {
+                        assert!(!retry_safe, "retry-safe op gave up: {err}");
+                        ambiguous += rows;
+                    }
+                }
+            }
+            client.close();
+            (committed, ambiguous)
+        }));
+    }
+    let mut committed = 0u64;
+    let mut ambiguous = 0u64;
+    for t in threads {
+        let (c, a) = t.join().expect("storm client died");
+        committed += c;
+        ambiguous += a;
+    }
+    (committed, ambiguous)
 }
 
 /// With the fault plan disabled the same harness must behave exactly like

@@ -12,6 +12,8 @@
 //! - `#[serde(transparent)]` — (de)serialize as the single inner field
 //! - `#[serde(skip)]` — omitted on serialize, `Default::default()` on
 //!   deserialize
+//! - `#[serde(default)]` / `#[serde(default = "path")]` — missing struct
+//!   fields deserialize to `Default::default()` / `path()`
 //! - missing `Option<T>` struct fields deserialize to `None`; unknown
 //!   fields are consumed via `IgnoredAny`
 
@@ -32,6 +34,9 @@ struct Field {
     skip: bool,
     /// Type's head ident is `Option` — missing field becomes `None`.
     optional: bool,
+    /// `#[serde(default)]` → `Some(None)` (use `Default::default()`);
+    /// `#[serde(default = "path")]` → `Some(Some(path))` (call `path()`).
+    default: Option<Option<String>>,
 }
 
 enum Payload {
@@ -73,10 +78,25 @@ fn take_attrs(toks: &[TokenTree], pos: &mut usize) -> Vec<String> {
                     (inner.first(), inner.get(1))
                 {
                     if head.to_string() == "serde" && list.delimiter() == Delimiter::Parenthesis {
-                        for t in list.stream() {
-                            if let TokenTree::Ident(flag) = t {
+                        let items: Vec<TokenTree> = list.stream().into_iter().collect();
+                        let mut i = 0;
+                        while i < items.len() {
+                            if let TokenTree::Ident(flag) = &items[i] {
+                                // `flag = "value"` pairs fold into one
+                                // `flag=value` entry (quotes stripped).
+                                if let (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) =
+                                    (items.get(i + 1), items.get(i + 2))
+                                {
+                                    if eq.as_char() == '=' {
+                                        let value = lit.to_string().trim_matches('"').to_string();
+                                        flags.push(format!("{flag}={value}"));
+                                        i += 3;
+                                        continue;
+                                    }
+                                }
                                 flags.push(flag.to_string());
                             }
+                            i += 1;
                         }
                     }
                 }
@@ -134,6 +154,19 @@ fn is_option(toks: &[TokenTree]) -> bool {
     matches!(toks.first(), Some(TokenTree::Ident(id)) if id.to_string() == "Option")
 }
 
+/// Extracts the `default` policy from a field's serde flags.
+fn default_flag(flags: &[String]) -> Option<Option<String>> {
+    for f in flags {
+        if f == "default" {
+            return Some(None);
+        }
+        if let Some(path) = f.strip_prefix("default=") {
+            return Some(Some(path.to_string()));
+        }
+    }
+    None
+}
+
 fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     for seg in split_commas(stream.into_iter().collect()) {
@@ -155,6 +188,7 @@ fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
             ty: type_text(ty_toks),
             skip: flags.iter().any(|f| f == "skip"),
             optional: is_option(ty_toks),
+            default: default_flag(&flags),
         });
     }
     fields
@@ -172,6 +206,7 @@ fn parse_unnamed_fields(stream: TokenStream) -> Vec<Field> {
             ty: type_text(ty_toks),
             skip: flags.iter().any(|f| f == "skip"),
             optional: is_option(ty_toks),
+            default: default_flag(&flags),
         });
     }
     fields
@@ -432,12 +467,13 @@ fn gen_visit_map(construct: &str, fields: &[Field]) -> String {
              __field_{i} = ::std::option::Option::Some(::serde::de::MapAccess::next_value::<{ty}>(&mut __map)?);\n\
              }}"
         );
-        let missing = if f.optional {
-            "::std::option::Option::None".to_string()
-        } else {
-            format!(
+        let missing = match &f.default {
+            Some(Some(path)) => format!("{path}()"),
+            Some(None) => "::std::default::Default::default()".to_string(),
+            None if f.optional => "::std::option::Option::None".to_string(),
+            None => format!(
                 "return ::std::result::Result::Err(<__A::Error as ::serde::de::Error>::missing_field(\"{fname}\"))"
-            )
+            ),
         };
         let _ = writeln!(
             build,
