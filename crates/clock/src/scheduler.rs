@@ -20,7 +20,7 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use crossbeam::channel::{bounded, Sender};
-use parking_lot::Mutex;
+use fungus_lint_rt::{hierarchy, OrderedMutex};
 
 use fungus_types::{Tick, TickDelta};
 
@@ -65,7 +65,7 @@ struct Inner {
 /// Fires registered periodic tasks as virtual time advances.
 pub struct TickScheduler {
     clock: VirtualClock,
-    inner: Arc<Mutex<Inner>>,
+    inner: Arc<OrderedMutex<Inner>>,
 }
 
 impl TickScheduler {
@@ -73,10 +73,13 @@ impl TickScheduler {
     pub fn new(clock: VirtualClock) -> Self {
         TickScheduler {
             clock,
-            inner: Arc::new(Mutex::new(Inner {
-                tasks: Vec::new(),
-                next_handle: 0,
-            })),
+            inner: Arc::new(OrderedMutex::new(
+                &hierarchy::SCHEDULER,
+                Inner {
+                    tasks: Vec::new(),
+                    next_handle: 0,
+                },
+            )),
         }
     }
 
@@ -251,6 +254,7 @@ impl Drop for DriverHandle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]

@@ -184,6 +184,7 @@ impl Container {
     pub fn store(&self) -> &TableStore {
         self.extent
             .as_store()
+            // lint: allow(panic, "documented # Panics contract: callers on sharded containers must use extent()")
             .expect("store(): container is sharded; use extent()")
     }
 
@@ -195,6 +196,7 @@ impl Container {
     pub fn store_mut(&mut self) -> &mut TableStore {
         self.extent
             .as_store_mut()
+            // lint: allow(panic, "documented # Panics contract: callers on sharded containers must use extent_mut()")
             .expect("store_mut(): container is sharded; use extent_mut()")
     }
 

@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::RwLock;
+use fungus_lint_rt::{hierarchy, OrderedRwLock};
 
 use fungus_clock::{DeterministicRng, Task, TaskHandle, TickScheduler, VirtualClock};
 use fungus_query::{parse_statement, ResultSet, Statement};
@@ -25,6 +25,9 @@ pub struct QueryOutcome {
     pub distilled: u64,
 }
 
+/// Shared handle to one container behind its hierarchy-ranked lock.
+pub type ContainerHandle = Arc<OrderedRwLock<Container>>;
+
 /// A catalog of containers sharing one virtual decay clock.
 ///
 /// All stochastic behaviour (fungus seeding, sketch hashing) derives from
@@ -33,7 +36,7 @@ pub struct QueryOutcome {
 pub struct Database {
     rng: DeterministicRng,
     scheduler: TickScheduler,
-    containers: BTreeMap<String, Arc<RwLock<Container>>>,
+    containers: BTreeMap<String, ContainerHandle>,
     decay_tasks: BTreeMap<String, TaskHandle>,
     routes: BTreeMap<String, RouteTable>,
 }
@@ -110,8 +113,8 @@ impl Database {
         container: Container,
         decay_period: fungus_types::TickDelta,
     ) {
-        let shared = Arc::new(RwLock::new(container));
-        let route_table: RouteTable = Arc::new(RwLock::new(Vec::new()));
+        let shared = Arc::new(OrderedRwLock::new(&hierarchy::CONTAINERS, container));
+        let route_table: RouteTable = Arc::new(OrderedRwLock::new(&hierarchy::ROUTES, Vec::new()));
         let task_target = Arc::clone(&shared);
         let task_routes = Arc::clone(&route_table);
         let handle = self.scheduler.register(Task {
@@ -182,13 +185,21 @@ impl Database {
     pub fn add_route(&mut self, from: &str, spec: RouteSpec) -> Result<()> {
         let source = self.container(from)?;
         let target = self.container(&spec.to)?;
-        let route = {
-            let guard = source.read();
-            Route::resolve(&spec, guard.schema(), target)?
-        };
+        // Clone the source schema out and release the source lock before
+        // resolving: `Route::resolve` takes the target container's lock,
+        // and holding both container locks at once inverts the hierarchy —
+        // for a self-route (`from == spec.to`) it would even re-enter the
+        // same `RwLock`, which deadlocks when a writer is queued between
+        // the two reads.
+        let source_schema = source.read().schema().clone();
+        let route = Route::resolve(&spec, &source_schema, target)?;
+        // The route table is created alongside the container, but a
+        // concurrent `drop_container` can remove it between the schema
+        // read above and this lookup — surface that as the same error
+        // the container lookup would have produced, not a panic.
         self.routes
             .get(from)
-            .expect("route table exists for every container")
+            .ok_or_else(|| FungusError::UnknownContainer(from.to_string()))?
             .write()
             .push(route);
         Ok(())
@@ -217,7 +228,7 @@ impl Database {
     }
 
     /// Shared handle to a container.
-    pub fn container(&self, name: &str) -> Result<Arc<RwLock<Container>>> {
+    pub fn container(&self, name: &str) -> Result<ContainerHandle> {
         self.containers
             .get(name)
             .cloned()
@@ -1142,10 +1153,11 @@ mod tests {
         // The restored database decays identically to the original.
         db.run_for(20);
         restored.run_for(20);
-        assert_eq!(
-            restored.container("r").unwrap().read().live_count(),
-            db.container("r").unwrap().read().live_count()
-        );
+        // Bind each count before comparing: `assert_eq!` keeps both
+        // temporaries alive, which would hold two container guards at once.
+        let restored_live = restored.container("r").unwrap().read().live_count();
+        let original_live = db.container("r").unwrap().read().live_count();
+        assert_eq!(restored_live, original_live);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -10,12 +10,12 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
+use fungus_lint_rt::OrderedRwLock;
 use serde::{Deserialize, Serialize};
 
 use fungus_types::{FungusError, Result, Schema, Tick, Tuple, Value};
 
-use crate::container::Container;
+use crate::database::ContainerHandle;
 use crate::distill::DistillTrigger;
 
 /// Declarative description of a route.
@@ -32,7 +32,7 @@ pub struct RouteSpec {
 /// A resolved, validated route.
 pub(crate) struct Route {
     pub(crate) to_name: String,
-    pub(crate) target: Arc<RwLock<Container>>,
+    pub(crate) target: ContainerHandle,
     projection: Vec<usize>,
     pub(crate) trigger: DistillTrigger,
 }
@@ -42,7 +42,7 @@ impl Route {
     pub(crate) fn resolve(
         spec: &RouteSpec,
         source_schema: &Schema,
-        target: Arc<RwLock<Container>>,
+        target: ContainerHandle,
     ) -> Result<Route> {
         let mut projection = Vec::with_capacity(spec.columns.len());
         for name in &spec.columns {
@@ -121,17 +121,19 @@ impl std::fmt::Debug for Route {
 
 /// The shared route table of one source container. The decay task and the
 /// query path both consult it; `Database::add_route` appends to it.
-pub(crate) type RouteTable = Arc<RwLock<Vec<Route>>>;
+pub(crate) type RouteTable = Arc<OrderedRwLock<Vec<Route>>>;
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::container::Container;
     use crate::policy::ContainerPolicy;
     use fungus_clock::DeterministicRng;
     use fungus_types::{DataType, TupleId};
 
-    fn target(schema: Schema) -> Arc<RwLock<Container>> {
-        Arc::new(RwLock::new(
+    fn target(schema: Schema) -> ContainerHandle {
+        Arc::new(OrderedRwLock::new(
+            &fungus_lint_rt::hierarchy::CONTAINERS,
             Container::new(
                 "cold",
                 schema,

@@ -22,7 +22,7 @@
 use std::sync::Arc;
 use std::time::Duration;
 
-use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+use fungus_lint_rt::{hierarchy, OrderedRwLock, OrderedRwLockReadGuard, OrderedRwLockWriteGuard};
 
 use fungus_clock::scheduler::DriverHandle;
 use fungus_types::{Result, Tick};
@@ -30,39 +30,41 @@ use fungus_types::{Result, Tick};
 use crate::database::{Database, QueryOutcome};
 use crate::health::HealthReport;
 
-/// A cloneable `Arc<RwLock<Database>>` newtype with lock-aware forwarding
-/// for the operations concurrent front-ends need.
+/// A cloneable `Arc<OrderedRwLock<Database>>` newtype with lock-aware
+/// forwarding for the operations concurrent front-ends need. The catalog
+/// lock is the outermost rank of the declared hierarchy — it is always
+/// taken before any container, route, or shard lock.
 #[derive(Clone)]
 pub struct SharedDatabase {
-    inner: Arc<RwLock<Database>>,
+    inner: Arc<OrderedRwLock<Database>>,
 }
 
 impl SharedDatabase {
     /// Wraps a database for shared use.
     pub fn new(db: Database) -> Self {
         SharedDatabase {
-            inner: Arc::new(RwLock::new(db)),
+            inner: Arc::new(OrderedRwLock::new(&hierarchy::CATALOG, db)),
         }
     }
 
     /// Adopts an already-shared database.
-    pub fn from_arc(inner: Arc<RwLock<Database>>) -> Self {
+    pub fn from_arc(inner: Arc<OrderedRwLock<Database>>) -> Self {
         SharedDatabase { inner }
     }
 
     /// The underlying shared lock (escape hatch for callers that need a
     /// guard across several operations).
-    pub fn as_arc(&self) -> &Arc<RwLock<Database>> {
+    pub fn as_arc(&self) -> &Arc<OrderedRwLock<Database>> {
         &self.inner
     }
 
     /// Read access to the database (queries, health, clock).
-    pub fn read(&self) -> RwLockReadGuard<'_, Database> {
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, Database> {
         self.inner.read()
     }
 
     /// Exclusive access to the database (DDL, restore).
-    pub fn write(&self) -> RwLockWriteGuard<'_, Database> {
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, Database> {
         self.inner.write()
     }
 

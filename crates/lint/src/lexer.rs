@@ -1,0 +1,445 @@
+//! A hand-rolled Rust lexer, the foundation of every analysis pass.
+//!
+//! The workspace vendors its few dependencies and deliberately excludes
+//! heavyweight parser stacks (`syn`, `proc-macro2`), so the analyzer
+//! scans source the hard way: a single forward pass producing tokens
+//! with byte spans. The lexer is *lossy where it is safe to be* — all
+//! numeric literals collapse into one kind, multi-character operators
+//! come out as adjacent single-character puncts — but it is exact on
+//! the three distinctions the passes live or die by:
+//!
+//! * **strings and comments never leak tokens** — `"Instant::now"` in a
+//!   log message must not trip the determinism pass, and `// takes the
+//!   lock` must not look like an acquisition;
+//! * **`'a` vs `'a'`** — lifetimes are not char literals, and a lexer
+//!   that confuses them desynchronises on everything that follows;
+//! * **nested block comments** — `/* outer /* inner */ still out */` is
+//!   legal Rust and appears in real code.
+//!
+//! Comments are kept as tokens (with spans) because the annotation
+//! syntax (`// lint: allow(...)`) lives inside them.
+
+/// What a token is, at the granularity the passes need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword, including `r#ident`.
+    Ident,
+    /// `'a`, `'static` — a lifetime, not a char.
+    Lifetime,
+    /// `'x'`, `b'\n'`.
+    Char,
+    /// `"…"`, `r#"…"#`, `b"…"`, `br#"…"#`.
+    Str,
+    /// Integer or float literal, suffixes included.
+    Num,
+    /// One punctuation character (`::` is two `:` tokens).
+    Punct(u8),
+    /// `// …` to end of line.
+    LineComment,
+    /// `/* … */`, nesting respected.
+    BlockComment,
+}
+
+/// One token: a kind plus the byte range it occupies in the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub start: usize,
+    pub end: usize,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// True for `Punct(c)`.
+    pub fn is(&self, c: u8) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+
+    /// True when this is an identifier spelling exactly `name`.
+    pub fn is_ident(&self, src: &str, name: &str) -> bool {
+        self.kind == TokKind::Ident && self.text(src) == name
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `src`. Never fails: malformed input degenerates into
+/// punct tokens rather than aborting the scan of a whole file.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::with_capacity(n / 4);
+    let mut i = 0;
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        let start = i;
+        // Comments.
+        if c == b'/' && i + 1 < n {
+            if b[i + 1] == b'/' {
+                while i < n && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+            if b[i + 1] == b'*' {
+                let mut depth = 1usize;
+                i += 2;
+                while i < n && depth > 0 {
+                    if i + 1 < n && b[i] == b'/' && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if i + 1 < n && b[i] == b'*' && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    start,
+                    end: i,
+                });
+                continue;
+            }
+        }
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br"…", rb is
+        // not legal Rust but costs nothing to reject naturally.
+        if c == b'r' || c == b'b' {
+            if let Some(end) = try_string_like(b, i) {
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    start,
+                    end,
+                });
+                i = end;
+                continue;
+            }
+            if c == b'b' && i + 1 < n && b[i + 1] == b'\'' {
+                let end = scan_char_body(b, i + 2);
+                toks.push(Tok {
+                    kind: TokKind::Char,
+                    start,
+                    end,
+                });
+                i = end;
+                continue;
+            }
+        }
+        // Identifiers and keywords (raw idents included).
+        if is_ident_start(c) {
+            let mut j = i;
+            if c == b'r' && i + 1 < n && b[i + 1] == b'#' && i + 2 < n && is_ident_start(b[i + 2]) {
+                j = i + 2;
+            }
+            let mut k = j;
+            while k < n && is_ident_cont(b[k]) {
+                k += 1;
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                start: j,
+                end: k,
+            });
+            i = k;
+            continue;
+        }
+        // Numbers (digits, then greedily idents/dots for suffixes and
+        // floats — `1.0e-3f64` is one token; `1..2` must stay `1` `..` `2`).
+        if c.is_ascii_digit() {
+            let mut k = i + 1;
+            while k < n {
+                let d = b[k];
+                let exp_sign = (d == b'+' || d == b'-') && (b[k - 1] == b'e' || b[k - 1] == b'E');
+                if d.is_ascii_alphanumeric() || d == b'_' {
+                    k += 1;
+                } else if (d == b'.' || exp_sign) && k + 1 < n && b[k + 1].is_ascii_digit() {
+                    k += 2;
+                } else {
+                    break;
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Num,
+                start: i,
+                end: k,
+            });
+            i = k;
+            continue;
+        }
+        // Plain strings.
+        if c == b'"' {
+            let end = scan_string_body(b, i + 1);
+            toks.push(Tok {
+                kind: TokKind::Str,
+                start,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // `'` — lifetime, loop label, or char literal. A lifetime is
+        // `'ident` NOT followed by a closing `'`; everything else is a
+        // char literal.
+        if c == b'\'' {
+            if i + 1 < n && is_ident_start(b[i + 1]) && b[i + 1] != b'\\' {
+                let mut k = i + 1;
+                while k < n && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                if k < n && b[k] == b'\'' && k == i + 2 {
+                    // Exactly one ident char then a quote: 'x' is a char.
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        start,
+                        end: k + 1,
+                    });
+                    i = k + 1;
+                } else {
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        start,
+                        end: k,
+                    });
+                    i = k;
+                }
+                continue;
+            }
+            let end = scan_char_body(b, i + 1);
+            toks.push(Tok {
+                kind: TokKind::Char,
+                start,
+                end,
+            });
+            i = end;
+            continue;
+        }
+        // Everything else: one punct char.
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            start,
+            end: i + 1,
+        });
+        i += 1;
+    }
+    toks
+}
+
+/// Scans a (possibly raw, possibly byte) string starting at `i` if one
+/// begins there; returns the end offset past the closing delimiter.
+fn try_string_like(b: &[u8], i: usize) -> Option<usize> {
+    let n = b.len();
+    let mut j = i;
+    // Optional b prefix, optional r prefix (in either spelling order the
+    // compiler accepts: b"", r"", br"", rb is invalid but harmless).
+    let mut raw = false;
+    if j < n && b[j] == b'b' {
+        j += 1;
+    }
+    if j < n && b[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0;
+        while j < n && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j >= n || b[j] != b'"' {
+            return None;
+        }
+        j += 1;
+        // Find `"` followed by `hashes` hashes.
+        loop {
+            if j >= n {
+                return Some(n);
+            }
+            if b[j] == b'"' {
+                let mut k = j + 1;
+                let mut seen = 0;
+                while k < n && b[k] == b'#' && seen < hashes {
+                    k += 1;
+                    seen += 1;
+                }
+                if seen == hashes {
+                    return Some(k);
+                }
+            }
+            j += 1;
+        }
+    }
+    if j > i && j < n && b[j] == b'"' {
+        // b"…"
+        return Some(scan_string_body(b, j + 1));
+    }
+    None
+}
+
+/// Scans past the body of a `"`-delimited string whose opening quote is
+/// at `start - 1`; handles `\"` and `\\`.
+fn scan_string_body(b: &[u8], start: usize) -> usize {
+    let n = b.len();
+    let mut i = start;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Scans past the body of a `'`-delimited char literal.
+fn scan_char_body(b: &[u8], start: usize) -> usize {
+    let n = b.len();
+    let mut i = start;
+    while i < n {
+        match b[i] {
+            b'\\' => i += 2,
+            b'\'' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    n
+}
+
+/// Byte-offset → (1-based line, 1-based column) conversion table.
+pub struct LineMap {
+    /// Byte offset where each line starts.
+    starts: Vec<usize>,
+}
+
+impl LineMap {
+    pub fn new(src: &str) -> Self {
+        let mut starts = vec![0];
+        for (i, b) in src.bytes().enumerate() {
+            if b == b'\n' {
+                starts.push(i + 1);
+            }
+        }
+        LineMap { starts }
+    }
+
+    /// 1-based line number containing byte `offset`.
+    pub fn line(&self, offset: usize) -> usize {
+        self.starts.partition_point(|&s| s <= offset)
+    }
+
+    /// 1-based (line, column) of byte `offset`.
+    pub fn line_col(&self, offset: usize) -> (usize, usize) {
+        let line = self.line(offset);
+        (line, offset - self.starts[line - 1] + 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_swallow_their_contents() {
+        let src = r#"let s = "Instant::now()"; // SystemTime::now
+            /* thread_rng /* nested */ still comment */ done"#;
+        let toks = kinds(src);
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "s", "done"]);
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::LineComment)
+                .count(),
+            1
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|(k, _)| *k == TokKind::BlockComment)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let toks = kinds(src);
+        let lifetimes: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(lifetimes, vec!["'a", "'a"]);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r##"let s = r#"has "quotes" and \ slashes"#; x"##;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Str && t.contains("quotes")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_range_operators() {
+        let src = "for i in 0..10 { let f = 1.5e-3f64; }";
+        let toks = kinds(src);
+        let nums: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Num)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3f64"]);
+    }
+
+    #[test]
+    fn raw_idents_strip_the_prefix() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "type"));
+    }
+
+    #[test]
+    fn line_map_round_trips() {
+        let src = "ab\ncde\n\nf";
+        let m = LineMap::new(src);
+        assert_eq!(m.line_col(0), (1, 1));
+        assert_eq!(m.line_col(3), (2, 1));
+        assert_eq!(m.line_col(5), (2, 3));
+        assert_eq!(m.line_col(8), (4, 1));
+    }
+}

@@ -1,0 +1,71 @@
+//! fungus-lint — the workspace invariant analyzer.
+//!
+//! Three passes over `crates/` and `tests/`, all driven by the declared
+//! manifest in `lint.toml` at the workspace root:
+//!
+//! * [`determinism`] — no ambient time or entropy outside the clock
+//!   boundary, no hash-order iteration in order-sensitive modules;
+//! * [`locks`] — every classified acquisition ascends the declared lock
+//!   hierarchy, inter-procedurally per crate, and the observed lock
+//!   graph is acyclic;
+//! * [`panics`] — `unwrap`/`expect`/`panic!`/indexing on the request
+//!   path must be converted to errors or justified in writing.
+//!
+//! The static analysis is paired with `fungus-lint-rt`, whose ordered
+//! lock wrappers assert the *same* hierarchy at runtime during every
+//! `cargo test` and chaos run — each side covers the other's blind
+//! spot (the scanner can't see through boxed closures; the runtime can
+//! only see interleavings that actually execute). A unit test in this
+//! crate pins `lint.toml` to `fungus_lint_rt::hierarchy` so the two
+//! can never drift.
+
+pub mod config;
+pub mod determinism;
+pub mod lexer;
+pub mod locks;
+pub mod panics;
+pub mod scan;
+
+use std::path::Path;
+
+pub use config::Config;
+pub use scan::{Finding, SourceFile};
+
+/// Everything one `check` run produces.
+pub struct Report {
+    pub findings: Vec<Finding>,
+    pub graph: locks::LockGraph,
+    pub files_scanned: usize,
+}
+
+/// Loads `lint.toml` from `root` and runs every pass over
+/// `root/crates` and `root/tests`.
+pub fn check_workspace(root: &Path) -> Result<Report, String> {
+    let manifest = std::fs::read_to_string(root.join("lint.toml"))
+        .map_err(|e| format!("cannot read lint.toml at workspace root: {e}"))?;
+    let cfg = Config::from_str(&manifest)?;
+    check_with_config(root, &cfg)
+}
+
+/// Runs every pass under an explicit configuration (the fixture tests
+/// use this with fixture manifests).
+pub fn check_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
+    let rels = scan::discover(root, &["crates", "tests"], &cfg.exclude)
+        .map_err(|e| format!("scanning {}: {e}", root.display()))?;
+    let mut files = Vec::with_capacity(rels.len());
+    for rel in rels {
+        files.push(SourceFile::load(root, rel).map_err(|e| format!("read error: {e}"))?);
+    }
+    let mut findings = Vec::new();
+    for file in &files {
+        determinism::run(cfg, file, &mut findings);
+        panics::run(cfg, file, &mut findings);
+    }
+    let graph = locks::run(cfg, &files, &mut findings);
+    findings.sort_by(|a, b| (&a.file, a.span.0).cmp(&(&b.file, b.span.0)));
+    Ok(Report {
+        findings,
+        graph,
+        files_scanned: files.len(),
+    })
+}

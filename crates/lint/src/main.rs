@@ -1,0 +1,87 @@
+//! fungus-lint CLI.
+//!
+//! ```text
+//! fungus-lint check [--root DIR]            # run all passes, exit 1 on findings
+//! fungus-lint dump-lock-graph [--root DIR]  # observed lock graph as DOT on stdout
+//! ```
+//!
+//! `--root` defaults to the workspace root (two levels above this
+//! crate's manifest dir, so `cargo run -p fungus-lint -- check` does
+//! the right thing from anywhere in the tree).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd = None;
+    let mut root = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--root needs a directory");
+                    return ExitCode::from(2);
+                }
+                root = Some(PathBuf::from(&args[i + 1]));
+                i += 2;
+            }
+            "check" | "dump-lock-graph" if cmd.is_none() => {
+                cmd = Some(args[i].clone());
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!("usage: fungus-lint <check|dump-lock-graph> [--root DIR]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let report = match fungus_lint::check_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fungus-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match cmd.as_deref() {
+        Some("dump-lock-graph") => {
+            // The graph needs the parsed config for node labels.
+            let manifest = std::fs::read_to_string(root.join("lint.toml")).expect("checked above");
+            let cfg = fungus_lint::Config::from_str(&manifest).expect("checked above");
+            print!("{}", report.graph.to_dot(&cfg));
+            ExitCode::SUCCESS
+        }
+        _ => {
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.findings.is_empty() {
+                eprintln!(
+                    "fungus-lint: {} files clean (determinism, lock_order, panic)",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "fungus-lint: {} finding(s) across {} files",
+                    report.findings.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+    }
+}
+
+/// `crates/lint` → workspace root.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}

@@ -1,0 +1,175 @@
+//! Pass 3 — panic audit.
+//!
+//! The server's request path runs client-controlled input through
+//! panic-isolating worker threads; a stray `unwrap` does not crash the
+//! process, but it kills a worker, drops every connection pinned to it,
+//! and costs a supervisor respawn. So in the audited paths (the server
+//! crate and the core engine it calls into), non-test code must not
+//! contain an unjustified panic site:
+//!
+//! * `.unwrap()` / `.expect(…)` — matched as exact method idents, so
+//!   `unwrap_or`, `unwrap_or_else`, `expected` and friends stay legal;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`;
+//! * direct indexing `expr[…]` — but only in the files configured as
+//!   `index_audited_files` (the wire-facing request path, where every
+//!   offset is attacker-controlled); engine-internal indexing with
+//!   checked invariants would drown the signal.
+//!
+//! A site is justified by `// lint: allow(panic, "reason")` on the same
+//! or preceding line; the reason is mandatory. The right fix is usually
+//! not the annotation but a `FungusError` return — the annotation is
+//! for genuine invariants (a poisoned-free mutex, an injected test
+//! fault) where the panic *is* the contract.
+
+use crate::config::Config;
+use crate::lexer::TokKind;
+use crate::scan::{Finding, SourceFile};
+
+const PASS: &str = "panic";
+const PANIC_MACROS: &[&str] = &["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords after which `[` opens a slice type or array literal, never
+/// an index: `&mut [u8]`, `for b in [1, 2]`, `return [0; 4]`, ….
+/// (`self` is deliberately absent — `self[i]` is real indexing.)
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "mut", "dyn", "impl", "in", "as", "ref", "move", "const", "return", "break", "else",
+];
+
+pub fn run(cfg: &Config, file: &SourceFile, findings: &mut Vec<Finding>) {
+    if !cfg
+        .panic_audited
+        .iter()
+        .any(|p| file.rel.contains(p.as_str()))
+    {
+        return;
+    }
+    let index_audited = cfg
+        .index_audited
+        .iter()
+        .any(|p| file.rel.contains(p.as_str()));
+    let src = &file.src;
+    let code = &file.code;
+    for i in 0..code.len() {
+        let t = code[i];
+        if file.in_test(t.start) {
+            continue;
+        }
+        if t.kind == TokKind::Ident {
+            let name = t.text(src);
+            // `.unwrap()` / `.expect(` — method position only.
+            if (name == "unwrap" || name == "expect")
+                && i >= 1
+                && code[i - 1].is(b'.')
+                && code.get(i + 1).is_some_and(|t| t.is(b'('))
+            {
+                findings.extend(file.finding(
+                    i,
+                    PASS,
+                    format!(
+                        "`.{name}()` on the audited path — return a FungusError or \
+                         justify with `// lint: allow(panic, \"…\")`"
+                    ),
+                ));
+                continue;
+            }
+            // `panic!(` and friends.
+            if PANIC_MACROS.contains(&name)
+                && code.get(i + 1).is_some_and(|t| t.is(b'!'))
+                && code
+                    .get(i + 2)
+                    .is_some_and(|t| t.is(b'(') || t.is(b'[') || t.is(b'{'))
+            {
+                findings.extend(file.finding(
+                    i,
+                    PASS,
+                    format!("`{name}!` on the audited path — panics here kill a worker"),
+                ));
+                continue;
+            }
+        }
+        // Direct indexing in the wire-facing files: `ident[…]` or
+        // `…)[…]` / `…][…]`. Attribute (`#[…]`), slice types and
+        // patterns follow other token kinds and stay legal.
+        if index_audited
+            && t.is(b'[')
+            && i >= 1
+            && (code[i - 1].kind == TokKind::Ident || code[i - 1].is(b')') || code[i - 1].is(b']'))
+        {
+            // Exclude generic/type positions: `Foo::<[u8; 4]>` puts `<`
+            // before the ident — cheap to recognise the common macro
+            // `vec![`, which the Ident test would otherwise catch.
+            if code[i - 1].kind == TokKind::Ident {
+                let prev = code[i - 1].text(src);
+                if prev == "vec" || NON_INDEX_KEYWORDS.contains(&prev) {
+                    continue;
+                }
+            }
+            findings.extend(
+                file.finding(
+                    i,
+                    PASS,
+                    "direct index on the wire path — a bad offset panics the worker; \
+                 use `.get(…)` and map the miss to a protocol error"
+                        .into(),
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::SourceFile;
+
+    fn check(rel: &str, src: &str) -> Vec<Finding> {
+        let cfg = Config::from_str(
+            "[panic]\naudited_paths = [\"crates/server/src\", \"crates/core/src\"]\nindex_audited_files = [\"crates/server/src/frame.rs\"]\n",
+        )
+        .unwrap();
+        let file = SourceFile::from_source(rel.into(), src.into());
+        let mut out = Vec::new();
+        run(&cfg, &file, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_exact_idents_only() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); x.expect(\"y\"); x.unwrap_or(0); x.unwrap_or_else(d); }";
+        let f = check("crates/server/src/session.rs", src);
+        assert_eq!(f.len(), 2, "{f:?}");
+    }
+
+    #[test]
+    fn panic_macros_flagged() {
+        let src = "fn f() { panic!(\"boom\"); unreachable!(); }";
+        assert_eq!(check("crates/core/src/database.rs", src).len(), 2);
+    }
+
+    #[test]
+    fn unaudited_crates_and_tests_skip() {
+        let src = "fn f(x: Option<u8>) { x.unwrap(); }";
+        assert!(check("crates/query/src/exec.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests { fn f(x: Option<u8>) { x.unwrap(); } }";
+        assert!(check("crates/server/src/session.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn annotation_with_reason_suppresses() {
+        let src = "fn f(x: Option<u8>) {\n  // lint: allow(panic, \"startup-only; config was validated\")\n  x.unwrap();\n}";
+        assert!(check("crates/server/src/server.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_in_configured_files() {
+        let src = "fn f(b: &[u8]) -> u8 { b[0] }";
+        assert_eq!(check("crates/server/src/frame.rs", src).len(), 1);
+        assert!(check("crates/server/src/session.rs", src).is_empty());
+    }
+
+    #[test]
+    fn slice_types_attrs_and_vec_macro_are_not_indexing() {
+        let src = "#[derive(Debug)]\nstruct S { b: [u8; 4] }\nfn f() -> Vec<u8> { vec![1, 2] }";
+        assert!(check("crates/server/src/frame.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,316 @@
+//! Workspace scanning: file discovery, per-file token preparation,
+//! `#[cfg(test)]` region mapping, and `// lint: allow` annotations.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{self, LineMap, Tok, TokKind};
+
+/// One finding from any pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path, `/`-separated.
+    pub file: String,
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// Byte span of the offending token(s) within the file.
+    pub span: (usize, usize),
+    /// Which pass produced it: `determinism`, `lock_order`, `panic`.
+    pub pass: &'static str,
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {} (bytes {}..{})",
+            self.file, self.line, self.col, self.pass, self.message, self.span.0, self.span.1
+        )
+    }
+}
+
+/// A `// lint: allow(<pass>, "reason")` annotation.
+#[derive(Debug)]
+pub struct Allow {
+    pub pass: String,
+    /// 1-based line the comment sits on; it suppresses findings on this
+    /// line and the next (annotation-above style).
+    pub line: usize,
+}
+
+/// One prepared source file.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub rel: String,
+    pub src: String,
+    /// Code tokens only (comments stripped).
+    pub code: Vec<Tok>,
+    pub lines: LineMap,
+    /// Byte ranges covered by `#[cfg(test)] mod … { … }`; when the file
+    /// lives under a `tests/` directory this is one whole-file range.
+    pub test_regions: Vec<(usize, usize)>,
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    pub fn load(root: &Path, rel: String) -> std::io::Result<SourceFile> {
+        let src = fs::read_to_string(root.join(&rel))?;
+        Ok(SourceFile::from_source(rel, src))
+    }
+
+    pub fn from_source(rel: String, src: String) -> SourceFile {
+        let all = lexer::lex(&src);
+        let lines = LineMap::new(&src);
+        let mut allows = Vec::new();
+        for t in &all {
+            if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                if let Some(pass) = parse_allow(t.text(&src)) {
+                    allows.push(Allow {
+                        pass,
+                        line: lines.line(t.start),
+                    });
+                }
+            }
+        }
+        let code: Vec<Tok> = all
+            .into_iter()
+            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+            .collect();
+        let test_regions = if rel.starts_with("tests/") || rel.contains("/tests/") {
+            vec![(0, src.len())]
+        } else {
+            find_test_regions(&src, &code)
+        };
+        SourceFile {
+            rel,
+            src,
+            code,
+            lines,
+            test_regions,
+            allows,
+        }
+    }
+
+    /// True when byte `offset` falls inside test-only code.
+    pub fn in_test(&self, offset: usize) -> bool {
+        self.test_regions
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True when a finding of `pass` at byte `offset` is suppressed by
+    /// an annotation on the same line or the line directly above.
+    pub fn allowed(&self, pass: &str, offset: usize) -> bool {
+        let line = self.lines.line(offset);
+        self.allows
+            .iter()
+            .any(|a| a.pass == pass && (a.line == line || a.line + 1 == line))
+    }
+
+    /// Builds a finding at code token `i`, or None when suppressed.
+    pub fn finding(&self, i: usize, pass: &'static str, message: String) -> Option<Finding> {
+        let t = self.code[i];
+        if self.allowed(pass, t.start) {
+            return None;
+        }
+        let (line, col) = self.lines.line_col(t.start);
+        Some(Finding {
+            file: self.rel.clone(),
+            line,
+            col,
+            span: (t.start, t.end),
+            pass,
+            message,
+        })
+    }
+}
+
+/// Extracts the pass name from a `lint: allow(<pass>, "reason")`
+/// comment; the reason is mandatory and must be non-empty.
+fn parse_allow(comment: &str) -> Option<String> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim();
+    let rest = body.strip_prefix("lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow(")?;
+    let close = rest.find(')')?;
+    let args = &rest[..close];
+    let (pass, reason) = args.split_once(',')?;
+    let reason = reason.trim();
+    if reason.len() < 3 || !reason.starts_with('"') {
+        return None;
+    }
+    Some(pass.trim().to_string())
+}
+
+/// Finds `#[cfg(test)]` module body ranges by token scanning.
+fn find_test_regions(src: &str, code: &[Tok]) -> Vec<(usize, usize)> {
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < code.len() {
+        // `# [ cfg ( test ) ]`
+        if code[i].is(b'#')
+            && i + 6 < code.len()
+            && code[i + 1].is(b'[')
+            && code[i + 2].is_ident(src, "cfg")
+            && code[i + 3].is(b'(')
+            && code[i + 4].is_ident(src, "test")
+            && code[i + 5].is(b')')
+            && code[i + 6].is(b']')
+        {
+            // Skip any further attributes, then expect `mod name {`.
+            let mut j = i + 7;
+            while j < code.len() && code[j].is(b'#') {
+                j = skip_balanced(code, j + 1, b'[', b']');
+            }
+            if j < code.len() && code[j].is_ident(src, "mod") {
+                // mod name {  — find the brace and match it.
+                let mut k = j + 1;
+                while k < code.len() && !code[k].is(b'{') && !code[k].is(b';') {
+                    k += 1;
+                }
+                if k < code.len() && code[k].is(b'{') {
+                    let end = skip_balanced(code, k, b'{', b'}');
+                    let end_byte = code
+                        .get(end.saturating_sub(1))
+                        .map(|t| t.end)
+                        .unwrap_or(src.len());
+                    regions.push((code[i].start, end_byte));
+                    i = end;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Given `code[open_at]` is the opening delimiter, returns the index
+/// one past its matching close (or `code.len()`).
+pub fn skip_balanced(code: &[Tok], open_at: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = open_at;
+    while i < code.len() {
+        if code[i].is(open) {
+            depth += 1;
+        } else if code[i].is(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    code.len()
+}
+
+/// Scanning backwards: given `code[close_at]` is a closing delimiter,
+/// returns the index of its matching open (or 0).
+pub fn skip_balanced_back(code: &[Tok], close_at: usize, open: u8, close: u8) -> usize {
+    let mut depth = 0usize;
+    let mut i = close_at;
+    loop {
+        if code[i].is(close) {
+            depth += 1;
+        } else if code[i].is(open) {
+            depth -= 1;
+            if depth == 0 {
+                return i;
+            }
+        }
+        if i == 0 {
+            return 0;
+        }
+        i -= 1;
+    }
+}
+
+/// Recursively collects `.rs` files under `root/<sub>` for each given
+/// subdirectory, returning workspace-relative `/`-separated paths in
+/// sorted order. `exclude` fragments are matched against the relative
+/// path.
+pub fn discover(root: &Path, subdirs: &[&str], exclude: &[String]) -> std::io::Result<Vec<String>> {
+    let mut out = BTreeSet::new();
+    for sub in subdirs {
+        let dir = root.join(sub);
+        if dir.is_dir() {
+            walk(&dir, root, exclude, &mut out)?;
+        }
+    }
+    Ok(out.into_iter().collect())
+}
+
+fn walk(
+    dir: &Path,
+    root: &Path,
+    exclude: &[String],
+    out: &mut BTreeSet<String>,
+) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let rel = rel_path(root, &path);
+        if exclude.iter().any(|e| rel.contains(e.as_str())) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(&path, root, exclude, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.insert(rel);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel: PathBuf = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_regions_cover_cfg_test_modules() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\nfn more() {}";
+        let f = SourceFile::from_source("crates/x/src/lib.rs".into(), src.into());
+        let unwrap_at = src.find("unwrap").unwrap();
+        assert!(f.in_test(unwrap_at));
+        assert!(!f.in_test(src.find("live").unwrap()));
+        assert!(!f.in_test(src.find("more").unwrap()));
+    }
+
+    #[test]
+    fn files_under_tests_dirs_are_all_test() {
+        let f = SourceFile::from_source("tests/integration_x.rs".into(), "fn a() {}".into());
+        assert!(f.in_test(3));
+    }
+
+    #[test]
+    fn allow_annotations_suppress_same_and_next_line() {
+        let src = "// lint: allow(panic, \"justified\")\nfoo.unwrap();\nbar.unwrap();";
+        let f = SourceFile::from_source("crates/x/src/lib.rs".into(), src.into());
+        let first = src.find("foo").unwrap();
+        let second = src.find("bar").unwrap();
+        assert!(f.allowed("panic", first));
+        assert!(!f.allowed("panic", second));
+        assert!(!f.allowed("determinism", first), "pass-scoped");
+    }
+
+    #[test]
+    fn allow_requires_a_reason() {
+        let src = "// lint: allow(panic)\nfoo.unwrap();";
+        let f = SourceFile::from_source("crates/x/src/lib.rs".into(), src.into());
+        assert!(!f.allowed("panic", src.find("foo").unwrap()));
+    }
+}

@@ -1,0 +1,84 @@
+//! End-to-end analyzer runs over the fixture trees in
+//! `tests/fixtures/`: the clean tree must produce zero findings, the
+//! violating tree must produce exactly the known findings — pass,
+//! line, and byte span all pinned.
+
+use std::path::{Path, PathBuf};
+
+use fungus_lint::check_workspace;
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+/// Byte offset of the `n`-th occurrence (0-based) of `needle` in a
+/// fixture file — keeps the expected spans exact but readable.
+fn offset_of(root: &Path, rel: &str, needle: &str, n: usize) -> usize {
+    let src = std::fs::read_to_string(root.join(rel)).unwrap();
+    let mut at = 0;
+    for k in 0..=n {
+        let hit = src[at..]
+            .find(needle)
+            .unwrap_or_else(|| panic!("occurrence {k} of `{needle}` not in {rel}"));
+        at += hit + 1;
+    }
+    at - 1
+}
+
+#[test]
+fn clean_fixture_produces_no_findings() {
+    let root = fixture_root("clean");
+    let report = check_workspace(&root).expect("fixture manifest parses");
+    assert!(
+        report.findings.is_empty(),
+        "clean fixture must be clean, got:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(report.files_scanned, 3);
+    // The ascending acquisition in `ascending()` is still observed:
+    // the lock graph has the outer → inner edge.
+    assert_eq!(report.graph.edges.len(), 1);
+}
+
+#[test]
+fn violating_fixture_produces_exactly_the_known_findings() {
+    let root = fixture_root("violating");
+    let report = check_workspace(&root).expect("fixture manifest parses");
+
+    let lib = "crates/app/src/lib.rs";
+    let wire = "crates/app/src/wire.rs";
+    // Each entry: (file, pass, line, span) of the token the pass
+    // anchors on — the `SystemTime` path head (occurrence 1; 0 is the
+    // return type), the `values` iteration method, the inverted `lock`
+    // call, the `unwrap` ident, and the index `[`.
+    let sys = offset_of(&root, lib, "SystemTime", 1);
+    let values = offset_of(&root, lib, "values", 0);
+    let lock = offset_of(&root, lib, "outer.lock", 0) + "outer.".len();
+    let unwrap = offset_of(&root, lib, "unwrap", 0);
+    let index = offset_of(&root, wire, "buf[0]", 0) + "buf".len();
+    let expected = vec![
+        (lib, "determinism", 9, (sys, sys + "SystemTime".len())),
+        (lib, "determinism", 16, (values, values + "values".len())),
+        (lib, "lock_order", 26, (lock, lock + "lock".len())),
+        (lib, "panic", 33, (unwrap, unwrap + "unwrap".len())),
+        (wire, "panic", 4, (index, index + 1)),
+    ];
+
+    let got: Vec<(&str, &str, usize, (usize, usize))> = report
+        .findings
+        .iter()
+        .map(|f| (f.file.as_str(), f.pass, f.line, f.span))
+        .collect();
+    assert_eq!(got, expected, "findings:\n{:#?}", report.findings);
+
+    // The inversion is also in the graph: inner → outer, observed at
+    // the violating call site.
+    assert_eq!(report.graph.edges.len(), 1);
+}

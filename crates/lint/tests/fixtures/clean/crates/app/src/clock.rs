@@ -1,0 +1,8 @@
+//! Inside the declared clock boundary: ambient time is legal here.
+
+pub fn wall_clock_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis())
+        .unwrap_or(0)
+}

@@ -1,0 +1,44 @@
+//! Known-good fixture: every analyzer pass stays silent on this tree.
+//! (Never compiled — the analyzer is token-driven, so the undefined
+//! `Lock` type is irrelevant.)
+
+use std::collections::BTreeMap;
+
+pub struct App {
+    outer: Lock,
+    inner: Lock,
+}
+
+/// Acquisitions ascend the declared hierarchy: outer (10), inner (20).
+pub fn ascending(outer: &Lock, inner: &Lock) {
+    let o = outer.lock();
+    let i = inner.lock();
+    drop(i);
+    drop(o);
+}
+
+/// BTree iteration is deterministic; no finding in an ordered module.
+pub fn ordered_iteration(map: &BTreeMap<String, u64>) -> u64 {
+    map.values().sum()
+}
+
+/// Annotated panic site: the written reason makes it legal.
+pub fn justified(x: Option<u8>) -> u8 {
+    // lint: allow(panic, "fixture invariant: callers validate x upstream")
+    x.unwrap()
+}
+
+/// The preferred shape: errors flow, nothing panics.
+pub fn error_path(x: Option<u8>) -> Result<u8, String> {
+    x.ok_or_else(|| "missing".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may panic and read clocks freely.
+    fn unconstrained() {
+        let _ = std::time::Instant::now();
+        let v: Option<u8> = None;
+        let _ = v.unwrap();
+    }
+}

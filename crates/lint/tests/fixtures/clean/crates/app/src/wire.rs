@@ -1,0 +1,9 @@
+//! Wire-facing file in the clean fixture: offsets go through `.get`.
+
+pub fn header_byte(buf: &[u8]) -> Option<u8> {
+    buf.get(0).copied()
+}
+
+pub fn tail(buf: &[u8], from: usize) -> &[u8] {
+    buf.get(from..).unwrap_or(&[])
+}

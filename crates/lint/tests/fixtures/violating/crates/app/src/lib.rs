@@ -1,0 +1,34 @@
+//! Deliberately-violating fixture. Each function trips exactly one
+//! analyzer rule; `tests/fixtures.rs` pins the pass, line, and byte
+//! span of every finding, so edits here must update that test.
+
+use std::collections::HashMap;
+
+/// Wall-clock read outside the clock boundary (determinism).
+pub fn wall_clock() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}
+
+/// Hash-order iteration in an ordered module (determinism).
+pub fn hash_iteration() -> u64 {
+    let map: HashMap<String, u64> = HashMap::new();
+    let mut sum = 0;
+    for v in map.values() {
+        sum += v;
+    }
+    sum
+}
+
+/// Lock-order inversion: inner (rank 20) held while taking outer
+/// (rank 10) — the declared hierarchy says outer first (lock_order).
+pub fn inverted(outer: &Lock, inner: &Lock) {
+    let i = inner.lock();
+    let o = outer.lock();
+    drop(o);
+    drop(i);
+}
+
+/// Unannotated panic site on the audited path (panic).
+pub fn unjustified(x: Option<u8>) -> u8 {
+    x.unwrap()
+}

@@ -1,0 +1,5 @@
+//! Wire-facing file with a direct index on attacker-controlled data.
+
+pub fn header_byte(buf: &[u8]) -> u8 {
+    buf[0]
+}

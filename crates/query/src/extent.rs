@@ -170,8 +170,12 @@ fn index_candidates(plan: &LogicalPlan, table: &TableStore) -> Option<Vec<TupleI
     // No equality probe available: try an ordered-index range. Combine the
     // tightest-first Above/Below bounds per column.
     type RangeBound<'a> = (Option<(&'a Value, bool)>, Option<(&'a Value, bool)>);
-    let mut ranges: std::collections::HashMap<usize, RangeBound<'_>> =
-        std::collections::HashMap::new();
+    // BTreeMap, not HashMap: the loop below returns the *first* column
+    // whose ordered index accepts the probe, so iteration order picks the
+    // winning index — and with it the id order of the result. Hash order
+    // is randomized per process; column order is deterministic.
+    let mut ranges: std::collections::BTreeMap<usize, RangeBound<'_>> =
+        std::collections::BTreeMap::new();
     for bound in plan.pruning.bounds() {
         match bound {
             ColumnBound::Above {

@@ -101,6 +101,7 @@ pub fn decode_frame(buf: &mut BytesMut) -> Result<Option<Bytes>, FrameError> {
         return Ok(None);
     }
     let claimed = {
+        // lint: allow(panic, "guarded: buf.len() >= HEADER_LEN checked three lines up")
         let mut header = &buf.as_slice()[..HEADER_LEN];
         header.get_u32() as usize
     };
@@ -166,6 +167,7 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
     let mut filled = 0;
     while filled < buf.len() {
+        // lint: allow(panic, "guarded: loop condition keeps filled < buf.len()")
         match r.read(&mut buf[filled..]) {
             Ok(0) => break,
             Ok(n) => filled += n,

@@ -45,7 +45,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, Sender};
-use parking_lot::Mutex;
+use fungus_lint_rt::{hierarchy, OrderedMutex};
 
 use fungus_clock::scheduler::DriverHandle;
 use fungus_core::SharedDatabase;
@@ -88,7 +88,7 @@ pub struct ServerConfig {
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
-            addr: "127.0.0.1:0".parse().expect("loopback addr"),
+            addr: SocketAddr::from(([127, 0, 0, 1], 0)),
             workers: 8,
             backlog: 16,
             read_timeout: Duration::from_secs(30),
@@ -127,7 +127,7 @@ struct WorkerSlot {
     handle: JoinHandle<()>,
 }
 
-type WorkerSet = Arc<Mutex<Vec<WorkerSlot>>>;
+type WorkerSet = Arc<OrderedMutex<Vec<WorkerSlot>>>;
 
 /// A running server; dropping it shuts the server down (best effort).
 pub struct ServerHandle {
@@ -176,7 +176,7 @@ pub fn serve(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
             handle: spawn_worker(w, 0, ctx.clone())?,
         });
     }
-    let pool: WorkerSet = Arc::new(Mutex::new(pool));
+    let pool: WorkerSet = Arc::new(OrderedMutex::new(&hierarchy::WORKERS, pool));
 
     let supervisor = {
         let workers = Arc::clone(&pool);
@@ -423,6 +423,7 @@ fn handle_connection(stream: TcpStream, id: u64, session: Session, ctx: &WorkerC
                 // The unwind drops the stream (client sees a reset) and
                 // the ActiveGuard (capacity restored); the supervisor
                 // counts the corpse and respawns the worker.
+                // lint: allow(panic, "injected fault: the supervisor's respawn path is under test")
                 panic!(
                     "injected worker panic on connection {id} (fault seed {})",
                     plan.seed()
@@ -487,14 +488,16 @@ fn serve_connection<S: Read + Write>(
                 if response.is_error() {
                     stats.errors.fetch_add(1, Ordering::Relaxed);
                 }
-                let payload = match response.encode() {
+                let fallback = Response::Error {
+                    code: ErrorCode::Execution,
+                    message: "response serialisation failed".into(),
+                };
+                let payload = match response.encode().or_else(|_| fallback.encode()) {
                     Ok(p) => p,
-                    Err(_) => Response::Error {
-                        code: ErrorCode::Execution,
-                        message: "response serialisation failed".into(),
-                    }
-                    .encode()
-                    .expect("static error response encodes"),
+                    // Even the static fallback failed to encode: the
+                    // connection is unanswerable; close it rather than
+                    // crash the worker.
+                    Err(_) => return,
                 };
                 if frame::write_frame(stream, &payload).is_err() {
                     return;
@@ -582,6 +585,7 @@ fn read_full<S: Read>(
     if buf.is_empty() {
         return Fill::Done;
     }
+    // lint: allow(determinism, "socket timeout deadlines are wall-clock by definition")
     let started = Instant::now();
     let mut filled = 0;
     loop {

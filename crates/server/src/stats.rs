@@ -11,12 +11,12 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use fungus_lint_rt::{hierarchy, OrderedMutex};
 
 use fungus_core::{ShardTelemetry, SharedDatabase};
 
 /// Monotone counters shared by every server thread.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ServerStats {
     /// Connections handed to the worker pool.
     pub(crate) accepted: AtomicU64,
@@ -35,9 +35,26 @@ pub struct ServerStats {
     /// Replacement workers the supervisor spawned.
     pub(crate) workers_respawned: AtomicU64,
     /// Decay-driver tick counter, linked once the driver is spawned.
-    driver_ticks: Mutex<Option<Arc<AtomicU64>>>,
+    driver_ticks: OrderedMutex<Option<Arc<AtomicU64>>>,
     /// Catalog handle for shard-layout gauges, linked by `serve`.
-    shard_source: Mutex<Option<SharedDatabase>>,
+    shard_source: OrderedMutex<Option<SharedDatabase>>,
+}
+
+impl Default for ServerStats {
+    fn default() -> Self {
+        ServerStats {
+            accepted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            responses: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            workers_respawned: AtomicU64::new(0),
+            driver_ticks: OrderedMutex::new(&hierarchy::STATS, None),
+            shard_source: OrderedMutex::new(&hierarchy::STATS, None),
+        }
+    }
 }
 
 /// A point-in-time copy of the server counters.
@@ -93,11 +110,13 @@ impl ServerStats {
 
     /// Current shard telemetry (zeros without a linked catalog).
     pub fn shard_telemetry(&self) -> ShardTelemetry {
-        self.shard_source
-            .lock()
-            .as_ref()
-            .map(|db| db.shard_telemetry())
-            .unwrap_or_default()
+        // Clone the handle out and let the guard drop before touching the
+        // catalog: the stats cells are leaves of the lock hierarchy, so
+        // calling into the catalog with one held would invert the declared
+        // order (and could deadlock against a worker taking stats under
+        // the catalog lock).
+        let db = self.shard_source.lock().clone();
+        db.map(|db| db.shard_telemetry()).unwrap_or_default()
     }
 
     /// Adds stream-fault injections from a finished connection.

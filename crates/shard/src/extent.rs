@@ -41,7 +41,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::RwLock;
+use fungus_lint_rt::{hierarchy, OrderedRwLock};
 use serde::{Deserialize, Serialize};
 
 use fungus_clock::DeterministicRng;
@@ -216,7 +216,7 @@ pub struct ShardedExtent {
     schema: Schema,
     storage: StorageConfig,
     spec: ShardSpec,
-    shards: Vec<RwLock<Shard>>,
+    shards: Vec<OrderedRwLock<Shard>>,
     /// Id ranges of dropped shards, ascending and non-overlapping.
     dropped: Vec<DroppedRange>,
     /// Next tuple id to allocate (== total ids ever allocated).
@@ -439,7 +439,8 @@ impl ShardedExtent {
         for col in &self.ord_indexed {
             shard.store_mut().create_ord_index(col)?;
         }
-        self.shards.push(RwLock::new(shard));
+        self.shards
+            .push(OrderedRwLock::new(&hierarchy::SHARDS, shard));
         Ok(())
     }
 
@@ -611,7 +612,7 @@ impl ShardedExtent {
             match self.merged_shard(i) {
                 Ok(merged) => {
                     self.shards.remove(i + 1);
-                    self.shards[i] = RwLock::new(merged);
+                    self.shards[i] = OrderedRwLock::new(&hierarchy::SHARDS, merged);
                     self.shards_merged += 1;
                     // Stay at `i`: the merged shard may absorb the next
                     // neighbor too.
@@ -822,7 +823,7 @@ impl ShardedExtent {
                 record.max_tick,
             )?;
             prev_end = shard.end();
-            shards.push(RwLock::new(shard));
+            shards.push(OrderedRwLock::new(&hierarchy::SHARDS, shard));
         }
         if manifest.next_id < prev_end {
             return Err(fungus_types::FungusError::CorruptSnapshot(format!(
@@ -1762,7 +1763,6 @@ mod tests {
             assert_eq!(a.read().rng_seed(), b.read().rng_seed());
         }
         // And the restored extent behaves identically from here on.
-        let mut ext = ext;
         let mut back = back;
         let a = ext.evict_rotten();
         let b = back.evict_rotten();

@@ -14,7 +14,7 @@
 
 use std::collections::VecDeque;
 
-use parking_lot::Mutex;
+use fungus_lint_rt::{hierarchy, OrderedMutex};
 
 /// Fixed-width fan-out executor for per-shard tasks.
 #[derive(Debug)]
@@ -54,8 +54,9 @@ impl ShardPool {
             return (0..n_tasks).map(&f).collect();
         }
         let width = self.workers.min(n_tasks);
-        let queues: Vec<Mutex<VecDeque<usize>>> =
-            (0..width).map(|_| Mutex::new(VecDeque::new())).collect();
+        let queues: Vec<OrderedMutex<VecDeque<usize>>> = (0..width)
+            .map(|_| OrderedMutex::new(&hierarchy::POOL_QUEUES, VecDeque::new()))
+            .collect();
         for task in 0..n_tasks {
             queues[task % width].lock().push_back(task);
         }
@@ -91,7 +92,7 @@ impl ShardPool {
     /// Pops from the worker's own queue, else steals from the back of a
     /// neighbour's. `None` only when every queue is empty (each task is
     /// popped under a lock, so none runs twice).
-    fn next_task(queues: &[Mutex<VecDeque<usize>>], me: usize) -> Option<usize> {
+    fn next_task(queues: &[OrderedMutex<VecDeque<usize>>], me: usize) -> Option<usize> {
         if let Some(task) = queues[me].lock().pop_front() {
             return Some(task);
         }
@@ -108,6 +109,7 @@ impl ShardPool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use parking_lot::Mutex;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]

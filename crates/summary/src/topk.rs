@@ -73,6 +73,7 @@ impl SpaceSaving {
         // error. Ties break on the key's total order for determinism.
         let (min_key, min_counter) = self
             .counters
+            // lint: allow(determinism, "min_by's comparator totally orders entries (count, then key), so hash order cannot pick the winner")
             .iter()
             .min_by(|(ka, ca), (kb, cb)| ca.count.cmp(&cb.count).then_with(|| ka.cmp_total(kb)))
             .map(|(k, c)| (k.clone(), *c))
@@ -102,6 +103,7 @@ impl SpaceSaving {
     pub fn top(&self, k: usize) -> Vec<HeavyHitter> {
         let mut all: Vec<HeavyHitter> = self
             .counters
+            // lint: allow(determinism, "collected then fully sorted by (count, key) total order before use")
             .iter()
             .map(|(key, c)| HeavyHitter {
                 key: key.clone(),
