@@ -1,4 +1,4 @@
-//! Runs the entire experiment suite (E1–E13 + A1) and writes one TSV per
+//! Runs the entire experiment suite (E1–E14 + A1) and writes one TSV per
 //! experiment into the directory given as the first argument (default
 //! `results/`).
 //!
@@ -40,6 +40,7 @@ fn main() {
         ("e11", fungus_bench::e11_server::run),
         ("e12", fungus_bench::e12_sharding::run),
         ("e13", fungus_bench::e13_adaptive::run),
+        ("e14", fungus_bench::e14_trending::run),
         ("a1", fungus_bench::a1_access_paths::run),
     ];
     for (name, run) in experiments {

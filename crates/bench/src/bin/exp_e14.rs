@@ -1,0 +1,12 @@
+//! Prints the e14_trending experiment tables (see DESIGN.md / EXPERIMENTS.md).
+
+use fungus_bench::harness::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    print!("{}", fungus_bench::e14_trending::run(scale));
+}

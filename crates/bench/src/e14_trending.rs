@@ -1,0 +1,399 @@
+//! **E14 — Time-fading sketches vs. trending popularity** (two tables).
+//!
+//! Claim: once the raw tuples rot, a time-fading summary is the *only*
+//! resident answer to "what is hot right now" — and it stays right even
+//! when popularity moves. The [`TrendingItems`] workload is the
+//! adversarial case: item popularity is Zipfian at every instant but the
+//! hot identities rotate every `rotation` ticks, so a summary that cannot
+//! forget reports last week's fashion with confidence.
+//!
+//! The container carries a TTL fungus (everything rots after `ttl`
+//! ticks) and two DDL-declared cooking pipelines over the same departure
+//! stream: `hot = fading_topk(cap, λ)` (the time-fading sketch under
+//! test) and `ever = topk(cap)` (the unfading control). Ground truth is
+//! [`DecayedTruth`] — the *exact* exponentially-decayed count of every
+//! departed item, fed the identical observation stream, so any gap
+//! between sketch and truth is pure sketch error, not modelling error.
+//! (Under a pure TTL fungus every tuple departs exactly `ttl` ticks
+//! after insertion, so decayed-by-departure-time and
+//! decayed-by-insert-time differ by the constant factor `e^(−λ·ttl)`
+//! and induce the *same* ranking; the truth oracle folds at insert
+//! ticks and the comparison is still exact.)
+//!
+//! Table 1 sweeps λ over the trending stream plus a static (rotation =
+//! 0) control, reporting top-k recall/precision against the decayed
+//! truth at periodic measurement points, with ≥ 50% of raw tuples
+//! rotted by construction. The headline: the fading sketch holds recall
+//! ≥ 0.9 at the default λ while the unfading control's recall collapses
+//! as epochs accumulate — and on the static control both are fine,
+//! isolating *churn* as what breaks unfading summaries.
+//!
+//! Table 2 is the read path under load: `fungus-server` on loopback,
+//! client threads running a read-heavy mix (90% `SUMMARIZE … TOP k`,
+//! 10% ingest) against the cooking pipelines while the decay driver
+//! rots the raw extent, reporting throughput and latency percentiles.
+
+use std::collections::VecDeque;
+use std::time::{Duration, Instant};
+
+use fungus_clock::DeterministicRng;
+use fungus_core::{Database, SharedDatabase};
+use fungus_server::{serve, Client, ServerConfig};
+use fungus_types::{Tick, Value};
+use fungus_workload::{DecayedTruth, TrendingItems, Workload};
+
+use crate::harness::{fnum, percentile, Scale, TableBuilder};
+
+/// Default decay rate: the λ EXPERIMENTS.md's headline row uses.
+pub const DEFAULT_LAMBDA: f64 = 0.05;
+
+struct Sizing {
+    items: usize,
+    rate: usize,
+    skew: f64,
+    rotation: u64,
+    ttl: u64,
+    horizon: u64,
+    k: usize,
+    capacity: usize,
+    measure_every: u64,
+    clients: usize,
+    per_client: u64,
+}
+
+fn sizing(scale: Scale) -> Sizing {
+    match scale {
+        Scale::Full => Sizing {
+            items: 500,
+            rate: 200,
+            skew: 1.1,
+            rotation: 200,
+            ttl: 40,
+            horizon: 1000,
+            k: 10,
+            capacity: 64,
+            measure_every: 50,
+            clients: 4,
+            per_client: 1500,
+        },
+        Scale::Quick => Sizing {
+            items: 50,
+            rate: 40,
+            skew: 1.2,
+            rotation: 24,
+            ttl: 8,
+            horizon: 120,
+            k: 8,
+            capacity: 32,
+            measure_every: 6,
+            clients: 2,
+            per_client: 80,
+        },
+    }
+}
+
+/// The item keys of a `SUMMARIZE … TOP k` answer (key is column 1 for
+/// both top-k report shapes).
+fn answer_keys(db: &Database, summary: &str, k: usize) -> Vec<Value> {
+    let out = db
+        .execute(&format!("SUMMARIZE {summary} FROM clicks TOP {k}"))
+        .expect("summarize");
+    out.result.rows.iter().map(|r| r[1].clone()).collect()
+}
+
+fn overlap(answer: &[Value], truth: &[Value]) -> usize {
+    answer.iter().filter(|v| truth.contains(v)).count()
+}
+
+/// One accuracy run: the trending (or static) stream against a TTL
+/// container cooking both a fading and an unfading top-k, scored
+/// against the exact decayed truth at periodic measurement points.
+fn accuracy_row(label: &str, lambda: f64, rotation: u64, s: &Sizing) -> Vec<String> {
+    let mut db = Database::new(0xE14);
+    db.execute_ddl(&format!(
+        "CREATE CONTAINER clicks (item INT NOT NULL, session INT) \
+         WITH FUNGUS ttl({ttl}) \
+         WITH DISTILL (hot = fading_topk({cap}, {lambda}) ON item, \
+                       ever = topk({cap}) ON item)",
+        ttl = s.ttl,
+        cap = s.capacity,
+    ))
+    .expect("DDL");
+
+    let rng = DeterministicRng::new(0xE14);
+    let mut stream = TrendingItems::new(s.items, s.rate, s.skew, rotation, &rng);
+    let mut truth = DecayedTruth::new(lambda);
+    // Departure replica: under ttl(T) with the default DECAY EVERY 1, a
+    // tuple inserted at t rots at exactly t + T, so the oracle observes
+    // each item once its insert tick is T ticks in the past — the same
+    // stream the sketches absorb, minus the sketch error.
+    let mut pending: VecDeque<(Value, u64)> = VecDeque::new();
+    let mut inserted = 0u64;
+
+    let mut recall_fade = Vec::new();
+    let mut prec_fade = Vec::new();
+    let mut recall_raw = Vec::new();
+
+    for _ in 0..s.horizon {
+        let now = db.now();
+        let rows = stream.rows_at(now);
+        inserted += rows.len() as u64;
+        for row in &rows {
+            pending.push_back((row[0].clone(), now.get()));
+        }
+        db.insert_batch("clicks", rows).expect("insert");
+        let now = db.tick().get();
+        while pending.front().is_some_and(|&(_, t)| t + s.ttl <= now) {
+            let (item, t) = pending.pop_front().expect("front checked");
+            truth.observe_at(item, t);
+        }
+
+        if now.is_multiple_of(s.measure_every) && now >= s.ttl + s.measure_every {
+            let truth_top: Vec<Value> =
+                truth.top_at(s.k, now).into_iter().map(|(v, _)| v).collect();
+            if truth_top.len() < s.k {
+                continue; // warm-up: not enough departed mass to rank yet
+            }
+            let fade = answer_keys(&db, "hot", s.k);
+            let raw = answer_keys(&db, "ever", s.k);
+            recall_fade.push(overlap(&fade, &truth_top) as f64 / truth_top.len() as f64);
+            prec_fade.push(overlap(&fade, &truth_top) as f64 / fade.len().max(1) as f64);
+            recall_raw.push(overlap(&raw, &truth_top) as f64 / truth_top.len() as f64);
+        }
+    }
+
+    let live = db.container("clicks").expect("clicks").read().live_count() as u64;
+    let rotted_pct = 100.0 * (inserted - live) as f64 / inserted as f64;
+    let min_recall = recall_fade.iter().copied().fold(f64::INFINITY, f64::min);
+    vec![
+        label.to_string(),
+        fnum(lambda),
+        recall_fade.len().to_string(),
+        fnum(crate::harness::mean(&recall_fade)),
+        fnum(if min_recall.is_finite() {
+            min_recall
+        } else {
+            0.0
+        }),
+        fnum(crate::harness::mean(&prec_fade)),
+        fnum(crate::harness::mean(&recall_raw)),
+        fnum(rotted_pct),
+        live.to_string(),
+        truth.distinct().to_string(),
+    ]
+}
+
+/// The read-heavy server run: threads hammer `SUMMARIZE` (with a 10%
+/// ingest trickle) while the wall-clock decay driver rots the extent.
+fn read_mix_row(s: &Sizing) -> Vec<String> {
+    let db = SharedDatabase::new(Database::new(0xE14));
+    db.execute_ddl(&format!(
+        "CREATE CONTAINER clicks (item INT NOT NULL, session INT) \
+         WITH FUNGUS ttl({ttl}) \
+         WITH DISTILL (hot = fading_topk({cap}, {lambda}) ON item, \
+                       fresh = tbs({cap}, {lambda}) ON item, \
+                       exit_health = moments)",
+        ttl = s.ttl,
+        cap = s.capacity,
+        lambda = DEFAULT_LAMBDA,
+    ))
+    .expect("DDL");
+
+    let config = ServerConfig {
+        workers: s.clients.max(2),
+        tick_period: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(db, config).expect("server start");
+    let addr = handle.addr();
+
+    let k = s.k;
+    let started = Instant::now();
+    let mut threads = Vec::new();
+    for c in 0..s.clients {
+        let per_client = s.per_client;
+        let items = s.items;
+        let skew = s.skew;
+        let rotation = s.rotation;
+        threads.push(std::thread::spawn(move || {
+            let rng = DeterministicRng::new(0xE14_0 + c as u64);
+            let mut stream = TrendingItems::new(items, 1, skew, rotation, &rng);
+            let mut client = Client::connect(addr).expect("connect");
+            let mut latencies = Vec::with_capacity(per_client as usize);
+            let mut errors = 0u64;
+            for i in 0..per_client {
+                let sql = if i % 10 == 0 {
+                    let row = &stream.rows_at(Tick(i))[0];
+                    format!("INSERT INTO clicks VALUES ({}, {})", row[0], row[1])
+                } else {
+                    format!("SUMMARIZE hot FROM clicks TOP {k}")
+                };
+                let t0 = Instant::now();
+                let resp = client.sql(sql).expect("request failed");
+                latencies.push(t0.elapsed().as_secs_f64() * 1e6);
+                if resp.is_error() {
+                    errors += 1;
+                }
+            }
+            client.close();
+            (latencies, errors)
+        }));
+    }
+
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for t in threads {
+        let (lat, err) = t.join().expect("client thread");
+        latencies.extend(lat);
+        errors += err;
+    }
+    let elapsed = started.elapsed();
+
+    let live = handle.db().live_count("clicks");
+    let ticks = handle.db().now().get();
+    let sketches = handle.db().sketch_telemetry();
+    let report = handle.shutdown().expect("shutdown");
+    assert_eq!(
+        report.metrics.requests, report.metrics.responses,
+        "dropped responses"
+    );
+
+    let requests = report.metrics.requests;
+    vec![
+        s.clients.to_string(),
+        requests.to_string(),
+        errors.to_string(),
+        fnum(elapsed.as_secs_f64()),
+        fnum(requests as f64 / elapsed.as_secs_f64().max(1e-9)),
+        fnum(percentile(&latencies, 0.50)),
+        fnum(percentile(&latencies, 0.99)),
+        live.to_string(),
+        ticks.to_string(),
+        sketches.hits.to_string(),
+        sketches.absorbed.to_string(),
+    ]
+}
+
+/// Runs E14 and renders the accuracy sweep plus the read-mix table.
+pub fn run(scale: Scale) -> String {
+    let s = sizing(scale);
+
+    let mut accuracy = TableBuilder::new(
+        format!(
+            "E14 fading top-k vs trending popularity: {} items, {} rows/tick, zipf {}, \
+             hot set rotates every {} ticks, ttl {}, horizon {} (k = {}, sketch capacity {})",
+            s.items, s.rate, s.skew, s.rotation, s.ttl, s.horizon, s.k, s.capacity
+        ),
+        &[
+            "workload",
+            "lambda",
+            "meas",
+            "recall_fade",
+            "min_recall_fade",
+            "prec_fade",
+            "recall_raw",
+            "rotted_pct",
+            "live_end",
+            "distinct",
+        ],
+    );
+    for lambda in [0.01, DEFAULT_LAMBDA, 0.2] {
+        accuracy.row(accuracy_row("trending", lambda, s.rotation, &s));
+    }
+    // The control: no churn. The unfading sketch is fine here — churn,
+    // not decay, is what it cannot survive.
+    accuracy.row(accuracy_row("static", DEFAULT_LAMBDA, 0, &s));
+
+    let mut mix = TableBuilder::new(
+        format!(
+            "E14 read-heavy mix: {} clients x {} requests (90% SUMMARIZE TOP {}, 10% ingest) \
+             over live decay",
+            s.clients, s.per_client, s.k
+        ),
+        &[
+            "clients",
+            "requests",
+            "errors",
+            "elapsed_s",
+            "req_per_s",
+            "p50_us",
+            "p99_us",
+            "live_extent",
+            "ticks",
+            "sketch_hits",
+            "absorbed",
+        ],
+    );
+    mix.row(read_mix_row(&s));
+
+    format!("{}\n{}", accuracy.render(), mix.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tables(out: &str) -> (Vec<Vec<String>>, Vec<Vec<String>>) {
+        let blocks: Vec<&str> = out.split("\n\n").collect();
+        assert_eq!(blocks.len(), 2, "accuracy + read-mix tables");
+        let parse = |block: &str| -> Vec<Vec<String>> {
+            block
+                .lines()
+                .skip(2)
+                .map(|l| l.split('\t').map(str::to_string).collect())
+                .collect()
+        };
+        (parse(blocks[0]), parse(blocks[1]))
+    }
+
+    /// The acceptance gate: at the default λ the fading sketch keeps
+    /// top-k recall ≥ 0.9 against the exact decayed truth while well
+    /// over half the raw tuples have rotted, the unfading control does
+    /// strictly worse under churn, and the static control clears both —
+    /// churn is the variable, decay the remedy.
+    #[test]
+    fn fading_recall_survives_rot_and_churn() {
+        let out = run(Scale::Quick);
+        let (accuracy, mix) = tables(&out);
+        assert_eq!(accuracy.len(), 4, "three λ rows + static control");
+
+        let headline = accuracy
+            .iter()
+            .find(|r| r[0] == "trending" && r[1] == fnum(DEFAULT_LAMBDA))
+            .expect("default-λ trending row");
+        let recall_fade: f64 = headline[3].parse().unwrap();
+        let recall_raw: f64 = headline[6].parse().unwrap();
+        let rotted: f64 = headline[7].parse().unwrap();
+        let meas: u64 = headline[2].parse().unwrap();
+        assert!(meas >= 5, "too few measurement points: {meas}");
+        assert!(
+            recall_fade >= 0.9,
+            "fading recall {recall_fade} under the 0.9 floor:\n{out}"
+        );
+        assert!(
+            rotted >= 50.0,
+            "only {rotted}% rotted — the sketch was not the only answer"
+        );
+        assert!(
+            recall_fade > recall_raw,
+            "unfading control kept up under churn ({recall_raw} vs {recall_fade}):\n{out}"
+        );
+
+        // Static control: with no churn the unfading sketch is fine too.
+        let control = accuracy
+            .iter()
+            .find(|r| r[0] == "static")
+            .expect("static row");
+        let control_raw: f64 = control[6].parse().unwrap();
+        assert!(
+            control_raw >= 0.9,
+            "static-control unfading recall {control_raw} — churn was not isolated"
+        );
+
+        // Read mix: every request answered, reads hit the sketches.
+        let m = &mix[0];
+        assert_eq!(m[2], "0", "read-mix errors: {out}");
+        let hits: u64 = m[9].parse().unwrap();
+        assert!(hits > 0, "no SUMMARIZE reached a sketch");
+    }
+}

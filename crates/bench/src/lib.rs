@@ -1,7 +1,7 @@
 //! # fungus-bench
 //!
 //! The experiment harness: one module per experiment in DESIGN.md's
-//! evaluation suite (E1–E13), each with a binary that prints the
+//! evaluation suite (E1–E14), each with a binary that prints the
 //! table/series EXPERIMENTS.md records.
 //!
 //! The paper itself has no tables or figures (it is a two-page CIDR vision
@@ -14,7 +14,7 @@
 //! Run everything with:
 //!
 //! ```text
-//! for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13; do
+//! for e in e1 e2 e3 e4 e5 e6 e7 e8 e9 e10 e11 e12 e13 e14; do
 //!     cargo run --release -p fungus-bench --bin exp_$e
 //! done
 //! ```
@@ -30,6 +30,7 @@ pub mod e10_health;
 pub mod e11_server;
 pub mod e12_sharding;
 pub mod e13_adaptive;
+pub mod e14_trending;
 pub mod e1_storage_bound;
 pub mod e2_blue_cheese;
 pub mod e3_tick_cost;

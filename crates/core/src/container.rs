@@ -5,7 +5,7 @@ use fungus_fungi::Fungus;
 use fungus_query::{execute, LogicalPlan, Planner, QueryExtent, ResultSet, SelectStatement};
 use fungus_shard::ShardedExtent;
 use fungus_storage::{SpotCensus, TableStats, TableStore};
-use fungus_types::{Result, Schema, Tick, Tuple, TupleId, Value};
+use fungus_types::{FungusError, Result, Schema, Tick, Tuple, TupleId, Value};
 
 use crate::distill::Distiller;
 use crate::extent::Extent;
@@ -271,7 +271,7 @@ impl Container {
             self.metrics.consuming_queries += 1;
             self.metrics.tuples_consumed += result.consumed.len() as u64;
             let before = self.distiller.total_absorbed();
-            self.distiller.absorb_all(&result.consumed, false);
+            self.distiller.absorb_all_at(&result.consumed, false, now);
             self.metrics.distilled += self.distiller.total_absorbed() - before;
         }
         Ok(result)
@@ -295,7 +295,7 @@ impl Container {
         let merges_before = self.extent.shards_merged();
         let evicted: Vec<Tuple> = self.extent.evict_rotten();
         let before = self.distiller.total_absorbed();
-        self.distiller.absorb_all(&evicted, true);
+        self.distiller.absorb_all_at(&evicted, true, now);
         let distilled = self.distiller.total_absorbed() - before;
         self.metrics.distilled += distilled;
         self.metrics.tuples_rotted += evicted.len() as u64;
@@ -328,6 +328,37 @@ impl Container {
             },
             evicted,
         )
+    }
+
+    /// Answers a `SUMMARIZE` read from the named cooking pipeline: returns
+    /// the summary's report evaluated at `now` (fading kinds decay their
+    /// answers to the asking tick) and bumps the per-sketch hit counter.
+    /// `top` truncates the report to its first `n` rows — for top-k kinds
+    /// the report is already ranked, so this is "the top n".
+    pub fn sketch_report(
+        &mut self,
+        name: &str,
+        top: Option<usize>,
+        now: Tick,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        if !self.distiller.note_hit(name) {
+            return Err(FungusError::PlanError(format!(
+                "container `{}` has no summary `{name}` (available: {})",
+                self.name,
+                self.distiller.names().join(", ")
+            )));
+        }
+        self.metrics.sketch_hits += 1;
+        let summary = self
+            .distiller
+            .summary(name)
+            // lint: allow(panic, "note_hit returned true above, so the pipeline exists")
+            .expect("note_hit found the pipeline");
+        let (columns, mut rows) = summary.report(now.get());
+        if let Some(n) = top {
+            rows.truncate(n);
+        }
+        Ok((columns, rows))
     }
 
     /// Records that `n` rot-evicted tuples were delivered along a route

@@ -344,6 +344,26 @@ impl Database {
                     distilled: 0,
                 })
             }
+            Statement::Summarize {
+                table,
+                summary,
+                top,
+            } => {
+                let c = self.container(&table)?;
+                let (columns, rows) = c.write().sketch_report(&summary, top, now)?;
+                Ok(QueryOutcome {
+                    result: ResultSet {
+                        columns,
+                        rows,
+                        consumed: Vec::new(),
+                        scanned: 0,
+                        pruned_segments: 0,
+                        pruned_shards: 0,
+                        used_index: false,
+                    },
+                    distilled: 0,
+                })
+            }
             Statement::CreateContainer(_) => Err(FungusError::PlanError(
                 "CREATE CONTAINER needs exclusive catalog access — call Database::execute_ddl"
                     .into(),
@@ -452,6 +472,18 @@ impl Database {
             t.split += g.shards_split();
             t.merged += g.shards_merged();
             t.restored += g.shards_restored();
+        }
+        t
+    }
+
+    /// Aggregate cooking-pipeline telemetry across every container.
+    pub fn sketch_telemetry(&self) -> crate::metrics::SketchTelemetry {
+        let mut t = crate::metrics::SketchTelemetry::default();
+        for c in self.containers.values() {
+            let g = c.read();
+            t.sketches += g.distiller().len() as u64;
+            t.hits += g.metrics().sketch_hits;
+            t.absorbed += g.distiller().total_absorbed();
         }
         t
     }
@@ -749,6 +781,51 @@ mod tests {
         assert_eq!(out.distilled, 2);
         let c = db.container("r").unwrap();
         assert_eq!(c.read().distiller().absorbed("v"), Some(2));
+    }
+
+    #[test]
+    fn summarize_reads_ddl_declared_sketches_as_raw_data_rots() {
+        // The full cooking loop with zero engine-specific code: DDL
+        // declares a fading top-k over a TTL container, inserts skew
+        // toward one key, everything rots away, and SUMMARIZE still
+        // answers "what was hot" from the sketch alone.
+        let mut db = Database::new(5);
+        db.execute_ddl(
+            "CREATE CONTAINER clicks (item INT) WITH FUNGUS ttl(3) \
+             WITH DISTILL (hot = fading_topk(2, 0.05) ON item, \
+                           exit_health = moments)",
+        )
+        .unwrap();
+        for _ in 0..8 {
+            db.execute("INSERT INTO clicks VALUES (7), (7), (7), (1)")
+                .unwrap();
+            db.tick();
+        }
+        db.run_for(4); // everything left rots out
+        assert_eq!(db.container("clicks").unwrap().read().live_count(), 0);
+
+        let out = db.execute("SUMMARIZE hot FROM clicks TOP 1").unwrap();
+        assert_eq!(
+            out.result.columns,
+            vec!["rank", "key", "weight", "error"],
+            "fading top-k report shape"
+        );
+        assert_eq!(out.result.rows.len(), 1, "TOP 1 truncates");
+        assert_eq!(out.result.rows[0][1], Value::Int(7), "7 was 3× hotter");
+
+        // The freshness audit pipeline also saw every rotted tuple.
+        let audit = db.execute("SUMMARIZE exit_health FROM clicks").unwrap();
+        assert!(!audit.result.rows.is_empty());
+
+        // Reads were counted, absorbs aggregated.
+        let t = db.sketch_telemetry();
+        assert_eq!(t.sketches, 2);
+        assert_eq!(t.hits, 2);
+        assert_eq!(t.absorbed, 64, "32 rotted tuples × 2 pipelines");
+
+        // Unknown sketch / container are errors, not empty answers.
+        assert!(db.execute("SUMMARIZE nope FROM clicks").is_err());
+        assert!(db.execute("SUMMARIZE hot FROM nope").is_err());
     }
 
     #[test]

@@ -31,10 +31,12 @@
 //! `serve` example route through it too, so defaults stay in one place.
 
 use fungus_fungi::{EgiConfig, FungusSpec};
-use fungus_query::{CreateContainerStatement, ShardingClause};
+use fungus_query::{CreateContainerStatement, DistillClause, ShardingClause};
 use fungus_shard::ShardSpec;
+use fungus_summary::SummarySpec;
 use fungus_types::{ColumnDef, DataType, FungusError, Result, Schema, TickDelta};
 
+use crate::distill::{DistillSpec, DistillTrigger};
 use crate::policy::ContainerPolicy;
 
 fn resolve_type(name: &str) -> Result<DataType> {
@@ -130,6 +132,75 @@ pub fn resolve_sharding(clause: &ShardingClause) -> Result<ShardSpec> {
     Ok(spec)
 }
 
+/// Resolves one `WITH DISTILL` pipeline into a [`DistillSpec`].
+///
+/// Cooking-scheme grammar (`name = scheme(args…) [ON column]`):
+///
+/// | SQL | summary |
+/// |---|---|
+/// | `moments` | streaming count/sum/mean/variance/min/max |
+/// | `histogram(lo, hi, bins)` | equi-width histogram |
+/// | `equidepth(buckets, sample)` | equi-depth histogram |
+/// | `reservoir(k)` / `sample(k)` | uniform reservoir sample |
+/// | `cms(epsilon, delta)` | Count-Min frequency sketch |
+/// | `distinct(precision)` / `hll(precision)` | HyperLogLog |
+/// | `topk(k)` | SpaceSaving heavy hitters |
+/// | `fading_topk(k, lambda)` | time-fading top-k (λ decay per tick) |
+/// | `tbs(k, lambda)` / `biased(k, lambda)` | temporally-biased sample |
+///
+/// Omitting `ON column` cooks the tuple's freshness-at-departure instead
+/// of an attribute. DDL pipelines fold *every* departure (trigger
+/// [`DistillTrigger::Both`]): consumed and rotted tuples alike.
+pub fn resolve_distill(clause: &DistillClause) -> Result<DistillSpec> {
+    let args = &clause.args;
+    let summary = match clause.func.to_ascii_lowercase().as_str() {
+        "moments" | "stats" => SummarySpec::Moments,
+        "histogram" => SummarySpec::Histogram {
+            lo: arg(args, 0, "domain lower bound")?,
+            hi: arg(args, 1, "domain upper bound")?,
+            bins: arg(args, 2, "bin count")? as usize,
+        },
+        "equidepth" => SummarySpec::EquiDepth {
+            buckets: arg(args, 0, "bucket count")? as usize,
+            sample: arg(args, 1, "sample size")? as usize,
+        },
+        "reservoir" | "sample" => SummarySpec::Reservoir {
+            k: arg(args, 0, "sample size")? as usize,
+        },
+        "cms" | "countmin" => SummarySpec::CountMin {
+            epsilon: arg(args, 0, "additive error fraction")?,
+            delta: arg(args, 1, "failure probability")?,
+        },
+        "distinct" | "hll" => SummarySpec::Distinct {
+            precision: arg(args, 0, "register precision (4-16)")? as u8,
+        },
+        "topk" => SummarySpec::TopK {
+            k: arg(args, 0, "counter capacity")? as usize,
+        },
+        "fading_topk" => SummarySpec::FadingTopK {
+            k: arg(args, 0, "heavy hitters to report")? as usize,
+            lambda: arg(args, 1, "decay rate per tick")?,
+        },
+        "tbs" | "biased" => SummarySpec::BiasedReservoir {
+            k: arg(args, 0, "sample size")? as usize,
+            lambda: arg(args, 1, "decay rate per tick")?,
+        },
+        other => {
+            return Err(FungusError::InvalidConfig(format!(
+                "unknown cooking scheme `{other}`"
+            )))
+        }
+    };
+    let spec = DistillSpec {
+        name: clause.name.clone(),
+        column: clause.column.clone(),
+        summary,
+        trigger: DistillTrigger::Both,
+    };
+    spec.validate()?;
+    Ok(spec)
+}
+
 /// Resolves a parsed `CREATE CONTAINER` into `(name, schema, policy)`.
 pub fn resolve_create_container(
     stmt: &CreateContainerStatement,
@@ -153,6 +224,9 @@ pub fn resolve_create_container(
     }
     if let Some(clause) = &stmt.sharding {
         policy = policy.with_sharding(resolve_sharding(clause)?);
+    }
+    for clause in &stmt.distill {
+        policy = policy.with_distiller(resolve_distill(clause)?);
     }
     Ok((stmt.name.clone(), schema, policy))
 }
@@ -309,6 +383,64 @@ mod tests {
             .is_err(),
             "low_water must stay below 1"
         );
+    }
+
+    #[test]
+    fn distill_clause_resolves_every_scheme() {
+        let (_, _, policy) = resolve(
+            "CREATE CONTAINER t (a INT, b FLOAT) WITH FUNGUS ttl(40) \
+             WITH DISTILL (hot = fading_topk(8, 0.05) ON a, \
+                           fresh = tbs(32, 0.05) ON a, \
+                           heavy = topk(8) ON a, \
+                           shape = histogram(0, 100, 10) ON b, \
+                           depth = equidepth(4, 64) ON b, \
+                           uniq = hll(10) ON a, \
+                           freq = cms(0.01, 0.01) ON a, \
+                           pick = sample(16) ON b, \
+                           exit_health = moments)",
+        )
+        .unwrap();
+        assert_eq!(policy.distill.len(), 9);
+        assert_eq!(
+            policy.distill[0].summary,
+            SummarySpec::FadingTopK { k: 8, lambda: 0.05 }
+        );
+        assert_eq!(
+            policy.distill[1].summary,
+            SummarySpec::BiasedReservoir {
+                k: 32,
+                lambda: 0.05
+            }
+        );
+        assert_eq!(policy.distill[8].summary, SummarySpec::Moments);
+        assert_eq!(policy.distill[8].column, None);
+        assert!(policy
+            .distill
+            .iter()
+            .all(|d| d.trigger == DistillTrigger::Both));
+    }
+
+    #[test]
+    fn bad_distill_ddl_is_rejected() {
+        // Unknown scheme.
+        assert!(resolve("CREATE CONTAINER t (a INT) WITH DISTILL (x = frobnicate(1))").is_err());
+        // Missing required argument.
+        assert!(resolve("CREATE CONTAINER t (a INT) WITH DISTILL (x = fading_topk(8))").is_err());
+        // Parameters that fail summary validation.
+        assert!(
+            resolve("CREATE CONTAINER t (a INT) WITH DISTILL (x = histogram(9, 1, 4) ON a)")
+                .is_err()
+        );
+        assert!(
+            resolve("CREATE CONTAINER t (a INT) WITH DISTILL (x = equidepth(8, 2) ON a)").is_err(),
+            "equi-depth sample smaller than its bucket count"
+        );
+        // Negative parameters never reach resolution: numeric DDL
+        // arguments are unsigned at the grammar level.
+        assert!(parse_statement(
+            "CREATE CONTAINER t (a INT) WITH DISTILL (x = fading_topk(8, -0.5) ON a)"
+        )
+        .is_err());
     }
 
     #[test]

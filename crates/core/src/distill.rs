@@ -14,7 +14,7 @@
 use serde::{Deserialize, Serialize};
 
 use fungus_summary::{AnySummary, SummarySpec};
-use fungus_types::{FungusError, Result, Schema, Tuple, Value};
+use fungus_types::{FungusError, Result, Schema, Tick, Tuple, Value};
 
 /// Which departures feed a pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -73,6 +73,7 @@ struct Pipeline {
     column_idx: Option<usize>,
     summary: AnySummary,
     absorbed: u64,
+    hits: u64,
 }
 
 /// The set of distillation pipelines attached to one container.
@@ -109,13 +110,16 @@ impl Distiller {
                 column_idx,
                 summary,
                 absorbed: 0,
+                hits: 0,
             });
         }
         Ok(Distiller { pipelines })
     }
 
-    /// Offers one departing tuple to every matching pipeline.
-    pub fn absorb(&mut self, tuple: &Tuple, rotted: bool) {
+    /// Offers one departing tuple to every matching pipeline, stamped at
+    /// the virtual time of the departure. Time-fading pipelines fold the
+    /// observation with `now`'s decay weight; timeless summaries ignore it.
+    pub fn absorb_at(&mut self, tuple: &Tuple, rotted: bool, now: Tick) {
         for p in &mut self.pipelines {
             if !p.spec.trigger.accepts(rotted) {
                 continue;
@@ -124,16 +128,27 @@ impl Distiller {
                 Some(idx) => tuple.values[idx].clone(),
                 None => Value::Float(tuple.meta.freshness.get()),
             };
-            p.summary.observe(&value);
+            p.summary.observe_at(&value, now.get());
             p.absorbed += 1;
         }
     }
 
-    /// Offers a batch.
-    pub fn absorb_all(&mut self, tuples: &[Tuple], rotted: bool) {
+    /// Offers one departing tuple at tick 0 (timeless summaries only —
+    /// prefer [`absorb_at`](Self::absorb_at) where a clock is in scope).
+    pub fn absorb(&mut self, tuple: &Tuple, rotted: bool) {
+        self.absorb_at(tuple, rotted, Tick(0));
+    }
+
+    /// Offers a batch, stamped at the departure tick.
+    pub fn absorb_all_at(&mut self, tuples: &[Tuple], rotted: bool, now: Tick) {
         for t in tuples {
-            self.absorb(t, rotted);
+            self.absorb_at(t, rotted, now);
         }
+    }
+
+    /// Offers a batch at tick 0.
+    pub fn absorb_all(&mut self, tuples: &[Tuple], rotted: bool) {
+        self.absorb_all_at(tuples, rotted, Tick(0));
     }
 
     /// The summary of the named pipeline.
@@ -150,6 +165,31 @@ impl Distiller {
             .iter()
             .find(|p| p.spec.name == name)
             .map(|p| p.absorbed)
+    }
+
+    /// Records one read of the named pipeline's summary; returns `false`
+    /// when no such pipeline exists.
+    pub fn note_hit(&mut self, name: &str) -> bool {
+        match self.pipelines.iter_mut().find(|p| p.spec.name == name) {
+            Some(p) => {
+                p.hits += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Reads served by the named pipeline.
+    pub fn hits(&self, name: &str) -> Option<u64> {
+        self.pipelines
+            .iter()
+            .find(|p| p.spec.name == name)
+            .map(|p| p.hits)
+    }
+
+    /// Total reads served across pipelines.
+    pub fn total_hits(&self) -> u64 {
+        self.pipelines.iter().map(|p| p.hits).sum()
     }
 
     /// Names of all pipelines, in declaration order.
@@ -303,6 +343,44 @@ mod tests {
             trigger: DistillTrigger::Both,
         };
         assert!(s.validate().is_err());
+    }
+
+    #[test]
+    fn fading_pipelines_fold_departure_time() {
+        let specs = vec![DistillSpec {
+            name: "hot".into(),
+            column: Some("v".into()),
+            summary: SummarySpec::FadingTopK { k: 4, lambda: 0.5 },
+            trigger: DistillTrigger::Both,
+        }];
+        let mut d = Distiller::new(&specs, &schema(), 9).unwrap();
+        // Key 1 departs early, key 2 late: with λ = 0.5 per tick, the
+        // later departure must dominate the decayed ranking even though
+        // both keys left exactly once.
+        d.absorb_at(&tuple(1, 0.0), true, Tick(0));
+        d.absorb_at(&tuple(2, 0.0), true, Tick(10));
+        match d.summary("hot").unwrap() {
+            AnySummary::FadingTopK(s) => {
+                let top = s.top_at(1, 10);
+                assert_eq!(top[0].key, Value::Int(2));
+                assert!(s.estimate_at(&Value::Int(1), 10) < 0.1);
+            }
+            other => panic!("wrong summary kind {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hits_count_summary_reads() {
+        let mut d = Distiller::new(&specs(), &schema(), 1).unwrap();
+        assert_eq!(d.total_hits(), 0);
+        assert!(d.note_hit("v-stats"));
+        assert!(d.note_hit("v-stats"));
+        assert!(d.note_hit("rot-freshness"));
+        assert!(!d.note_hit("nope"));
+        assert_eq!(d.hits("v-stats"), Some(2));
+        assert_eq!(d.hits("consumed-tags"), Some(0));
+        assert_eq!(d.hits("nope"), None);
+        assert_eq!(d.total_hits(), 3);
     }
 
     #[test]

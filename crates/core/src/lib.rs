@@ -51,12 +51,12 @@ pub mod shared;
 
 pub use container::{Container, DecayReport};
 pub use database::{Database, QueryOutcome};
-pub use ddl::{resolve_create_container, resolve_sharding};
+pub use ddl::{resolve_create_container, resolve_distill, resolve_sharding};
 pub use distill::{DistillSpec, DistillTrigger, Distiller};
 pub use extent::Extent;
 pub use fungus_shard::{ShardSpec, ShardedExtent};
 pub use health::{HealthMonitor, HealthReport, HealthStatus};
-pub use metrics::{EngineMetrics, ShardTelemetry};
+pub use metrics::{EngineMetrics, ShardTelemetry, SketchTelemetry};
 pub use policy::ContainerPolicy;
 pub use route::RouteSpec;
 pub use shared::SharedDatabase;

@@ -41,6 +41,9 @@ pub struct EngineMetrics {
     /// Rotted tuples folded into at least one distillation summary
     /// ("turned into summaries for later consumption").
     pub rot_distilled: u64,
+    /// `SUMMARIZE` reads served from cooking-pipeline sketches.
+    #[serde(default)]
+    pub sketch_hits: u64,
 }
 
 impl EngineMetrics {
@@ -81,6 +84,20 @@ pub struct ShardTelemetry {
     /// Shards reassembled from a shard-aware checkpoint.
     #[serde(default)]
     pub restored: u64,
+}
+
+/// Aggregate cooking-pipeline telemetry across a catalog: how many
+/// sketches exist, how often they are read, and how much departed data
+/// they have absorbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SketchTelemetry {
+    /// Distillation pipelines attached across every container.
+    pub sketches: u64,
+    /// `SUMMARIZE` reads served from those pipelines.
+    pub hits: u64,
+    /// Values folded into the pipelines (a tuple absorbed by two
+    /// pipelines counts twice).
+    pub absorbed: u64,
 }
 
 #[cfg(test)]

@@ -119,6 +119,11 @@ impl SharedDatabase {
         self.inner.read().shard_telemetry()
     }
 
+    /// Aggregate cooking-pipeline telemetry across every container.
+    pub fn sketch_telemetry(&self) -> crate::metrics::SketchTelemetry {
+        self.inner.read().sketch_telemetry()
+    }
+
     /// Live tuple count of one container (0 when it does not exist).
     pub fn live_count(&self, container: &str) -> usize {
         self.inner

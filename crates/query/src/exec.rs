@@ -144,6 +144,10 @@ pub fn execute_parsed<E: QueryExtent>(
                 used_index: false,
             })
         }
+        Statement::Summarize { table, summary, .. } => Err(FungusError::PlanError(format!(
+            "SUMMARIZE `{summary}` FROM `{table}` must run at the database layer \
+             (Database::execute), not against a single table"
+        ))),
         Statement::CreateContainer(stmt) => Err(FungusError::PlanError(format!(
             "CREATE CONTAINER `{}` must run at the database layer              (Database::execute_ddl), not against a single table",
             stmt.name

@@ -33,8 +33,8 @@ pub use exec::{execute, execute_parsed, execute_statement, ResultSet};
 pub use expr::{AggFunc, BinOp, CmpOp, Expr, MetaField, ScalarFunc};
 pub use extent::{scan_store, QueryExtent, ScanOutcome};
 pub use parser::{
-    parse_expr, parse_statement, CreateContainerStatement, ProjExpr, Projection, SelectStatement,
-    ShardingClause, SortKey, Statement,
+    parse_expr, parse_statement, CreateContainerStatement, DistillClause, ProjExpr, Projection,
+    SelectStatement, ShardingClause, SortKey, Statement,
 };
 pub use plan::{LogicalPlan, OutputColumn, PlannedExpr, Planner};
 pub use prune::{ColumnBound, MetaBound, MetaRanges, PruningPredicate};

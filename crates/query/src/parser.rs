@@ -104,7 +104,8 @@ pub enum Statement {
         ordered: bool,
     },
     /// `CREATE CONTAINER t (a INT, b FLOAT NOT NULL) [WITH FUNGUS name(args…)]
-    /// [SHARDS n | WITH SHARDING (rows_per_shard = n, …)] [DECAY EVERY n]`
+    /// [SHARDS n | WITH SHARDING (rows_per_shard = n, …)]
+    /// [WITH DISTILL (name = scheme(args…) [ON col], …)] [DECAY EVERY n]`
     /// — DDL interpreted by the engine layer; clauses may appear in any
     /// order after the column list.
     CreateContainer(CreateContainerStatement),
@@ -118,6 +119,18 @@ pub enum Statement {
     },
     /// `EXPLAIN <select>` — render the logical plan instead of running it.
     Explain(Box<SelectStatement>),
+    /// `SUMMARIZE <summary> FROM t [TOP n]` — read a distillation
+    /// pipeline's current answers as a small relation. The read path of
+    /// the cooking pipelines: what `SELECT` is to the live extent,
+    /// `SUMMARIZE` is to the summaries of the departed data.
+    Summarize {
+        /// Source container.
+        table: String,
+        /// Distillation pipeline name (from `WITH DISTILL (…)`).
+        summary: String,
+        /// Optional row cap on the report (e.g. the top-k cut).
+        top: Option<usize>,
+    },
 }
 
 /// A parsed `CREATE CONTAINER`.
@@ -134,6 +147,9 @@ pub struct CreateContainerStatement {
     pub decay_every: Option<u64>,
     /// Optional extent sharding, from `SHARDS n` or `WITH SHARDING (…)`.
     pub sharding: Option<ShardingClause>,
+    /// Distillation pipelines from `WITH DISTILL (…)`, in declaration
+    /// order; resolved into summary specs by the engine layer.
+    pub distill: Vec<DistillClause>,
 }
 
 /// Declarative sharding options from a `CREATE CONTAINER` statement —
@@ -153,6 +169,24 @@ pub struct ShardingClause {
     pub low_water: Option<f64>,
     /// `workers = n`: shard worker threads. `None` = engine default.
     pub workers: Option<u64>,
+}
+
+/// One pipeline of a `WITH DISTILL (name = func(args…) [ON column], …)`
+/// clause. The parser records the scheme name and numeric arguments
+/// verbatim — `fading_topk(10, 0.05)`, `tbs(64, 0.05)`, `moments()`, … —
+/// and the engine layer resolves them into summary specifications, the
+/// same split used for fungus names.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistillClause {
+    /// Pipeline name (unique within the container; the handle `SUMMARIZE`
+    /// and `.sketch` read by).
+    pub name: String,
+    /// Cooking-scheme name, resolved by the engine layer.
+    pub func: String,
+    /// Numeric scheme arguments.
+    pub args: Vec<f64>,
+    /// Optional `ON column` source; `None` observes departure freshness.
+    pub column: Option<String>,
 }
 
 // ---------------------------------------------------------------- lexer --
@@ -433,9 +467,34 @@ impl Parser {
             self.bump();
             let stmt = self.select()?;
             Ok(Statement::Explain(Box::new(stmt)))
+        } else if self.peek_kw("SUMMARIZE") {
+            self.summarize()
         } else {
-            Err(self.error("expected SELECT, INSERT, DELETE, EXPLAIN, or CREATE"))
+            Err(self.error("expected SELECT, INSERT, DELETE, EXPLAIN, SUMMARIZE, or CREATE"))
         }
+    }
+
+    fn summarize(&mut self) -> Result<Statement> {
+        self.expect_kw("SUMMARIZE")?;
+        let summary = self.expect_ident("summary name")?;
+        self.expect_kw("FROM")?;
+        let table = self.expect_ident("table name")?;
+        let top = if self.eat_kw("TOP") {
+            match self.bump() {
+                Tok::Int(n) if n > 0 => Some(n as usize),
+                _ => return Err(self.error("TOP expects a positive integer")),
+            }
+        } else {
+            None
+        };
+        if *self.peek() != Tok::Eof {
+            return Err(self.error("unexpected trailing input"));
+        }
+        Ok(Statement::Summarize {
+            table,
+            summary,
+            top,
+        })
     }
 
     fn create_index(&mut self) -> Result<Statement> {
@@ -497,6 +556,7 @@ impl Parser {
         let mut fungus = None;
         let mut decay_every = None;
         let mut sharding = None;
+        let mut distill = Vec::new();
         loop {
             if self.eat_kw("WITH") {
                 if self.eat_kw("FUNGUS") {
@@ -524,8 +584,13 @@ impl Parser {
                         return Err(self.error("duplicate sharding clause"));
                     }
                     sharding = Some(self.sharding_options()?);
+                } else if self.eat_kw("DISTILL") {
+                    if !distill.is_empty() {
+                        return Err(self.error("duplicate WITH DISTILL clause"));
+                    }
+                    distill = self.distill_options()?;
                 } else {
-                    return Err(self.error("expected FUNGUS or SHARDING after WITH"));
+                    return Err(self.error("expected FUNGUS, SHARDING, or DISTILL after WITH"));
                 }
             } else if self.eat_kw("SHARDS") {
                 if sharding.is_some() {
@@ -564,7 +629,54 @@ impl Parser {
             fungus,
             decay_every,
             sharding,
+            distill,
         }))
+    }
+
+    /// `(name = func(args…) [ON column], …)` — at least one pipeline;
+    /// names must be unique (caught again with better context at the
+    /// engine layer, but an early error keeps offsets useful).
+    fn distill_options(&mut self) -> Result<Vec<DistillClause>> {
+        self.expect_symbol('(')?;
+        let mut clauses: Vec<DistillClause> = Vec::new();
+        loop {
+            let name = self.expect_ident("distill pipeline name")?;
+            if clauses.iter().any(|c| c.name == name) {
+                return Err(self.error(format!("duplicate distill pipeline `{name}`")));
+            }
+            self.expect_symbol('=')?;
+            let func = self.expect_ident("summary scheme name")?;
+            let mut args = Vec::new();
+            if self.eat_symbol('(') && !self.eat_symbol(')') {
+                loop {
+                    match self.bump() {
+                        Tok::Int(i) => args.push(i as f64),
+                        Tok::Float(f) => args.push(f),
+                        _ => return Err(self.error("summary arguments must be numbers")),
+                    }
+                    if self.eat_symbol(')') {
+                        break;
+                    }
+                    self.expect_symbol(',')?;
+                }
+            }
+            let column = if self.eat_kw("ON") {
+                Some(self.expect_ident("distill source column")?)
+            } else {
+                None
+            };
+            clauses.push(DistillClause {
+                name,
+                func,
+                args,
+                column,
+            });
+            if self.eat_symbol(')') {
+                break;
+            }
+            self.expect_symbol(',')?;
+        }
+        Ok(clauses)
     }
 
     /// `(rows_per_shard = n, adaptive = on|off, low_water = f, workers = n)`
@@ -1234,6 +1346,64 @@ mod tests {
         assert!(parse_expr("CASE END").is_err(), "needs an arm");
         assert!(parse_expr("CASE WHEN a THEN").is_err());
         assert!(parse_expr("CASE WHEN a = 1 THEN 2").is_err(), "missing END");
+    }
+
+    #[test]
+    fn distill_clause_parses() {
+        let stmt = parse_statement(
+            "CREATE CONTAINER clicks (item INT, who TEXT) WITH FUNGUS ttl(40) \
+             WITH DISTILL (hot = fading_topk(10, 0.05) ON item, \
+                           fresh = tbs(64, 0.05) ON item, \
+                           exit_health = moments) \
+             DECAY EVERY 2",
+        )
+        .unwrap();
+        let c = match stmt {
+            Statement::CreateContainer(c) => c,
+            other => panic!("expected CREATE CONTAINER, got {other:?}"),
+        };
+        assert_eq!(c.distill.len(), 3);
+        assert_eq!(c.distill[0].name, "hot");
+        assert_eq!(c.distill[0].func, "fading_topk");
+        assert_eq!(c.distill[0].args, vec![10.0, 0.05]);
+        assert_eq!(c.distill[0].column.as_deref(), Some("item"));
+        assert_eq!(c.distill[2].name, "exit_health");
+        assert_eq!(c.distill[2].args, Vec::<f64>::new());
+        assert_eq!(c.distill[2].column, None);
+        assert_eq!(c.decay_every, Some(2));
+        // Malformed clauses.
+        for sql in [
+            "CREATE CONTAINER t (a INT) WITH DISTILL ()",
+            "CREATE CONTAINER t (a INT) WITH DISTILL (x = topk(4) ON)",
+            "CREATE CONTAINER t (a INT) WITH DISTILL (x = topk('four'))",
+            "CREATE CONTAINER t (a INT) WITH DISTILL (x = topk(4), x = moments)",
+            "CREATE CONTAINER t (a INT) WITH DISTILL (x = topk(4)) WITH DISTILL (y = moments)",
+        ] {
+            assert!(parse_statement(sql).is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn summarize_statement_parses() {
+        match parse_statement("SUMMARIZE hot FROM clicks TOP 5").unwrap() {
+            Statement::Summarize {
+                table,
+                summary,
+                top,
+            } => {
+                assert_eq!(table, "clicks");
+                assert_eq!(summary, "hot");
+                assert_eq!(top, Some(5));
+            }
+            other => panic!("expected SUMMARIZE, got {other:?}"),
+        }
+        match parse_statement("summarize exit_health from clicks").unwrap() {
+            Statement::Summarize { top, .. } => assert_eq!(top, None),
+            other => panic!("expected SUMMARIZE, got {other:?}"),
+        }
+        assert!(parse_statement("SUMMARIZE hot").is_err());
+        assert!(parse_statement("SUMMARIZE hot FROM clicks TOP 0").is_err());
+        assert!(parse_statement("SUMMARIZE hot FROM clicks garbage").is_err());
     }
 
     #[test]

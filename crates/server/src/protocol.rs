@@ -140,6 +140,15 @@ pub struct StatsSummary {
     /// Shards reassembled from a shard-aware checkpoint restore.
     #[serde(default)]
     pub shards_restored: u64,
+    /// Distillation pipelines attached across every container.
+    #[serde(default)]
+    pub sketches: u64,
+    /// `SUMMARIZE` / `.sketch` reads served from those pipelines.
+    #[serde(default)]
+    pub sketch_hits: u64,
+    /// Values folded into the pipelines from departing tuples.
+    #[serde(default)]
+    pub sketch_absorbed: u64,
 }
 
 impl From<crate::stats::MetricsSnapshot> for StatsSummary {
@@ -160,6 +169,9 @@ impl From<crate::stats::MetricsSnapshot> for StatsSummary {
             shards_split: m.shards_split,
             shards_merged: m.shards_merged,
             shards_restored: m.shards_restored,
+            sketches: m.sketches,
+            sketch_hits: m.sketch_hits,
+            sketch_absorbed: m.sketch_absorbed,
         }
     }
 }
@@ -196,8 +208,11 @@ impl Request {
     /// it once — the retry guard's whole decision.
     ///
     /// Safe to replay: [`Request::Ping`], read-only dot commands
-    /// (`.ping`, `.health`, `.containers`, `.session`, `.stats`), and
-    /// `SELECT`s without `CONSUME`. Everything else mutates — `INSERT`s
+    /// (`.ping`, `.health`, `.containers`, `.session`, `.stats`,
+    /// `.sketch`), `SELECT`s without `CONSUME`, and `SUMMARIZE` (sketch
+    /// reads answer from the summary without touching the extent; the
+    /// hit counter they bump is telemetry, like a `SELECT`'s query
+    /// counter). Everything else mutates — `INSERT`s
     /// append, `CONSUME` queries delete what they return, `.tick`
     /// advances the decay clock — so an ambiguous transport failure
     /// (did the server execute it before the connection died?) must
@@ -214,7 +229,7 @@ impl Request {
                 let verb = line.split_whitespace().next().unwrap_or("");
                 matches!(
                     verb,
-                    ".ping" | ".health" | ".containers" | ".session" | ".stats"
+                    ".ping" | ".health" | ".containers" | ".session" | ".stats" | ".sketch"
                 )
             }
             Request::Sql { text } => {
@@ -222,7 +237,10 @@ impl Request {
                 let is_select = head
                     .get(..6)
                     .is_some_and(|h| h.eq_ignore_ascii_case("select"));
-                is_select && !text.to_ascii_uppercase().contains("CONSUME")
+                let is_summarize = head
+                    .get(..9)
+                    .is_some_and(|h| h.eq_ignore_ascii_case("summarize"));
+                (is_select || is_summarize) && !text.to_ascii_uppercase().contains("CONSUME")
             }
         }
     }
@@ -352,6 +370,9 @@ mod tests {
                     shards_split: 5,
                     shards_merged: 2,
                     shards_restored: 12,
+                    sketches: 6,
+                    sketch_hits: 19,
+                    sketch_absorbed: 5000,
                 }),
             },
             Response::Pong,
@@ -384,6 +405,9 @@ mod tests {
         assert!(dot(".stats").is_idempotent());
         assert!(sql("SELECT * FROM r WHERE v > 1").is_idempotent());
         assert!(sql("  select count(*) from r").is_idempotent());
+        assert!(sql("SUMMARIZE hot FROM clicks TOP 5").is_idempotent());
+        assert!(sql("  summarize hot from clicks").is_idempotent());
+        assert!(dot(".sketch clicks hot").is_idempotent());
 
         // Never blindly replayed.
         assert!(!sql("SELECT * FROM r CONSUME").is_idempotent());

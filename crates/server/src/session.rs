@@ -155,6 +155,9 @@ impl Session {
                         ("shards_split", s.shards_split),
                         ("shards_merged", s.shards_merged),
                         ("shards_restored", s.shards_restored),
+                        ("sketches", s.sketches),
+                        ("sketch_hits", s.sketch_hits),
+                        ("sketch_absorbed", s.sketch_absorbed),
                     ]
                     .into_iter()
                     .map(|(name, v)| vec![Value::Str(name.into()), Value::Int(v as i64)])
@@ -184,6 +187,27 @@ impl Session {
                     consumed: 0,
                 }
             }
+            // `.sketch <container> <summary>` is the dot-command spelling
+            // of `SUMMARIZE <summary> FROM <container>` — the operational
+            // read path into a container's cooking pipelines.
+            ".sketch" => {
+                let (container, summary) = match (arg, parts.next()) {
+                    (Some(c), Some(s)) => (c, s),
+                    _ => {
+                        return Response::Error {
+                            code: ErrorCode::Parse,
+                            message: ".sketch takes a container and a summary name".into(),
+                        }
+                    }
+                };
+                match self
+                    .db
+                    .execute(&format!("SUMMARIZE {summary} FROM {container}"))
+                {
+                    Ok(out) => Response::from_outcome(out),
+                    Err(err) => Response::from_error(&err),
+                }
+            }
             // The seed travels as hex text: the wire codec stores numbers
             // as f64, which only round-trips integers up to 2^53.
             ".session" => Response::Rows {
@@ -200,7 +224,7 @@ impl Session {
                 code: ErrorCode::Parse,
                 message: format!(
                     "unknown command `{other}` \
-                     (try .ping .tick .health .containers .session .stats)"
+                     (try .ping .tick .health .containers .session .stats .sketch)"
                 ),
             },
         }
@@ -329,7 +353,7 @@ mod tests {
         let r = s.handle(Request::Dot {
             line: ".stats".into(),
         });
-        assert_eq!(r.row_count(), Some(15), "{r:?}");
+        assert_eq!(r.row_count(), Some(18), "{r:?}");
         // `.health` carries the same summary inline.
         let r = s.handle(Request::Dot {
             line: ".health".into(),
@@ -346,6 +370,44 @@ mod tests {
             Response::Health { server, .. } => assert!(server.is_none()),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn sketch_command_reads_cooking_pipelines() {
+        let mut s = session();
+        let r = s.handle(Request::Sql {
+            text: "CREATE CONTAINER clicks (item INT) WITH FUNGUS ttl(2) \
+                   WITH DISTILL (hot = fading_topk(4, 0.1) ON item)"
+                .into(),
+        });
+        assert!(!r.is_error(), "{r:?}");
+        s.handle(Request::Sql {
+            text: "INSERT INTO clicks VALUES (7), (7), (3)".into(),
+        });
+        s.handle(Request::Dot {
+            line: ".tick 3".into(),
+        });
+        let r = s.handle(Request::Dot {
+            line: ".sketch clicks hot".into(),
+        });
+        match &r {
+            Response::Rows { columns, rows, .. } => {
+                assert_eq!(columns[1], "key");
+                assert_eq!(rows[0][1], Value::Int(7), "{r:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Arity and name errors stay in-session.
+        assert!(s
+            .handle(Request::Dot {
+                line: ".sketch clicks".into()
+            })
+            .is_error());
+        assert!(s
+            .handle(Request::Dot {
+                line: ".sketch clicks nope".into()
+            })
+            .is_error());
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use fungus_lint_rt::{hierarchy, OrderedMutex};
 
-use fungus_core::{ShardTelemetry, SharedDatabase};
+use fungus_core::{ShardTelemetry, SharedDatabase, SketchTelemetry};
 
 /// Monotone counters shared by every server thread.
 #[derive(Debug)]
@@ -36,7 +36,8 @@ pub struct ServerStats {
     pub(crate) workers_respawned: AtomicU64,
     /// Decay-driver tick counter, linked once the driver is spawned.
     driver_ticks: OrderedMutex<Option<Arc<AtomicU64>>>,
-    /// Catalog handle for shard-layout gauges, linked by `serve`.
+    /// Catalog handle for shard-layout and cooking-sketch gauges, linked
+    /// by `serve`.
     shard_source: OrderedMutex<Option<SharedDatabase>>,
 }
 
@@ -93,6 +94,13 @@ pub struct MetricsSnapshot {
     pub shards_merged: u64,
     /// Shards reassembled from a shard-aware checkpoint restore.
     pub shards_restored: u64,
+    /// Distillation pipelines attached across every container (0 when no
+    /// catalog is linked).
+    pub sketches: u64,
+    /// `SUMMARIZE` / `.sketch` reads served from those pipelines.
+    pub sketch_hits: u64,
+    /// Values folded into the pipelines from departing tuples.
+    pub sketch_absorbed: u64,
 }
 
 impl ServerStats {
@@ -119,6 +127,14 @@ impl ServerStats {
         db.map(|db| db.shard_telemetry()).unwrap_or_default()
     }
 
+    /// Current cooking-sketch telemetry (zeros without a linked catalog).
+    /// Same clone-the-handle-then-drop-the-guard discipline as
+    /// [`shard_telemetry`](Self::shard_telemetry).
+    pub fn sketch_telemetry(&self) -> SketchTelemetry {
+        let db = self.shard_source.lock().clone();
+        db.map(|db| db.sketch_telemetry()).unwrap_or_default()
+    }
+
     /// Adds stream-fault injections from a finished connection.
     pub(crate) fn add_faults(&self, n: u64) {
         if n > 0 {
@@ -138,6 +154,7 @@ impl ServerStats {
     /// Copies every counter.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let shards = self.shard_telemetry();
+        let sketches = self.sketch_telemetry();
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -154,6 +171,9 @@ impl ServerStats {
             shards_split: shards.split,
             shards_merged: shards.merged,
             shards_restored: shards.restored,
+            sketches: sketches.sketches,
+            sketch_hits: sketches.hits,
+            sketch_absorbed: sketches.absorbed,
         }
     }
 }
@@ -202,5 +222,35 @@ mod tests {
         let snap = stats.snapshot();
         assert_eq!(snap.shards, 3, "10 rows at 4 per shard → 3 resident");
         assert_eq!(snap.shards_dropped, 0);
+    }
+
+    #[test]
+    fn sketch_gauges_come_from_the_linked_catalog() {
+        use fungus_types::{DataType, Schema};
+
+        let stats = ServerStats::default();
+        assert_eq!(stats.snapshot().sketches, 0, "no catalog linked yet");
+
+        let mut db = fungus_core::Database::new(2);
+        db.create_container(
+            "r",
+            Schema::from_pairs(&[("v", DataType::Int)]).unwrap(),
+            fungus_core::ContainerPolicy::immortal(),
+        )
+        .unwrap();
+        db.execute_ddl(
+            "CREATE CONTAINER clicks (item INT) WITH FUNGUS ttl(2) \
+             WITH DISTILL (hot = fading_topk(4, 0.1) ON item)",
+        )
+        .unwrap();
+        db.execute("INSERT INTO clicks VALUES (1), (1), (2)")
+            .unwrap();
+        db.run_for(3);
+        db.execute("SUMMARIZE hot FROM clicks").unwrap();
+        stats.link_shards(SharedDatabase::new(db));
+        let snap = stats.snapshot();
+        assert_eq!(snap.sketches, 1, "one pipeline across two containers");
+        assert_eq!(snap.sketch_hits, 1);
+        assert_eq!(snap.sketch_absorbed, 3, "all three rotted tuples cooked");
     }
 }

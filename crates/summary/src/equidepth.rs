@@ -119,6 +119,22 @@ impl EquiDepthHistogram {
         }
         ((self.estimate_le(hi) - self.estimate_le(lo)) / self.count as f64).clamp(0.0, 1.0)
     }
+
+    /// Merges a histogram with the same bucket count (and an underlying
+    /// reservoir of the same capacity and seed): the backing samples
+    /// merge via [`ReservoirSample::merge`] and the boundaries derive
+    /// from the combined sample on the next query. Inherits the
+    /// reservoir merge's determinism and commutativity.
+    pub fn merge(&mut self, other: &EquiDepthHistogram) -> Result<()> {
+        if self.buckets != other.buckets {
+            return Err(FungusError::SummaryError(
+                "cannot merge equi-depth histograms with different bucket counts".into(),
+            ));
+        }
+        self.reservoir.merge(&other.reservoir)?;
+        self.count += other.count;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +213,31 @@ mod tests {
         assert_eq!(h.count(), 0);
         h.observe(1.0);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = EquiDepthHistogram::new(4, 64, 3).unwrap();
+        let mut b = EquiDepthHistogram::new(4, 64, 3).unwrap();
+        for i in 0..500 {
+            a.observe((i % 50) as f64);
+            b.observe(500.0 + (i % 50) as f64);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.count(), 1000);
+        // The merged median splits the two clusters.
+        let median = ab.quantile(0.5).unwrap();
+        assert!(
+            (25.0..525.0).contains(&median),
+            "median between clusters, got {median}"
+        );
+        // Bucket-count mismatch refuses.
+        let mut c = EquiDepthHistogram::new(8, 64, 3).unwrap();
+        assert!(c.merge(&a).is_err());
     }
 
     #[test]

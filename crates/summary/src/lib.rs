@@ -17,29 +17,38 @@
 //! | [`CountMinSketch`] | per-key frequencies (overestimate, ε/δ bounds) | O(w·d) |
 //! | [`HyperLogLog`] | distinct count (±1.04/√m) | O(2^p) |
 //! | [`SpaceSaving`] | top-k heavy hitters | O(k) |
+//! | [`FadingSketch`] | *time-fading* frequencies and top-k (λ decay/tick) | O(w·d + k) |
+//! | [`BiasedReservoir`] | recency-biased sample, `P[keep] ∝ e^(−λ·age)` | O(k) |
 //!
 //! All summaries are mergeable (so per-epoch summaries can be rolled up)
 //! and deterministic: hashing uses seeded FNV-style functions, never
-//! `RandomState`.
+//! `RandomState`. The two time-fading kinds are driven by the virtual
+//! clock and decay *lazily* — counters re-weight on touch, never in a
+//! per-tick sweep — so their state is a pure function of the observed
+//! (value, tick) sequence.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod cms;
 pub mod equidepth;
+pub mod fading;
 pub mod hash;
 pub mod histogram;
 pub mod hll;
 pub mod moments;
 pub mod reservoir;
 pub mod spec;
+pub mod tbs;
 pub mod topk;
 
 pub use cms::CountMinSketch;
 pub use equidepth::EquiDepthHistogram;
+pub use fading::{FadingHitter, FadingSketch};
 pub use histogram::EquiWidthHistogram;
 pub use hll::HyperLogLog;
 pub use moments::StreamingMoments;
 pub use reservoir::ReservoirSample;
 pub use spec::{AnySummary, SummarySpec};
+pub use tbs::BiasedReservoir;
 pub use topk::SpaceSaving;

@@ -4,7 +4,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Deserializer, Serialize};
 
-use fungus_types::Value;
+use fungus_types::{FungusError, Result, Value};
 
 /// A uniform random sample of up to `k` values from an unbounded stream.
 ///
@@ -107,6 +107,66 @@ impl ReservoirSample {
         let hi = pos.ceil() as usize;
         let frac = pos - lo as f64;
         Some(xs[lo] + (xs[hi] - xs[lo]) * frac)
+    }
+
+    /// Merges a reservoir with the same capacity and seed, yielding an
+    /// (approximately) uniform sample of the concatenated streams.
+    ///
+    /// Each retained element stands for `seen/len` stream elements, so
+    /// the union is re-selected by Efraimidis–Spirakis weighted sampling
+    /// with those weights — exact when both sides are under capacity
+    /// (weights 1, everything kept) and within the usual without-
+    /// replacement correction otherwise. Commutative bit-for-bit: the
+    /// candidate union is sorted by the total order `(weight, value)`
+    /// before any random draw, the selection rng is seeded from
+    /// `(seed, combined seen)`, and the continued observation stream
+    /// re-derives the same way deserialisation does.
+    pub fn merge(&mut self, other: &ReservoirSample) -> Result<()> {
+        if self.capacity != other.capacity || self.seed != other.seed {
+            return Err(FungusError::SummaryError(
+                "cannot merge reservoirs with different capacities or seeds".into(),
+            ));
+        }
+        let total = self.seen + other.seen;
+        let weight_of = |seen: u64, len: usize| {
+            if len == 0 {
+                0.0
+            } else {
+                seen as f64 / len as f64
+            }
+        };
+        let wa = weight_of(self.seen, self.sample.len());
+        let wb = weight_of(other.seen, other.sample.len());
+        let mut candidates: Vec<(Value, f64)> = self
+            .sample
+            .iter()
+            .map(|v| (v.clone(), wa))
+            .chain(other.sample.iter().map(|v| (v.clone(), wb)))
+            .collect();
+        candidates.sort_by(|(va, fa), (vb, fb)| fa.total_cmp(fb).then_with(|| va.cmp_total(vb)));
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ total.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let mut scored: Vec<(f64, Value)> = candidates
+            .into_iter()
+            .map(|(v, w)| {
+                // 53-bit uniform in (0,1); E–S key u^(1/w) kept in log
+                // space (smaller score = better).
+                let u = ((rng.gen::<u64>() >> 11) as f64 + 0.5) / 9_007_199_254_740_992.0;
+                let score = if w > 0.0 {
+                    (-u.ln()).ln() - w.ln()
+                } else {
+                    f64::INFINITY
+                };
+                (score, v)
+            })
+            .collect();
+        scored.sort_by(|(sa, va), (sb, vb)| sa.total_cmp(sb).then_with(|| va.cmp_total(vb)));
+        scored.truncate(self.capacity);
+        self.sample = scored.into_iter().map(|(_, v)| v).collect();
+        self.seen = total;
+        self.rng =
+            SmallRng::seed_from_u64(self.seed ^ self.seen.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        Ok(())
     }
 }
 
@@ -211,5 +271,62 @@ mod tests {
     fn zero_capacity_promoted() {
         let r = ReservoirSample::new(0, 1);
         assert_eq!(r.capacity(), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_exact_under_capacity() {
+        let build = |range: std::ops::Range<i64>| {
+            let mut r = ReservoirSample::new(16, 5);
+            for i in range {
+                r.observe(Value::Int(i));
+            }
+            r
+        };
+        // Both under capacity: the union is kept exactly.
+        let a = build(0..6);
+        let b = build(100..105);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        assert_eq!(ab.seen(), 11);
+        let mut vals: Vec<i64> = ab.sample().iter().filter_map(Value::as_i64).collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec![0, 1, 2, 3, 4, 5, 100, 101, 102, 103, 104]);
+        // Over capacity: commutative and size-capped.
+        let a = build(0..500);
+        let b = build(1000..1300);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.sample().len(), 16);
+        assert_eq!(ab.seen(), 800);
+        // Mismatches refuse.
+        let mut c = ReservoirSample::new(8, 5);
+        assert!(c.merge(&a).is_err());
+        let mut d = ReservoirSample::new(16, 6);
+        assert!(d.merge(&a).is_err());
+    }
+
+    #[test]
+    fn merged_sample_stays_roughly_uniform() {
+        // Two disjoint halves of 0..1000 merged: the sampled mean should
+        // land near 500 on average over seeds.
+        let mut grand = 0.0;
+        for seed in 0..20u64 {
+            let mut a = ReservoirSample::new(50, seed);
+            let mut b = ReservoirSample::new(50, seed);
+            for i in 0..500i64 {
+                a.observe(Value::Int(i));
+                b.observe(Value::Int(i + 500));
+            }
+            a.merge(&b).unwrap();
+            grand += a.sample().iter().filter_map(Value::as_f64).sum::<f64>() / 50.0;
+        }
+        let grand_mean = grand / 20.0;
+        assert!(
+            (400.0..600.0).contains(&grand_mean),
+            "grand mean {grand_mean} should be ≈ 500"
+        );
     }
 }

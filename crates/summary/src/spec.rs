@@ -11,10 +11,12 @@ use fungus_types::{Result, Value};
 
 use crate::cms::CountMinSketch;
 use crate::equidepth::EquiDepthHistogram;
+use crate::fading::FadingSketch;
 use crate::histogram::EquiWidthHistogram;
 use crate::hll::HyperLogLog;
 use crate::moments::StreamingMoments;
 use crate::reservoir::ReservoirSample;
+use crate::tbs::BiasedReservoir;
 use crate::topk::SpaceSaving;
 
 /// A serialisable description of a summary.
@@ -60,6 +62,23 @@ pub enum SummarySpec {
         /// Counter capacity.
         k: usize,
     },
+    /// Time-fading top-k: the Count-Min/SpaceSaving hybrid of
+    /// [`FadingSketch`], answering "what is hot *now*" with per-counter
+    /// exponential decay at `lambda` per tick.
+    FadingTopK {
+        /// Heavy hitters to report (the sketch tracks `2k` counters).
+        k: usize,
+        /// Decay rate per tick.
+        lambda: f64,
+    },
+    /// Temporally-biased reservoir ([`BiasedReservoir`]): sample
+    /// inclusion probability proportional to `e^(−λ·age)`.
+    BiasedReservoir {
+        /// Sample size.
+        k: usize,
+        /// Decay rate per tick.
+        lambda: f64,
+    },
 }
 
 impl SummarySpec {
@@ -81,6 +100,12 @@ impl SummarySpec {
                 AnySummary::Distinct(HyperLogLog::new(*precision, seed)?)
             }
             SummarySpec::TopK { k } => AnySummary::TopK(SpaceSaving::new(*k)),
+            SummarySpec::FadingTopK { k, lambda } => {
+                AnySummary::FadingTopK(FadingSketch::for_topk(*k, *lambda, seed)?)
+            }
+            SummarySpec::BiasedReservoir { k, lambda } => {
+                AnySummary::Biased(BiasedReservoir::new(*k, *lambda, seed)?)
+            }
         })
     }
 
@@ -94,7 +119,18 @@ impl SummarySpec {
             SummarySpec::CountMin { epsilon, .. } => format!("cms-{epsilon}"),
             SummarySpec::Distinct { precision } => format!("hll-{precision}"),
             SummarySpec::TopK { k } => format!("topk-{k}"),
+            SummarySpec::FadingTopK { k, lambda } => format!("fading-topk-{k}-l{lambda}"),
+            SummarySpec::BiasedReservoir { k, lambda } => format!("tbs-{k}-l{lambda}"),
         }
+    }
+
+    /// True for the time-fading kinds, whose answers depend on the
+    /// query tick.
+    pub fn is_fading(&self) -> bool {
+        matches!(
+            self,
+            SummarySpec::FadingTopK { .. } | SummarySpec::BiasedReservoir { .. }
+        )
     }
 }
 
@@ -115,12 +151,27 @@ pub enum AnySummary {
     Distinct(HyperLogLog),
     /// SpaceSaving.
     TopK(SpaceSaving),
+    /// Time-fading top-k hybrid.
+    FadingTopK(FadingSketch),
+    /// Temporally-biased reservoir.
+    Biased(BiasedReservoir),
 }
 
 impl AnySummary {
-    /// Folds one value. Numeric summaries ignore non-numeric values; NULLs
-    /// are ignored everywhere (SQL aggregate convention).
+    /// Folds one value with no timestamp — equivalent to
+    /// [`observe_at`](Self::observe_at) at tick 0, which the static
+    /// kinds ignore entirely.
     pub fn observe(&mut self, value: &Value) {
+        self.observe_at(value, 0);
+    }
+
+    /// Folds one value observed at virtual tick `now`. Numeric summaries
+    /// ignore non-numeric values; NULLs are ignored everywhere (SQL
+    /// aggregate convention). Only the time-fading kinds read `now`;
+    /// for them decay is applied lazily, so any interleaving of clock
+    /// advancement and observation with the same (value, tick) pairs
+    /// produces bit-identical state.
+    pub fn observe_at(&mut self, value: &Value, now: u64) {
         if value.is_null() {
             return;
         }
@@ -144,6 +195,8 @@ impl AnySummary {
             AnySummary::CountMin(c) => c.observe(value),
             AnySummary::Distinct(h) => h.observe(value),
             AnySummary::TopK(t) => t.observe(value),
+            AnySummary::FadingTopK(f) => f.observe_at(value, now),
+            AnySummary::Biased(b) => b.observe_at(value.clone(), now),
         }
     }
 
@@ -159,6 +212,8 @@ impl AnySummary {
             // HLL does not track a raw count; report its estimate.
             AnySummary::Distinct(h) => h.estimate() as u64,
             AnySummary::TopK(t) => t.total(),
+            AnySummary::FadingTopK(f) => f.total(),
+            AnySummary::Biased(b) => b.seen(),
         }
     }
 
@@ -172,10 +227,20 @@ impl AnySummary {
             AnySummary::CountMin(_) => "count-min",
             AnySummary::Distinct(_) => "distinct",
             AnySummary::TopK(_) => "top-k",
+            AnySummary::FadingTopK(_) => "fading-topk",
+            AnySummary::Biased(_) => "biased-reservoir",
         }
     }
 
-    /// Merges a summary built from the same spec and seed.
+    /// True for the time-fading kinds, whose answers depend on the
+    /// query tick.
+    pub fn is_fading(&self) -> bool {
+        matches!(self, AnySummary::FadingTopK(_) | AnySummary::Biased(_))
+    }
+
+    /// Merges a summary built from the same spec and seed. Every kind
+    /// merges; each delegate documents its own determinism and accuracy
+    /// contract.
     pub fn merge(&mut self, other: &AnySummary) -> Result<()> {
         use fungus_types::FungusError;
         match (self, other) {
@@ -184,12 +249,131 @@ impl AnySummary {
                 Ok(())
             }
             (AnySummary::Histogram(a), AnySummary::Histogram(b)) => a.merge(b),
+            (AnySummary::EquiDepth(a), AnySummary::EquiDepth(b)) => a.merge(b),
+            (AnySummary::Reservoir(a), AnySummary::Reservoir(b)) => a.merge(b),
             (AnySummary::CountMin(a), AnySummary::CountMin(b)) => a.merge(b),
             (AnySummary::Distinct(a), AnySummary::Distinct(b)) => a.merge(b),
+            (AnySummary::TopK(a), AnySummary::TopK(b)) => a.merge(b),
+            (AnySummary::FadingTopK(a), AnySummary::FadingTopK(b)) => a.merge(b),
+            (AnySummary::Biased(a), AnySummary::Biased(b)) => a.merge(b),
             _ => Err(FungusError::SummaryError(
-                "cannot merge summaries of different kinds (reservoir and top-k do not merge)"
-                    .into(),
+                "cannot merge summaries of different kinds".into(),
             )),
+        }
+    }
+
+    /// Renders the summary's current answers as a small relational
+    /// result — `(columns, rows)` — for the `.sketch` dot command and
+    /// the `SUMMARIZE` query surface. `now` is the query tick; only the
+    /// time-fading kinds read it.
+    pub fn report(&self, now: u64) -> (Vec<String>, Vec<Vec<Value>>) {
+        fn stat(name: &str, v: Value) -> Vec<Value> {
+            vec![Value::from(name), v]
+        }
+        match self {
+            AnySummary::Moments(m) => (
+                vec!["stat".into(), "value".into()],
+                vec![
+                    stat("count", Value::Int(m.count() as i64)),
+                    stat("sum", Value::Float(m.sum())),
+                    stat("mean", m.mean().map_or(Value::Null, Value::Float)),
+                    stat("variance", m.variance().map_or(Value::Null, Value::Float)),
+                    stat("min", m.min().map_or(Value::Null, Value::Float)),
+                    stat("max", m.max().map_or(Value::Null, Value::Float)),
+                ],
+            ),
+            AnySummary::Histogram(h) => (
+                vec!["bin_lo".into(), "bin_hi".into(), "count".into()],
+                h.bins()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let (lo, hi) = h.bin_edges(i);
+                        vec![Value::Float(lo), Value::Float(hi), Value::Int(*c as i64)]
+                    })
+                    .collect(),
+            ),
+            AnySummary::EquiDepth(h) => (
+                vec!["bucket".into(), "lo".into(), "hi".into()],
+                h.boundaries()
+                    .map(|bounds| {
+                        bounds
+                            .windows(2)
+                            .enumerate()
+                            .map(|(i, w)| {
+                                vec![Value::Int(i as i64), Value::Float(w[0]), Value::Float(w[1])]
+                            })
+                            .collect()
+                    })
+                    .unwrap_or_default(),
+            ),
+            AnySummary::Reservoir(r) => (
+                vec!["idx".into(), "value".into()],
+                r.sample()
+                    .iter()
+                    .enumerate()
+                    .map(|(i, v)| vec![Value::Int(i as i64), v.clone()])
+                    .collect(),
+            ),
+            AnySummary::CountMin(c) => (
+                vec!["stat".into(), "value".into()],
+                vec![
+                    stat("width", Value::Int(c.width() as i64)),
+                    stat("depth", Value::Int(c.depth() as i64)),
+                    stat("total", Value::Int(c.total() as i64)),
+                ],
+            ),
+            AnySummary::Distinct(h) => (
+                vec!["stat".into(), "value".into()],
+                vec![
+                    stat("estimate", Value::Float(h.estimate())),
+                    stat("registers", Value::Int(h.registers() as i64)),
+                ],
+            ),
+            AnySummary::TopK(t) => (
+                vec!["rank".into(), "key".into(), "count".into(), "error".into()],
+                t.top(t.tracked())
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        vec![
+                            Value::Int(i as i64 + 1),
+                            h.key,
+                            Value::Int(h.count as i64),
+                            Value::Int(h.error as i64),
+                        ]
+                    })
+                    .collect(),
+            ),
+            AnySummary::FadingTopK(f) => (
+                vec!["rank".into(), "key".into(), "weight".into(), "error".into()],
+                f.top_at(f.capacity(), now)
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, h)| {
+                        vec![
+                            Value::Int(i as i64 + 1),
+                            h.key,
+                            Value::Float(h.weight),
+                            Value::Float(h.error),
+                        ]
+                    })
+                    .collect(),
+            ),
+            AnySummary::Biased(b) => (
+                vec!["idx".into(), "value".into(), "age".into()],
+                b.sample()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (v, stamp))| {
+                        vec![
+                            Value::Int(i as i64),
+                            v.clone(),
+                            Value::Int(now.saturating_sub(stamp) as i64),
+                        ]
+                    })
+                    .collect(),
+            ),
         }
     }
 }
@@ -218,14 +402,18 @@ mod tests {
             },
             SummarySpec::Distinct { precision: 10 },
             SummarySpec::TopK { k: 4 },
+            SummarySpec::FadingTopK { k: 4, lambda: 0.1 },
+            SummarySpec::BiasedReservoir { k: 8, lambda: 0.1 },
         ];
         for spec in specs {
             let mut s = spec.build(42).unwrap();
             for i in 0..100i64 {
-                s.observe(&Value::Int(i % 10));
+                s.observe_at(&Value::Int(i % 10), i as u64);
             }
             s.observe(&Value::Null); // ignored everywhere
             assert!(s.observed() > 0, "{} observed nothing", s.kind());
+            let (columns, _rows) = s.report(100);
+            assert!(!columns.is_empty(), "{} reports no columns", s.kind());
         }
     }
 
@@ -287,16 +475,52 @@ mod tests {
         }
         let other = SummarySpec::Moments.build(0).unwrap();
         assert!(a.merge(&other).is_err());
-        // Reservoirs refuse to merge.
+        // Reservoirs merge too (same spec, same seed).
         let mut r1 = SummarySpec::Reservoir { k: 4 }.build(0).unwrap();
-        let r2 = SummarySpec::Reservoir { k: 4 }.build(0).unwrap();
-        assert!(r1.merge(&r2).is_err());
+        let mut r2 = SummarySpec::Reservoir { k: 4 }.build(0).unwrap();
+        for i in 0..10i64 {
+            r2.observe(&Value::Int(i));
+        }
+        r1.merge(&r2).unwrap();
+        assert_eq!(r1.observed(), 10);
+        // But not across kinds.
+        let t = SummarySpec::TopK { k: 4 }.build(0).unwrap();
+        assert!(r1.merge(&t).is_err());
+    }
+
+    #[test]
+    fn fading_kinds_use_the_query_tick() {
+        let mut f = SummarySpec::FadingTopK { k: 2, lambda: 0.5 }
+            .build(7)
+            .unwrap();
+        // "old" is heavy at tick 0; "new" light at tick 30.
+        for _ in 0..40 {
+            f.observe_at(&Value::from("old"), 0);
+        }
+        for _ in 0..3 {
+            f.observe_at(&Value::from("new"), 30);
+        }
+        let (columns, rows) = f.report(30);
+        assert_eq!(columns, vec!["rank", "key", "weight", "error"]);
+        assert_eq!(rows[0][1], Value::from("new"), "decay reorders the top");
+        assert!(f.is_fading());
+        assert!(!SummarySpec::TopK { k: 2 }.build(0).unwrap().is_fading());
+        assert!(SummarySpec::FadingTopK { k: 2, lambda: 0.5 }.is_fading());
+        assert!(!SummarySpec::Moments.is_fading());
     }
 
     #[test]
     fn labels_are_stable() {
         assert_eq!(SummarySpec::Moments.label(), "moments");
         assert_eq!(SummarySpec::TopK { k: 5 }.label(), "topk-5");
+        assert_eq!(
+            SummarySpec::FadingTopK { k: 5, lambda: 0.1 }.label(),
+            "fading-topk-5-l0.1"
+        );
+        assert_eq!(
+            SummarySpec::BiasedReservoir { k: 8, lambda: 0.5 }.label(),
+            "tbs-8-l0.5"
+        );
         assert_eq!(
             SummarySpec::Histogram {
                 lo: 0.0,

@@ -4,7 +4,7 @@ use std::collections::HashMap;
 
 use serde::{Deserialize, Serialize};
 
-use fungus_types::Value;
+use fungus_types::{FungusError, Result, Value};
 
 /// The SpaceSaving algorithm (Metwally et al.): tracks at most `capacity`
 /// counters; when a new key arrives at a full table it evicts the minimum
@@ -120,6 +120,73 @@ impl SpaceSaving {
     pub fn tracked(&self) -> usize {
         self.counters.len()
     }
+
+    /// Merges a tracker with the same capacity (Agarwal et al.,
+    /// *Mergeable Summaries*): counts and errors add for shared keys;
+    /// a key missing on one side absorbs that side's minimum counter as
+    /// both count and error (a full table means the key may have up to
+    /// `min` unrecorded occurrences there), and the `capacity` largest
+    /// merged counts are kept. Estimates therefore still never
+    /// underestimate, with the overestimation bound degrading to the
+    /// sum of the two sides' bounds. Deterministic and commutative: the
+    /// key union is sorted by total order and every per-key sum is a
+    /// symmetric pair.
+    pub fn merge(&mut self, other: &SpaceSaving) -> Result<()> {
+        if self.capacity != other.capacity {
+            return Err(FungusError::SummaryError(
+                "cannot merge space-saving trackers with different capacities".into(),
+            ));
+        }
+        let min_of = |s: &SpaceSaving| -> u64 {
+            if s.counters.len() < s.capacity {
+                0
+            } else {
+                s.counters
+                    // lint: allow(determinism, "reduced to an order-independent u64 minimum")
+                    .values()
+                    .map(|c| c.count)
+                    .min()
+                    .unwrap_or(0)
+            }
+        };
+        let min_a = min_of(self);
+        let min_b = min_of(other);
+        let mut keys: Vec<Value> = self
+            .counters
+            // lint: allow(determinism, "key union is fully sorted by total order below")
+            .keys()
+            // lint: allow(determinism, "key union is fully sorted by total order below")
+            .chain(other.counters.keys())
+            .cloned()
+            .collect();
+        keys.sort_by(|a, b| a.cmp_total(b));
+        keys.dedup();
+        let mut merged: Vec<(Value, Counter)> = keys
+            .into_iter()
+            .map(|k| {
+                let a = self.counters.get(&k).copied().unwrap_or(Counter {
+                    count: min_a,
+                    error: min_a,
+                });
+                let b = other.counters.get(&k).copied().unwrap_or(Counter {
+                    count: min_b,
+                    error: min_b,
+                });
+                (
+                    k,
+                    Counter {
+                        count: a.count + b.count,
+                        error: a.error + b.error,
+                    },
+                )
+            })
+            .collect();
+        merged.sort_by(|(ka, ca), (kb, cb)| cb.count.cmp(&ca.count).then_with(|| ka.cmp_total(kb)));
+        merged.truncate(self.capacity);
+        self.counters = merged.into_iter().collect();
+        self.total += other.total;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -208,5 +275,50 @@ mod tests {
         let mut s = SpaceSaving::new(0);
         s.observe(&Value::Int(1));
         assert_eq!(s.tracked(), 1);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_never_underestimates() {
+        let build = |hot: i64, reps: usize, noise: std::ops::Range<i64>| {
+            let mut s = SpaceSaving::new(8);
+            for _ in 0..reps {
+                s.observe(&Value::Int(hot));
+            }
+            for i in noise {
+                s.observe(&Value::Int(i));
+            }
+            s
+        };
+        let a = build(1, 40, 100..130);
+        let b = build(1, 25, 200..220);
+        let mut ab = a.clone();
+        ab.merge(&b).unwrap();
+        let mut ba = b.clone();
+        ba.merge(&a).unwrap();
+        assert_eq!(ab, ba, "merge is commutative");
+        assert_eq!(ab.total(), a.total() + b.total());
+        // The shared hot key's true count is 65; estimates never dip below.
+        assert!(ab.estimate(&Value::Int(1)) >= 65);
+        assert_eq!(ab.tracked(), 8);
+        assert_eq!(ab.top(1)[0].key, Value::Int(1));
+        // Capacity mismatch refuses.
+        let mut c = SpaceSaving::new(4);
+        assert!(c.merge(&a).is_err());
+    }
+
+    #[test]
+    fn merge_under_capacity_is_exact() {
+        let mut a = SpaceSaving::new(10);
+        let mut b = SpaceSaving::new(10);
+        a.add(&Value::Int(1), 5);
+        a.add(&Value::Int(2), 3);
+        b.add(&Value::Int(1), 2);
+        b.add(&Value::Int(3), 7);
+        a.merge(&b).unwrap();
+        assert_eq!(a.estimate(&Value::Int(1)), 7);
+        assert_eq!(a.estimate(&Value::Int(2)), 3);
+        assert_eq!(a.estimate(&Value::Int(3)), 7);
+        assert_eq!(a.total(), 17);
+        assert_eq!(a.top(1)[0].error, 0);
     }
 }

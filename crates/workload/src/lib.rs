@@ -15,8 +15,12 @@
 //! * [`QueryMix`] — recency-biased point/range/aggregate query generator;
 //! * [`ClientMix`] — per-client network load stream (ingest + queries +
 //!   health probes) for driving `fungus-server`;
+//! * [`TrendingItems`] — Zipf-popular items whose hot set rotates over
+//!   virtual time, the stress case for time-fading summaries;
 //! * [`GroundTruth`] — a keep-everything shadow copy used to measure the
 //!   recall a decaying store gives up;
+//! * [`DecayedTruth`] — the exact exponentially-decayed frequency oracle
+//!   fading sketches are scored against;
 //! * [`Trace`] — record a session's statements with their virtual times
 //!   and replay them reproducibly against a fresh database;
 //! * [`baselines`] — the named container policies every comparison
@@ -31,6 +35,7 @@ pub mod logs;
 pub mod queries;
 pub mod sensor;
 pub mod trace;
+pub mod trending;
 pub mod truth;
 pub mod zipf;
 
@@ -40,6 +45,7 @@ pub use logs::LogEventStream;
 pub use queries::{QueryKind, QueryMix};
 pub use sensor::SensorStream;
 pub use trace::{ReplayReport, Trace, TraceEvent};
+pub use trending::{DecayedTruth, TrendingItems};
 pub use truth::GroundTruth;
 pub use zipf::Zipf;
 

@@ -1,0 +1,287 @@
+//! The trending-items workload: popularity that *moves*.
+//!
+//! Static skew is kind to any frequency sketch — the hot keys never
+//! change, so even an unfading counter eventually gets them right. The
+//! trending workload is the adversarial case the time-fading sketches
+//! exist for: item popularity is Zipfian at every instant, but the
+//! *identity* of the hot items rotates every `rotation` ticks. A summary
+//! that cannot forget reports last week's fashion; a time-fading one
+//! tracks the current hot set as old evidence decays away.
+//!
+//! Schema: `(item Int, session Int)` — `item` is what trends, `session`
+//! is an uninformative payload column.
+//!
+//! [`DecayedTruth`] is the matching oracle: it keeps the exact
+//! exponentially-decayed count of every item (the same lazy fold the
+//! fading sketch approximates, minus the sketch error), so experiments
+//! can score a sketch's top-k against the true decayed ranking.
+
+use std::collections::HashMap;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use fungus_clock::DeterministicRng;
+use fungus_types::{DataType, Schema, Tick, Value};
+
+use crate::zipf::Zipf;
+use crate::Workload;
+
+/// Rows of `(item, session)` with Zipf-distributed item popularity whose
+/// hot set rotates every `rotation` ticks.
+#[derive(Debug)]
+pub struct TrendingItems {
+    schema: Schema,
+    items: usize,
+    rate: usize,
+    rotation: u64,
+    stride: usize,
+    dist: Zipf,
+    rng: SmallRng,
+}
+
+impl TrendingItems {
+    /// A stream over `items` distinct items at `rate` rows per tick, with
+    /// Zipf(`skew`) popularity and a hot set that shifts every
+    /// `rotation` ticks (`rotation = 0` never rotates).
+    pub fn new(
+        items: usize,
+        rate: usize,
+        skew: f64,
+        rotation: u64,
+        rng: &DeterministicRng,
+    ) -> Self {
+        let items = items.max(1);
+        TrendingItems {
+            schema: Schema::from_pairs(&[("item", DataType::Int), ("session", DataType::Int)])
+                .expect("static schema is valid"),
+            items,
+            rate: rate.max(1),
+            rotation,
+            // A shift coprime-ish to the universe so successive epochs
+            // overlap little: ~37% of the universe, floored to ≥ 1.
+            stride: (items * 3 / 8).max(1),
+            dist: Zipf::new(items, skew),
+            rng: rng.stream("workload/trending"),
+        }
+    }
+
+    /// The rotation epoch `now` falls in.
+    pub fn epoch(&self, now: Tick) -> u64 {
+        match self.rotation {
+            0 => 0,
+            r => now.get() / r,
+        }
+    }
+
+    /// The item holding popularity rank `rank` at `now`: each epoch
+    /// shifts the rank→item assignment by `stride`, a bijection, so the
+    /// distribution is identically Zipf in every epoch while the hot
+    /// *identities* move.
+    pub fn item_at(&self, rank: usize, now: Tick) -> i64 {
+        let shift = (self.epoch(now) as usize).wrapping_mul(self.stride);
+        ((rank + shift) % self.items) as i64
+    }
+
+    /// Number of distinct items.
+    pub fn items(&self) -> usize {
+        self.items
+    }
+
+    /// Ticks between hot-set rotations (0 = static).
+    pub fn rotation(&self) -> u64 {
+        self.rotation
+    }
+}
+
+impl Workload for TrendingItems {
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn rows_at(&mut self, now: Tick) -> Vec<Vec<Value>> {
+        let mut rows = Vec::with_capacity(self.rate);
+        for _ in 0..self.rate {
+            let rank = self.dist.sample(&mut self.rng);
+            let item = self.item_at(rank, now);
+            let session: i64 = self.rng.gen_range(0..1_000_000);
+            rows.push(vec![Value::Int(item), Value::Int(session)]);
+        }
+        rows
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.rate as f64
+    }
+}
+
+/// The exact exponentially-decayed frequency of every observed value —
+/// the oracle a time-fading sketch is scored against.
+///
+/// Maintains per-key `(count, stamp)` with the same lazy fold the
+/// fading sketch uses (`count·e^(−λ·Δt) + w`), but over *every* key with
+/// no width or capacity limit, so its answers carry no sketch error:
+/// `weight_at(x, now)` is exactly `Σᵢ e^(−λ·(now − tᵢ))` over all
+/// observations of `x`.
+#[derive(Debug, Clone)]
+pub struct DecayedTruth {
+    lambda: f64,
+    counts: HashMap<Value, (f64, u64)>,
+}
+
+impl DecayedTruth {
+    /// An empty oracle decaying at `lambda` per tick.
+    pub fn new(lambda: f64) -> Self {
+        DecayedTruth {
+            lambda,
+            counts: HashMap::new(),
+        }
+    }
+
+    /// Folds one observation of `value` at tick `now`.
+    pub fn observe_at(&mut self, value: Value, now: u64) {
+        let (count, stamp) = self.counts.entry(value).or_insert((0.0, now));
+        if now >= *stamp {
+            *count = *count * (-self.lambda * (now - *stamp) as f64).exp() + 1.0;
+            *stamp = now;
+        } else {
+            // Out-of-order arrival: decay the arrival to the stamp.
+            *count += (-self.lambda * (*stamp - now) as f64).exp();
+        }
+    }
+
+    /// The exact decayed count of `value` at `now`.
+    pub fn weight_at(&self, value: &Value, now: u64) -> f64 {
+        match self.counts.get(value) {
+            Some(&(count, stamp)) if now >= stamp => {
+                count * (-self.lambda * (now - stamp) as f64).exp()
+            }
+            Some(&(count, _)) => count,
+            None => 0.0,
+        }
+    }
+
+    /// The `k` values with the largest decayed counts at `now`, heaviest
+    /// first; ties break by the values' total order for determinism.
+    pub fn top_at(&self, k: usize, now: u64) -> Vec<(Value, f64)> {
+        let mut all: Vec<(Value, f64)> = self
+            .counts
+            // lint: allow(determinism, "fully sorted by (weight, value total order) below")
+            .keys()
+            .map(|v| (v.clone(), self.weight_at(v, now)))
+            .collect();
+        all.sort_by(|(va, wa), (vb, wb)| wb.total_cmp(wa).then_with(|| va.cmp_total(vb)));
+        all.truncate(k);
+        all
+    }
+
+    /// Distinct values ever observed.
+    pub fn distinct(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DeterministicRng {
+        DeterministicRng::new(21)
+    }
+
+    #[test]
+    fn rows_conform_and_rate_is_constant() {
+        let mut w = TrendingItems::new(100, 8, 1.1, 50, &rng());
+        for t in 0..20u64 {
+            let rows = w.rows_at(Tick(t));
+            assert_eq!(rows.len(), 8);
+            for row in &rows {
+                w.schema().check_row(row).unwrap();
+            }
+        }
+        assert_eq!(w.mean_rate(), 8.0);
+    }
+
+    #[test]
+    fn hot_set_rotates_between_epochs() {
+        let w = TrendingItems::new(100, 8, 1.1, 50, &rng());
+        assert_eq!(w.epoch(Tick(0)), 0);
+        assert_eq!(w.epoch(Tick(49)), 0);
+        assert_eq!(w.epoch(Tick(50)), 1);
+        let hot_before = w.item_at(0, Tick(0));
+        let hot_after = w.item_at(0, Tick(50));
+        assert_ne!(hot_before, hot_after, "rank 0 must move");
+        // Each epoch's assignment is a bijection: the epoch-1 hot set has
+        // no duplicate items.
+        let epoch1: Vec<i64> = (0..100).map(|r| w.item_at(r, Tick(50))).collect();
+        let mut dedup = epoch1.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 100);
+    }
+
+    #[test]
+    fn rotation_zero_is_static() {
+        let w = TrendingItems::new(10, 1, 1.0, 0, &rng());
+        assert_eq!(w.epoch(Tick(1_000_000)), 0);
+        assert_eq!(w.item_at(3, Tick(0)), w.item_at(3, Tick(1_000_000)));
+    }
+
+    #[test]
+    fn empirical_popularity_follows_the_current_epoch() {
+        let mut w = TrendingItems::new(50, 100, 1.3, 40, &rng());
+        let count_hot = |w: &mut TrendingItems, t0: u64| {
+            let hot = w.item_at(0, Tick(t0));
+            let mut n = 0usize;
+            let mut total = 0usize;
+            for t in t0..t0 + 10 {
+                for row in w.rows_at(Tick(t)) {
+                    total += 1;
+                    if row[0] == Value::Int(hot) {
+                        n += 1;
+                    }
+                }
+            }
+            n as f64 / total as f64
+        };
+        let f0 = count_hot(&mut w, 0);
+        let f1 = count_hot(&mut w, 40);
+        assert!(f0 > 0.1, "epoch-0 hot item dominates: {f0}");
+        assert!(f1 > 0.1, "epoch-1 hot item dominates: {f1}");
+    }
+
+    #[test]
+    fn decayed_truth_matches_closed_form() {
+        let mut truth = DecayedTruth::new(0.1);
+        truth.observe_at(Value::Int(1), 0);
+        truth.observe_at(Value::Int(1), 10);
+        // Exact: e^(−0.1·20) + e^(−0.1·10).
+        let expect = (-2.0f64).exp() + (-1.0f64).exp();
+        assert!((truth.weight_at(&Value::Int(1), 20) - expect).abs() < 1e-12);
+        assert_eq!(truth.weight_at(&Value::Int(9), 20), 0.0);
+        assert_eq!(truth.distinct(), 1);
+    }
+
+    #[test]
+    fn decayed_truth_ranks_recent_over_frequent() {
+        let mut truth = DecayedTruth::new(0.5);
+        // Item 1: five early observations. Item 2: one recent.
+        for _ in 0..5 {
+            truth.observe_at(Value::Int(1), 0);
+        }
+        truth.observe_at(Value::Int(2), 20);
+        let top = truth.top_at(2, 20);
+        assert_eq!(top[0].0, Value::Int(2), "recency beats stale volume");
+        assert_eq!(top[1].0, Value::Int(1));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut w = TrendingItems::new(20, 5, 1.0, 10, &DeterministicRng::new(seed));
+            (0..30).flat_map(|t| w.rows_at(Tick(t))).collect::<Vec<_>>()
+        };
+        assert_eq!(run(4), run(4));
+        assert_ne!(run(4), run(5));
+    }
+}

@@ -12,6 +12,7 @@
 //! .health [name]                         health report(s)
 //! .stats <name>                          storage statistics
 //! .census <name>                         rot-spot census
+//! .sketch <name> <summary> [top]         read a cooking pipeline
 //! .save <dir> / .load <dir>              checkpoint / restore
 //! .tables                                list containers
 //! .help / .quit
@@ -120,7 +121,8 @@ fn dispatch(db: &mut Database, trace: &mut Trace, line: &str) -> Result<bool> {
         ".help" => {
             println!(
                 ".create <name> <col:type,…> [fungus]\n.tick [n]\n.health [name]\n\
-                 .stats <name>\n.census <name>\n.save <dir>\n.load <dir>\n\
+                 .stats <name>\n.census <name>\n.sketch <name> <summary> [top]\n\
+                 .save <dir>\n.load <dir>\n\
                  .explain <select …>\n.save-trace <file>\n.replay <file>\n.tables\n.quit"
             );
         }
@@ -260,6 +262,21 @@ fn dispatch(db: &mut Database, trace: &mut Trace, line: &str) -> Result<bool> {
                 s.rotted_unread,
                 s.evicted_consumed
             );
+        }
+        // `.sketch <container> <summary> [top]` is the dot-command
+        // spelling of `SUMMARIZE <summary> FROM <container> [TOP n]`.
+        ".sketch" => {
+            let container = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".sketch needs a container and a summary name".into())
+            })?;
+            let summary = parts.next().ok_or_else(|| {
+                FungusError::InvalidConfig(".sketch needs a container and a summary name".into())
+            })?;
+            let sql = match parts.next().and_then(|s| s.parse::<usize>().ok()) {
+                Some(top) => format!("SUMMARIZE {summary} FROM {container} TOP {top}"),
+                None => format!("SUMMARIZE {summary} FROM {container}"),
+            };
+            print_result(&db.execute(&sql)?.result);
         }
         ".census" => {
             let name = parts.next().ok_or_else(|| {

@@ -1,0 +1,110 @@
+//! Trending items over a rotting store — the full cooking loop via DDL.
+//!
+//! Item popularity is Zipfian at every instant, but the hot identities
+//! rotate over virtual time. Raw click tuples live only `ttl` ticks; a
+//! DDL-declared fading top-k sketch absorbs every departure with its
+//! departure tick, so `SUMMARIZE` keeps answering "what is hot right
+//! now" from bounded state long after the evidence rotted — and the
+//! answer *moves* as the trend does, because old weight decays away.
+//!
+//! ```text
+//! cargo run --example trending [-- --smoke]
+//! ```
+//!
+//! `--smoke` runs a short self-checking pass (used by CI): at every
+//! report the current trend's head item must appear in the sketch's
+//! top 5, with most of the raw stream already rotted.
+
+use spacefungus::prelude::*;
+
+const TTL: u64 = 40;
+const ROTATION: u64 = 200;
+const LAMBDA: f64 = 0.05;
+
+fn main() -> Result<()> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (horizon, report_every) = if smoke { (240u64, 60u64) } else { (1200, 200) };
+
+    let mut db = Database::new(2026);
+    db.execute_ddl(&format!(
+        "CREATE CONTAINER clicks (item INT NOT NULL, session INT) \
+         WITH FUNGUS ttl({TTL}) \
+         WITH DISTILL (hot = fading_topk(64, {LAMBDA}) ON item, \
+                       fresh = tbs(64, {LAMBDA}) ON item, \
+                       exit_health = moments)",
+    ))?;
+
+    let mut stream = TrendingItems::new(300, 80, 1.1, ROTATION, db.rng());
+    let mut inserted = 0u64;
+
+    println!("tick | live | rotting trend: sketch top-5 (weight)        | nominal hot");
+    println!("-----+------+----------------------------------------------+------------");
+    for _ in 0..horizon {
+        let rows = stream.rows_at(db.now());
+        inserted += rows.len() as u64;
+        db.insert_batch("clicks", rows)?;
+        let now = db.tick().get();
+
+        if now.is_multiple_of(report_every) {
+            let out = db.execute("SUMMARIZE hot FROM clicks TOP 5")?;
+            let top: Vec<String> = out
+                .result
+                .rows
+                .iter()
+                .map(|r| format!("{}({})", r[1], truncate(&r[2])))
+                .collect();
+            // The sketch only knows departures, so its view of the trend
+            // lags by the TTL — plus ~1/λ more for fresh evidence to
+            // out-decay the previous epoch's accumulated weight. Compare
+            // against the epoch that dominates the sketch's decayed mass.
+            let lag = TTL + (1.0 / LAMBDA) as u64;
+            let nominal = stream.item_at(0, Tick(now.saturating_sub(lag)));
+            let live = db.container("clicks")?.read().live_count();
+            println!("{now:>4} | {live:>4} | {:<44} | {nominal}", top.join(" "));
+
+            if smoke {
+                let hit = out.result.rows.iter().any(|r| r[1] == Value::Int(nominal));
+                assert!(
+                    hit,
+                    "trend head {nominal} missing from sketch top-5: {top:?}"
+                );
+            }
+        }
+    }
+
+    // The raw stream is long gone; the summaries remember.
+    let live = db.container("clicks")?.read().live_count() as u64;
+    let t = db.sketch_telemetry();
+    println!("\ninserted          : {inserted}");
+    println!("live right now    : {live}");
+    println!(
+        "rotted            : {} ({:.1}%)",
+        inserted - live,
+        100.0 * (inserted - live) as f64 / inserted as f64
+    );
+    println!(
+        "sketches cooking  : {} ({} departures absorbed)",
+        t.sketches, t.absorbed
+    );
+
+    let audit = db.execute("SUMMARIZE exit_health FROM clicks")?;
+    println!(
+        "exit freshness    : {} stats from the moments pipeline",
+        audit.result.rows.len()
+    );
+
+    if smoke {
+        assert!(live < inserted / 2, "less than half the stream rotted");
+        assert!(t.absorbed > 0, "no departures reached the sketches");
+        println!("\nsmoke OK");
+    }
+    Ok(())
+}
+
+/// Compact weight rendering for the table cells.
+fn truncate(v: &Value) -> String {
+    match v {
+        Value::Float(f) => format!("{f:.1}"),
+        other => other.to_string(),
+    }
+}

@@ -74,7 +74,7 @@ pub mod prelude {
         TupleId, Value,
     };
     pub use fungus_workload::{
-        baseline_policies, GroundTruth, LogEventStream, QueryMix, SensorStream, Trace, Workload,
-        Zipf,
+        baseline_policies, DecayedTruth, GroundTruth, LogEventStream, QueryMix, SensorStream,
+        Trace, TrendingItems, Workload, Zipf,
     };
 }

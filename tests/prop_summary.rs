@@ -5,8 +5,66 @@ use proptest::prelude::*;
 
 use spacefungus::fungus_clock::DeterministicRng;
 use spacefungus::fungus_storage::TableStore;
-use spacefungus::fungus_summary::{CountMinSketch, HyperLogLog, SpaceSaving, StreamingMoments};
+use spacefungus::fungus_summary::{
+    CountMinSketch, HyperLogLog, SpaceSaving, StreamingMoments, SummarySpec,
+};
 use spacefungus::prelude::*;
+
+/// One instance of every [`SummarySpec`] variant, sized small enough that
+/// merges exercise the over-capacity paths.
+fn all_specs() -> Vec<SummarySpec> {
+    vec![
+        SummarySpec::Moments,
+        SummarySpec::Histogram {
+            lo: 0.0,
+            hi: 40.0,
+            bins: 8,
+        },
+        SummarySpec::EquiDepth {
+            buckets: 4,
+            sample: 16,
+        },
+        SummarySpec::Reservoir { k: 12 },
+        SummarySpec::CountMin {
+            epsilon: 0.05,
+            delta: 0.05,
+        },
+        SummarySpec::Distinct { precision: 6 },
+        SummarySpec::TopK { k: 6 },
+        SummarySpec::FadingTopK { k: 6, lambda: 0.1 },
+        SummarySpec::BiasedReservoir { k: 12, lambda: 0.1 },
+    ]
+}
+
+/// A report reduced to an order-independent answer: the `idx` column
+/// (a physical sample position, not part of the answer) is dropped,
+/// floats are rounded to 10 significant digits (merge formulas for the
+/// floating-point kinds reassociate additions, so answers agree to
+/// ~1 ulp, not bit-for-bit), and rows compare as a sorted multiset.
+fn canonical(report: (Vec<String>, Vec<Vec<Value>>)) -> (Vec<String>, Vec<String>) {
+    let (cols, rows) = report;
+    let keep: Vec<usize> = cols
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.as_str() != "idx")
+        .map(|(i, _)| i)
+        .collect();
+    let key = |v: &Value| match v {
+        Value::Float(f) => format!("F:{f:.9e}"),
+        other => format!("{other:?}"),
+    };
+    let mut out: Vec<String> = rows
+        .into_iter()
+        .map(|r| {
+            keep.iter()
+                .map(|&i| key(&r[i]))
+                .collect::<Vec<_>>()
+                .join("|")
+        })
+        .collect();
+    out.sort();
+    (cols, out)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -117,6 +175,63 @@ proptest! {
         }
     }
 
+    /// Merge is commutative for EVERY `SummarySpec` variant: `a ∪ b` and
+    /// `b ∪ a` agree for arbitrary (value, tick) streams on the two
+    /// sides. For the integer-counter kinds the states are equal
+    /// bit-for-bit; the floating-point kinds (moments, fading top-k)
+    /// reassociate additions under merge, so their answers are compared
+    /// after rounding to 10 significant digits.
+    #[test]
+    fn merge_is_commutative_for_every_spec(
+        xs in proptest::collection::vec((0i64..40, 0u64..30), 0..80),
+        ys in proptest::collection::vec((0i64..40, 0u64..30), 0..80),
+        now in 30u64..60,
+    ) {
+        for spec in all_specs() {
+            let mut a = spec.build(13).unwrap();
+            let mut b = spec.build(13).unwrap();
+            for (v, t) in &xs { a.observe_at(&Value::Int(*v), *t); }
+            for (v, t) in &ys { b.observe_at(&Value::Int(*v), *t); }
+            let mut ab = a.clone();
+            ab.merge(&b).unwrap();
+            let mut ba = b.clone();
+            ba.merge(&a).unwrap();
+            let exact_state = !matches!(
+                spec,
+                SummarySpec::Moments | SummarySpec::FadingTopK { .. }
+            );
+            if exact_state {
+                prop_assert_eq!(&ab, &ba, "merge must be commutative for {}", spec.label());
+            }
+            prop_assert_eq!(
+                canonical(ab.report(now)),
+                canonical(ba.report(now)),
+                "merged answers must agree for {}",
+                spec.label()
+            );
+        }
+    }
+
+    /// Merging a same-spec empty summary never changes the answers, for
+    /// EVERY variant. (The *state* may lawfully change for the sampled
+    /// kinds — a reservoir re-selection can reorder its sample — so the
+    /// law is stated over canonicalised reports.)
+    #[test]
+    fn merging_an_empty_summary_preserves_answers(
+        xs in proptest::collection::vec((0i64..40, 0u64..30), 0..80),
+        now in 30u64..60,
+    ) {
+        for spec in all_specs() {
+            let mut x = spec.build(13).unwrap();
+            let empty = spec.build(13).unwrap();
+            for (v, t) in &xs { x.observe_at(&Value::Int(*v), *t); }
+            let before = canonical(x.report(now));
+            x.merge(&empty).unwrap();
+            let after = canonical(x.report(now));
+            prop_assert_eq!(before, after, "empty merge changed {}", spec.label());
+        }
+    }
+
     /// Fungus invariant: no fungus ever *increases* any tuple's freshness,
     /// for arbitrary spec parameters within their domains.
     #[test]
@@ -162,6 +277,26 @@ proptest! {
                 last.insert(id, f);
             }
             store.evict_rotten();
+        }
+    }
+
+    /// Cross-kind merges are refused for every ordered pair of distinct
+    /// variants — a mis-wired rollup errors instead of silently mixing
+    /// incompatible sketches.
+    #[test]
+    fn cross_kind_merges_error(_dummy in 0u8..1) {
+        let specs = all_specs();
+        for (i, si) in specs.iter().enumerate() {
+            for (j, sj) in specs.iter().enumerate() {
+                let mut a = si.build(13).unwrap();
+                let b = sj.build(13).unwrap();
+                let merged = a.merge(&b);
+                if i == j {
+                    prop_assert!(merged.is_ok(), "{} ∪ {} must merge", si.label(), sj.label());
+                } else {
+                    prop_assert!(merged.is_err(), "{} ∪ {} must error", si.label(), sj.label());
+                }
+            }
         }
     }
 

@@ -8,7 +8,7 @@ use proptest::prelude::*;
 use spacefungus::fungus_server::frame::{
     decode_frame, encode_frame, read_frame, FrameError, HEADER_LEN, MAX_FRAME,
 };
-use spacefungus::fungus_server::{ErrorCode, Request, Response};
+use spacefungus::fungus_server::{ErrorCode, Request, Response, StatsSummary};
 use spacefungus::fungus_types::Value;
 
 proptest! {
@@ -135,6 +135,40 @@ proptest! {
                 .collect(),
             distilled,
             consumed: rows.len() as u64,
+        };
+        let bytes = resp.encode().unwrap();
+        prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
+    }
+
+    /// The full server-counter summary — shard gauges and the cooking-
+    /// sketch counters included — survives the wire bit-for-bit for
+    /// arbitrary counter values up to the codec's 2^53 integer ceiling.
+    #[test]
+    fn stats_summary_round_trips_any_counters(
+        counters in proptest::collection::vec(0u64..(1 << 53), 18),
+    ) {
+        let resp = Response::Health {
+            reports: vec![],
+            server: Some(StatsSummary {
+                accepted: counters[0],
+                rejected: counters[1],
+                requests: counters[2],
+                responses: counters[3],
+                errors: counters[4],
+                faults_injected: counters[5],
+                worker_panics: counters[6],
+                workers_respawned: counters[7],
+                driver_ticks: counters[8],
+                shards: counters[9],
+                shards_dropped: counters[10],
+                shards_pruned: counters[11],
+                shards_split: counters[12],
+                shards_merged: counters[13],
+                shards_restored: counters[14],
+                sketches: counters[15],
+                sketch_hits: counters[16],
+                sketch_absorbed: counters[17],
+            }),
         };
         let bytes = resp.encode().unwrap();
         prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
