@@ -1,0 +1,12 @@
+//! Prints the e12_mvcc experiment table (see DESIGN.md / EXPERIMENTS.md).
+
+use fungus_bench::harness::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    print!("{}", fungus_bench::e12_mvcc::run(scale));
+}

@@ -4,12 +4,13 @@ use fungus_clock::DeterministicRng;
 use fungus_fungi::Fungus;
 use fungus_query::{execute, LogicalPlan, Planner, QueryExtent, ResultSet, SelectStatement};
 use fungus_shard::ShardedExtent;
-use fungus_storage::{SpotCensus, TableStats, TableStore};
+use fungus_storage::{SpotCensus, TableStats, TableStore, TombstoneReason};
 use fungus_types::{FungusError, Result, Schema, Tick, Tuple, TupleId, Value};
 
 use crate::distill::Distiller;
 use crate::extent::Extent;
 use crate::metrics::EngineMetrics;
+use crate::mvcc::ContainerMvcc;
 use crate::policy::ContainerPolicy;
 
 /// What one decay pass did.
@@ -33,6 +34,9 @@ pub struct Container {
     fungus: Box<dyn Fungus>,
     distiller: Distiller,
     metrics: EngineMetrics,
+    /// True when the live content may differ from the last published
+    /// snapshot; publishes are skipped (no epoch advance) while clean.
+    mvcc_dirty: bool,
 }
 
 impl Container {
@@ -69,6 +73,7 @@ impl Container {
             fungus,
             distiller,
             metrics: EngineMetrics::default(),
+            mvcc_dirty: true,
         })
     }
 
@@ -107,6 +112,7 @@ impl Container {
             fungus,
             distiller,
             metrics: EngineMetrics::default(),
+            mvcc_dirty: true,
         })
     }
 
@@ -145,6 +151,7 @@ impl Container {
             fungus,
             distiller,
             metrics: EngineMetrics::default(),
+            mvcc_dirty: true,
         })
     }
 
@@ -172,6 +179,7 @@ impl Container {
     /// that drive decay by hand). Invariants are maintained by the extent
     /// itself.
     pub fn extent_mut(&mut self) -> &mut Extent {
+        self.mvcc_dirty = true;
         &mut self.extent
     }
 
@@ -194,6 +202,7 @@ impl Container {
     ///
     /// If the container is sharded; use [`extent_mut`](Self::extent_mut).
     pub fn store_mut(&mut self) -> &mut TableStore {
+        self.mvcc_dirty = true;
         self.extent
             .as_store_mut()
             // lint: allow(panic, "documented # Panics contract: callers on sharded containers must use extent_mut()")
@@ -244,6 +253,7 @@ impl Container {
     pub fn insert(&mut self, values: Vec<Value>, now: Tick) -> Result<TupleId> {
         let id = QueryExtent::insert(&mut self.extent, values, now)?;
         self.metrics.inserts += 1;
+        self.mvcc_dirty = true;
         Ok(id)
     }
 
@@ -267,6 +277,8 @@ impl Container {
     pub fn query(&mut self, plan: &LogicalPlan, now: Tick) -> Result<ResultSet> {
         let result = execute(plan, &mut self.extent, now)?;
         self.metrics.queries += 1;
+        // Even a non-consuming locked query touches access metadata.
+        self.mvcc_dirty = true;
         if plan.consume {
             self.metrics.consuming_queries += 1;
             self.metrics.tuples_consumed += result.consumed.len() as u64;
@@ -289,6 +301,7 @@ impl Container {
     pub fn decay_tick_collect(&mut self, now: Tick) -> (DecayReport, Vec<Tuple>) {
         self.fungus.tick(&mut self.extent, now);
         self.metrics.decay_passes += 1;
+        self.mvcc_dirty = true;
 
         let drops_before = self.extent.shards_dropped();
         let splits_before = self.extent.shards_split();
@@ -386,7 +399,81 @@ impl Container {
     /// Cures every infection — the "owner taking care" intervention the
     /// paper mentions ("when not being taking care of by its owner").
     pub fn cure_all(&mut self) -> usize {
+        self.mvcc_dirty = true;
         self.extent.cure_all()
+    }
+
+    // ---- MVCC publication ---------------------------------------------
+    //
+    // The database layer owns one `ContainerMvcc` cell per container and
+    // calls these under this container's write lock; see `crate::mvcc`
+    // for the isolation contract they implement.
+
+    /// Applies deferred access-metadata bumps queued by snapshot reads
+    /// (ids that rotted or were consumed since queueing are skipped by
+    /// the extent).
+    pub fn apply_touches(&mut self, entries: &[(TupleId, Tick)]) {
+        for (id, at) in entries {
+            QueryExtent::touch(&mut self.extent, *id, *at);
+        }
+        if !entries.is_empty() {
+            self.mvcc_dirty = true;
+        }
+    }
+
+    /// Applies the write half of an optimistic `CONSUME` whose read half
+    /// ran against a pinned snapshot: deletes exactly `returned` from the
+    /// live extent, fills `result.consumed`, and updates the same
+    /// metrics/distillation the locked path would. The caller has already
+    /// verified the epoch did not advance since the pin, which (because
+    /// every mutator publishes before unlocking) guarantees the live
+    /// content equals the snapshot the answer was computed from.
+    pub fn apply_consume(
+        &mut self,
+        mut result: ResultSet,
+        returned: &[TupleId],
+        now: Tick,
+    ) -> ResultSet {
+        for id in returned {
+            if let Some(mut t) = QueryExtent::delete(&mut self.extent, *id, TombstoneReason::Consumed)
+            {
+                // A consumed tuple was, by definition, read once.
+                t.meta.touch(now);
+                result.consumed.push(t);
+            }
+        }
+        self.metrics.queries += 1;
+        self.metrics.consuming_queries += 1;
+        self.metrics.tuples_consumed += result.consumed.len() as u64;
+        let before = self.distiller.total_absorbed();
+        self.distiller.absorb_all_at(&result.consumed, false, now);
+        self.metrics.distilled += self.distiller.total_absorbed() - before;
+        self.mvcc_dirty = true;
+        result
+    }
+
+    /// Publishes a sealed snapshot of the current content into `cell`,
+    /// advancing its epoch — unless the policy disables MVCC or nothing
+    /// changed since the last publish (clean publishes are skipped so
+    /// pure readers never trigger spurious `CONSUME` retries).
+    pub fn publish_into(&mut self, cell: &ContainerMvcc) {
+        if !self.policy.mvcc || !self.mvcc_dirty {
+            return;
+        }
+        let snapshot = self.extent.publish_snapshot();
+        cell.publish(snapshot, self.distiller.clone());
+        self.mvcc_dirty = false;
+    }
+
+    /// The standard mutator epilogue: drain the cell's deferred-touch
+    /// queue into the live extent, then publish if anything changed.
+    pub fn drain_and_publish(&mut self, cell: &ContainerMvcc) {
+        if !self.policy.mvcc {
+            return;
+        }
+        let touches = cell.drain_touches();
+        self.apply_touches(&touches);
+        self.publish_into(cell);
     }
 }
 

@@ -7,13 +7,20 @@ use std::time::Duration;
 use fungus_lint_rt::{hierarchy, OrderedRwLock};
 
 use fungus_clock::{DeterministicRng, Task, TaskHandle, TickScheduler, VirtualClock};
-use fungus_query::{parse_statement, ResultSet, Statement};
+use fungus_query::{
+    execute_readonly, parse_statement, Planner, ResultSet, SelectStatement, Statement,
+};
 use fungus_types::{FungusError, Result, Schema, Tick, Tuple, TupleId, Value};
 
 use crate::container::Container;
 use crate::health::{HealthMonitor, HealthReport};
+use crate::mvcc::{ContainerMvcc, SnapshotHandle};
 use crate::policy::ContainerPolicy;
 use crate::route::{Route, RouteSpec, RouteTable};
+
+/// How many times an optimistic `CONSUME` re-pins after losing the epoch
+/// race before it falls back to the fully locked path.
+const CONSUME_ATTEMPTS: u32 = 3;
 
 /// The outcome of [`Database::execute`]: the answer set plus how many
 /// values the consume path distilled into summaries.
@@ -39,6 +46,10 @@ pub struct Database {
     containers: BTreeMap<String, ContainerHandle>,
     decay_tasks: BTreeMap<String, TaskHandle>,
     routes: BTreeMap<String, RouteTable>,
+    /// One MVCC cell per container (see [`crate::mvcc`]); kept in a
+    /// parallel map so readers can reach the cell without any container
+    /// lock.
+    mvcc: BTreeMap<String, Arc<ContainerMvcc>>,
 }
 
 impl Database {
@@ -50,6 +61,7 @@ impl Database {
             containers: BTreeMap::new(),
             decay_tasks: BTreeMap::new(),
             routes: BTreeMap::new(),
+            mvcc: BTreeMap::new(),
         }
     }
 
@@ -110,13 +122,18 @@ impl Database {
     fn install(
         &mut self,
         name: String,
-        container: Container,
+        mut container: Container,
         decay_period: fungus_types::TickDelta,
     ) {
+        let cell = Arc::new(ContainerMvcc::new());
+        // Publish the initial (usually empty) snapshot so the lock-free
+        // read path works from the first statement on.
+        container.publish_into(&cell);
         let shared = Arc::new(OrderedRwLock::new(&hierarchy::CONTAINERS, container));
         let route_table: RouteTable = Arc::new(OrderedRwLock::new(&hierarchy::ROUTES, Vec::new()));
         let task_target = Arc::clone(&shared);
         let task_routes = Arc::clone(&route_table);
+        let task_cell = Arc::clone(&cell);
         let handle = self.scheduler.register(Task {
             name: format!("decay/{name}"),
             period: decay_period,
@@ -126,7 +143,11 @@ impl Database {
             action: Box::new(move |now| {
                 let evicted = {
                     let mut guard = task_target.write();
-                    guard.decay_tick_collect(now).1
+                    let evicted = guard.decay_tick_collect(now).1;
+                    // Seal the post-sweep state before the lock drops: a
+                    // decay sweep must never be visible half-applied.
+                    guard.drain_and_publish(&task_cell);
+                    evicted
                 };
                 if !evicted.is_empty() {
                     let mut routed_any = false;
@@ -145,6 +166,7 @@ impl Database {
         });
         self.decay_tasks.insert(name.clone(), handle);
         self.routes.insert(name.clone(), route_table);
+        self.mvcc.insert(name.clone(), cell);
         self.containers.insert(name, shared);
     }
 
@@ -192,7 +214,12 @@ impl Database {
         // same `RwLock`, which deadlocks when a writer is queued between
         // the two reads.
         let source_schema = source.read().schema().clone();
-        let route = Route::resolve(&spec, &source_schema, target)?;
+        let target_cell = self
+            .mvcc
+            .get(&spec.to)
+            .cloned()
+            .ok_or_else(|| FungusError::UnknownContainer(spec.to.clone()))?;
+        let route = Route::resolve(&spec, &source_schema, target, target_cell)?;
         // The route table is created alongside the container, but a
         // concurrent `drop_container` can remove it between the schema
         // read above and this lookup — surface that as the same error
@@ -224,6 +251,7 @@ impl Database {
         for table in self.routes.values() {
             table.write().retain(|r| r.to_name != name);
         }
+        self.mvcc.remove(name);
         self.containers.remove(name).is_some()
     }
 
@@ -249,7 +277,11 @@ impl Database {
     pub fn insert(&self, container: &str, values: Vec<Value>) -> Result<TupleId> {
         let c = self.container(container)?;
         let now = self.now();
-        let id = c.write().insert(values, now)?;
+        let mut guard = c.write();
+        let id = guard.insert(values, now)?;
+        if let Some(cell) = self.mvcc.get(container) {
+            guard.drain_and_publish(cell);
+        }
         Ok(id)
     }
 
@@ -258,7 +290,11 @@ impl Database {
         let c = self.container(container)?;
         let now = self.now();
         let mut guard = c.write();
-        guard.insert_batch(rows, now)
+        let ids = guard.insert_batch(rows, now)?;
+        if let Some(cell) = self.mvcc.get(container) {
+            guard.drain_and_publish(cell);
+        }
+        Ok(ids)
     }
 
     /// Parses and executes one SQL statement, routed to the container named
@@ -272,22 +308,27 @@ impl Database {
         match stmt {
             Statement::Select(stmt) => {
                 let c = self.container(&stmt.table)?;
+                if let Some(cell) = self.mvcc.get(&stmt.table) {
+                    if let Some(outcome) = self.select_via_snapshot(&c, cell, &stmt, now)? {
+                        return Ok(outcome);
+                    }
+                }
+                // Locked path: MVCC disabled by policy, or a CONSUME that
+                // exhausted its optimistic retries.
                 let (result, distilled) = {
                     let mut guard = c.write();
                     let plan = guard.plan(&stmt)?;
                     let before = guard.metrics().distilled;
                     let result = guard.query(&plan, now)?;
-                    (result, guard.metrics().distilled - before)
+                    let distilled = guard.metrics().distilled - before;
+                    if let Some(cell) = self.mvcc.get(&stmt.table) {
+                        guard.drain_and_publish(cell);
+                    }
+                    (result, distilled)
                 };
                 // Deliver consumed departures along the routes with the
                 // source lock released.
-                if !result.consumed.is_empty() {
-                    if let Some(table) = self.routes.get(&stmt.table) {
-                        for route in table.read().iter() {
-                            route.deliver(&result.consumed, false, now)?;
-                        }
-                    }
-                }
+                self.route_consumed(&stmt.table, &result, now)?;
                 Ok(QueryOutcome { result, distilled })
             }
             Statement::Insert { table, rows } => {
@@ -304,6 +345,9 @@ impl Database {
                     }
                     guard.insert(values, now)?;
                     inserted += 1;
+                }
+                if let Some(cell) = self.mvcc.get(&table) {
+                    guard.drain_and_publish(cell);
                 }
                 Ok(QueryOutcome {
                     result: ResultSet {
@@ -335,10 +379,16 @@ impl Database {
                 let c = self.container(&table)?;
                 let mut guard = c.write();
                 let result = fungus_query::execute_parsed(
-                    Statement::Delete { table, predicate },
+                    Statement::Delete {
+                        table: table.clone(),
+                        predicate,
+                    },
                     guard.extent_mut(),
                     now,
                 )?;
+                if let Some(cell) = self.mvcc.get(&table) {
+                    guard.drain_and_publish(cell);
+                }
                 Ok(QueryOutcome {
                     result,
                     distilled: 0,
@@ -350,6 +400,27 @@ impl Database {
                 top,
             } => {
                 let c = self.container(&table)?;
+                // Snapshot path: sealed distiller state, no container
+                // lock. Hit counters are shared atomics, so the gauges
+                // still move.
+                if let Some(cell) = self.mvcc.get(&table) {
+                    if let Some(version) = cell.pin() {
+                        let (columns, rows) = version.sketch_report(&table, &summary, top, now)?;
+                        cell.note_snapshot_read();
+                        return Ok(QueryOutcome {
+                            result: ResultSet {
+                                columns,
+                                rows,
+                                consumed: Vec::new(),
+                                scanned: 0,
+                                pruned_segments: 0,
+                                pruned_shards: 0,
+                                used_index: false,
+                            },
+                            distilled: 0,
+                        });
+                    }
+                }
                 let (columns, rows) = c.write().sketch_report(&summary, top, now)?;
                 Ok(QueryOutcome {
                     result: ResultSet {
@@ -374,10 +445,16 @@ impl Database {
                 ordered,
             } => {
                 let c = self.container(&table)?;
-                if ordered {
-                    c.write().extent_mut().create_ord_index(&column)?;
-                } else {
-                    c.write().extent_mut().create_index(&column)?;
+                {
+                    let mut guard = c.write();
+                    if ordered {
+                        guard.extent_mut().create_ord_index(&column)?;
+                    } else {
+                        guard.extent_mut().create_index(&column)?;
+                    }
+                    if let Some(cell) = self.mvcc.get(&table) {
+                        guard.drain_and_publish(cell);
+                    }
                 }
                 Ok(QueryOutcome {
                     result: ResultSet {
@@ -393,6 +470,101 @@ impl Database {
                 })
             }
         }
+    }
+
+    /// The MVCC fast path for one `SELECT`. Returns `Ok(None)` when the
+    /// locked path must run instead: the policy disabled MVCC (no version
+    /// was ever published), or an optimistic `CONSUME` exhausted
+    /// [`CONSUME_ATTEMPTS`].
+    ///
+    /// Non-consuming reads resolve entirely against the pinned snapshot —
+    /// no container lock at any point. `CONSUME` runs at the isolation
+    /// level specified in [`crate::mvcc`]: read-own-snapshot, write-live,
+    /// conflict = retry-on-epoch-advance.
+    fn select_via_snapshot(
+        &self,
+        c: &ContainerHandle,
+        cell: &Arc<ContainerMvcc>,
+        stmt: &SelectStatement,
+        now: Tick,
+    ) -> Result<Option<QueryOutcome>> {
+        let Some(mut version) = cell.pin() else {
+            return Ok(None);
+        };
+        let plan = Planner.plan(stmt, version.schema())?;
+        if !plan.consume {
+            let (result, returned) = execute_readonly(&plan, version.extent(), now)?;
+            cell.note_snapshot_read();
+            cell.queue_touches(&returned, now);
+            return Ok(Some(QueryOutcome {
+                result,
+                distilled: 0,
+            }));
+        }
+        for attempt in 0..CONSUME_ATTEMPTS {
+            if attempt > 0 {
+                cell.note_consume_retry();
+                version = match cell.pin() {
+                    Some(v) => v,
+                    None => return Ok(None),
+                };
+            }
+            // Read phase, off-lock, against our own snapshot.
+            let plan = Planner.plan(stmt, version.schema())?;
+            let (result, returned) = execute_readonly(&plan, version.extent(), now)?;
+            // Write phase: only valid if the epoch did not advance while
+            // we were reading — every mutator publishes before releasing
+            // the write lock, so a matching epoch under that same lock
+            // means the live content equals our snapshot.
+            let mut guard = c.write();
+            if cell.epoch() != version.epoch() {
+                drop(guard);
+                continue;
+            }
+            // Deferred touches only move access metadata, never answers;
+            // fold them into the same publish as the consume itself.
+            let touches = cell.drain_touches();
+            guard.apply_touches(&touches);
+            let before = guard.metrics().distilled;
+            let result = guard.apply_consume(result, &returned, now);
+            let distilled = guard.metrics().distilled - before;
+            guard.publish_into(cell);
+            drop(guard);
+            self.route_consumed(&stmt.table, &result, now)?;
+            return Ok(Some(QueryOutcome { result, distilled }));
+        }
+        cell.note_consume_fallback();
+        Ok(None)
+    }
+
+    /// Delivers a statement's consumed departures along the source's
+    /// routes. Call with the source container lock released.
+    fn route_consumed(&self, table: &str, result: &ResultSet, now: Tick) -> Result<()> {
+        if result.consumed.is_empty() {
+            return Ok(());
+        }
+        if let Some(routes) = self.routes.get(table) {
+            for route in routes.read().iter() {
+                route.deliver(&result.consumed, false, now)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Pins the current MVCC snapshot of a container at the current tick,
+    /// or `None` if the container's policy disables MVCC. The handle
+    /// answers non-consuming reads lock-free and identically no matter
+    /// how much the live container mutates afterwards.
+    pub fn pin_snapshot(&self, container: &str) -> Result<Option<SnapshotHandle>> {
+        let cell = self
+            .mvcc
+            .get(container)
+            .cloned()
+            .ok_or_else(|| FungusError::UnknownContainer(container.to_string()))?;
+        let now = self.now();
+        Ok(cell
+            .pin()
+            .map(|version| SnapshotHandle::new(version, cell, now)))
     }
 
     /// Executes a statement that may mutate the catalog (`CREATE
@@ -476,16 +648,46 @@ impl Database {
         t
     }
 
-    /// Aggregate cooking-pipeline telemetry across every container.
+    /// Aggregate cooking-pipeline telemetry across every container. Hits
+    /// come from the distiller's shared atomic counters, which both the
+    /// locked and the snapshot `SUMMARIZE` paths land on.
     pub fn sketch_telemetry(&self) -> crate::metrics::SketchTelemetry {
         let mut t = crate::metrics::SketchTelemetry::default();
         for c in self.containers.values() {
             let g = c.read();
             t.sketches += g.distiller().len() as u64;
-            t.hits += g.metrics().sketch_hits;
+            t.hits += g.distiller().total_hits();
             t.absorbed += g.distiller().total_absorbed();
         }
         t
+    }
+
+    /// Aggregate MVCC telemetry across every container (sums the
+    /// per-container cells; each sweeps its retirement list first, so
+    /// `retired == reclaimed` exactly when no reader pins an old
+    /// version).
+    pub fn mvcc_telemetry(&self) -> crate::metrics::MvccTelemetry {
+        let mut t = crate::metrics::MvccTelemetry::default();
+        for cell in self.mvcc.values() {
+            let c = cell.telemetry();
+            t.epoch += c.epoch;
+            t.published += c.published;
+            t.retired += c.retired;
+            t.reclaimed += c.reclaimed;
+            t.snapshot_reads += c.snapshot_reads;
+            t.consume_retries += c.consume_retries;
+            t.consume_fallbacks += c.consume_fallbacks;
+        }
+        t
+    }
+
+    /// One container's MVCC telemetry (the leak harness checks
+    /// reclamation per shard layout).
+    pub fn mvcc_telemetry_of(&self, container: &str) -> Result<crate::metrics::MvccTelemetry> {
+        self.mvcc
+            .get(container)
+            .map(|cell| cell.telemetry())
+            .ok_or_else(|| FungusError::UnknownContainer(container.to_string()))
     }
 
     /// Health reports for every container.

@@ -11,6 +11,9 @@
 //! rotten — is offered to each pipeline whose trigger matches, *before* the
 //! tuple is dropped.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use fungus_summary::{AnySummary, SummarySpec};
@@ -67,13 +70,18 @@ impl DistillSpec {
 }
 
 /// One live pipeline: spec + resolved column index + running summary.
+///
+/// Hit counters live behind a shared atomic so a `SUMMARIZE` served from
+/// an MVCC snapshot's distiller clone still lands on the live container's
+/// gauge — bumping a hit counter must never require the container write
+/// lock.
 #[derive(Debug, Clone)]
 struct Pipeline {
     spec: DistillSpec,
     column_idx: Option<usize>,
     summary: AnySummary,
     absorbed: u64,
-    hits: u64,
+    hits: Arc<AtomicU64>,
 }
 
 /// The set of distillation pipelines attached to one container.
@@ -110,7 +118,7 @@ impl Distiller {
                 column_idx,
                 summary,
                 absorbed: 0,
-                hits: 0,
+                hits: Arc::new(AtomicU64::new(0)),
             });
         }
         Ok(Distiller { pipelines })
@@ -168,11 +176,13 @@ impl Distiller {
     }
 
     /// Records one read of the named pipeline's summary; returns `false`
-    /// when no such pipeline exists.
-    pub fn note_hit(&mut self, name: &str) -> bool {
-        match self.pipelines.iter_mut().find(|p| p.spec.name == name) {
+    /// when no such pipeline exists. Shared-reference on purpose: a clone
+    /// held by an MVCC snapshot bumps the same counter as the live
+    /// distiller, so `SUMMARIZE` never needs the container write lock.
+    pub fn note_hit(&self, name: &str) -> bool {
+        match self.pipelines.iter().find(|p| p.spec.name == name) {
             Some(p) => {
-                p.hits += 1;
+                p.hits.fetch_add(1, Ordering::Relaxed);
                 true
             }
             None => false,
@@ -184,12 +194,15 @@ impl Distiller {
         self.pipelines
             .iter()
             .find(|p| p.spec.name == name)
-            .map(|p| p.hits)
+            .map(|p| p.hits.load(Ordering::Relaxed))
     }
 
     /// Total reads served across pipelines.
     pub fn total_hits(&self) -> u64 {
-        self.pipelines.iter().map(|p| p.hits).sum()
+        self.pipelines
+            .iter()
+            .map(|p| p.hits.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Names of all pipelines, in declaration order.
@@ -371,7 +384,7 @@ mod tests {
 
     #[test]
     fn hits_count_summary_reads() {
-        let mut d = Distiller::new(&specs(), &schema(), 1).unwrap();
+        let d = Distiller::new(&specs(), &schema(), 1).unwrap();
         assert_eq!(d.total_hits(), 0);
         assert!(d.note_hit("v-stats"));
         assert!(d.note_hit("v-stats"));

@@ -12,8 +12,10 @@
 //! the same seed; only the cost model differs (shard pruning, dirty-shard
 //! skipping, O(1) whole-shard rot drops).
 
+use std::sync::Arc;
+
 use fungus_query::{LogicalPlan, QueryExtent, ScanOutcome};
-use fungus_shard::ShardedExtent;
+use fungus_shard::{ExtentSnapshot, ShardedExtent};
 use fungus_storage::{
     CompactionReport, DecaySurface, SpotCensus, TableStats, TableStore, TombstoneReason,
 };
@@ -167,6 +169,19 @@ impl Extent {
         match self {
             Extent::Mono(_) => None,
             Extent::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Seals a copy-on-write snapshot of the current content for MVCC
+    /// publication. Sharded extents reuse each clean shard's cached
+    /// `Arc<TableStore>`, so steady-state publishes clone only the shards
+    /// a mutation actually touched; a monolithic extent clones whole.
+    pub fn publish_snapshot(&mut self) -> ExtentSnapshot {
+        match self {
+            Extent::Mono(s) => {
+                ExtentSnapshot::monolithic(s.schema().clone(), Arc::new(s.clone()))
+            }
+            Extent::Sharded(s) => s.publish_snapshot(),
         }
     }
 

@@ -45,6 +45,7 @@ pub mod distill;
 pub mod extent;
 pub mod health;
 pub mod metrics;
+pub mod mvcc;
 pub mod policy;
 pub mod route;
 pub mod shared;
@@ -56,7 +57,8 @@ pub use distill::{DistillSpec, DistillTrigger, Distiller};
 pub use extent::Extent;
 pub use fungus_shard::{ShardSpec, ShardedExtent};
 pub use health::{HealthMonitor, HealthReport, HealthStatus};
-pub use metrics::{EngineMetrics, ShardTelemetry, SketchTelemetry};
+pub use metrics::{EngineMetrics, MvccTelemetry, ShardTelemetry, SketchTelemetry};
+pub use mvcc::{ContainerMvcc, SnapshotHandle, Versioned};
 pub use policy::ContainerPolicy;
 pub use route::RouteSpec;
 pub use shared::SharedDatabase;

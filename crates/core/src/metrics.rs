@@ -86,6 +86,32 @@ pub struct ShardTelemetry {
     pub restored: u64,
 }
 
+/// Aggregate MVCC telemetry across a catalog: where the epoch counters
+/// stand, how many versions were published/retired/reclaimed, and how the
+/// snapshot read path is behaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct MvccTelemetry {
+    /// Sum of per-container epoch counters (each advances by one per
+    /// snapshot publication).
+    pub epoch: u64,
+    /// Snapshot versions published since startup.
+    pub published: u64,
+    /// Versions superseded by a newer publish and handed to the
+    /// reclamation list.
+    pub retired: u64,
+    /// Retired versions whose last reader departed and whose memory was
+    /// released.
+    pub reclaimed: u64,
+    /// Non-consuming reads served lock-free from a sealed snapshot.
+    pub snapshot_reads: u64,
+    /// `CONSUME` attempts that lost their optimistic race (the epoch
+    /// advanced between pin and write) and retried.
+    pub consume_retries: u64,
+    /// `CONSUME`s that exhausted their retries and fell back to the fully
+    /// locked path.
+    pub consume_fallbacks: u64,
+}
+
 /// Aggregate cooking-pipeline telemetry across a catalog: how many
 /// sketches exist, how often they are read, and how much departed data
 /// they have absorbed.

@@ -1,0 +1,419 @@
+//! Epoch-based MVCC snapshot cells.
+//!
+//! Each container gets one [`ContainerMvcc`] cell holding the latest
+//! **sealed snapshot** of its extent and distiller behind an epoch
+//! counter. Mutators (insert, consume, decay, routed deliveries) change
+//! the live [`Container`](crate::Container) under its write lock and then
+//! *publish*: a copy-on-write snapshot replaces the head version and the
+//! epoch advances by one. Non-consuming `SELECT`s and `SUMMARIZE` reads
+//! pin the head version (one `Arc` clone under a read lock of the head
+//! slot — never the container lock) and resolve entirely against it.
+//!
+//! ## `CONSUME` isolation
+//!
+//! `CONSUME` is a read *and* a write. Its isolation level is
+//! **read-own-snapshot, write-live, conflict = retry-on-epoch-advance**:
+//!
+//! 1. pin the head version (epoch *e*);
+//! 2. run the read phases against the snapshot off-lock
+//!    ([`execute_readonly`](fungus_query::execute_readonly));
+//! 3. take the container write lock and re-check the cell's epoch — if it
+//!    still equals *e*, the live extent is content-identical to the
+//!    snapshot (every mutator publishes before releasing the lock), so
+//!    the pre-computed answer is applied verbatim: exactly the returned
+//!    ids are deleted from the live extent and a new snapshot is
+//!    published;
+//! 4. if the epoch advanced, the answer may be stale — drop it, count a
+//!    retry, and re-pin; after bounded retries fall back to the fully
+//!    locked path (counted separately).
+//!
+//! ## Deferred touches
+//!
+//! Snapshot reads cannot bump access metadata (the snapshot is immutable
+//! and shared), so the returned ids are queued on the cell's `touches`
+//! list; the next mutator drains the queue under the container lock and
+//! applies the touches to the live extent before doing its own work.
+//! Access metadata therefore lags reality by at most one
+//! mutation — acceptable for an importance signal, and documented as
+//! outside the serializability observable (`DESIGN.md`).
+//!
+//! ## Reclamation
+//!
+//! Readers register by holding the version `Arc`. A superseded head is
+//! downgraded to a `Weak` on the `retired` list; sweeps (on every publish
+//! and on telemetry reads) drop entries whose last reader departed and
+//! count them as reclaimed. Quiescence ⇒ `retired == reclaimed`.
+//!
+//! Lock classes (enforced by `fungus-lint` + the runtime hierarchy):
+//! `touches` = rank 44, `head` = rank 45, `retired` = rank 46 — all above
+//! `CONTAINERS` (30), so any of them may be taken while holding a
+//! container write lock, and `publish` may push to `retired` while
+//! holding `head`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
+
+use fungus_lint_rt::{hierarchy, OrderedMutex, OrderedRwLock};
+use fungus_query::{execute_readonly, Planner, ReadExtent, ResultSet, SelectStatement};
+use fungus_shard::ExtentSnapshot;
+use fungus_types::{FungusError, Result, Schema, Tick, TupleId, Value};
+
+use crate::distill::Distiller;
+use crate::metrics::MvccTelemetry;
+
+/// One sealed snapshot: the extent and distiller state as of `epoch`.
+/// Immutable once published; shared by readers via `Arc`.
+#[derive(Debug, Clone)]
+pub struct Versioned {
+    epoch: u64,
+    extent: ExtentSnapshot,
+    distiller: Distiller,
+}
+
+impl Versioned {
+    /// The epoch this version was published at.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The sealed extent snapshot.
+    pub fn extent(&self) -> &ExtentSnapshot {
+        &self.extent
+    }
+
+    /// The schema of the sealed extent.
+    pub fn schema(&self) -> &Schema {
+        self.extent.schema()
+    }
+
+    /// Answers a `SUMMARIZE` read from the sealed distiller state. Hit
+    /// counters are shared atomics with the live distiller, so the read
+    /// still lands on the container's gauges — without its lock.
+    pub fn sketch_report(
+        &self,
+        container: &str,
+        name: &str,
+        top: Option<usize>,
+        now: Tick,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        if !self.distiller.note_hit(name) {
+            return Err(FungusError::PlanError(format!(
+                "container `{container}` has no summary `{name}` (available: {})",
+                self.distiller.names().join(", ")
+            )));
+        }
+        let summary = self
+            .distiller
+            .summary(name)
+            // lint: allow(panic, "note_hit returned true above, so the pipeline exists")
+            .expect("note_hit found the pipeline");
+        let (columns, mut rows) = summary.report(now.get());
+        if let Some(n) = top {
+            rows.truncate(n);
+        }
+        Ok((columns, rows))
+    }
+}
+
+/// The per-container MVCC cell: epoch counter, head version slot,
+/// retirement list, deferred-touch queue, and read-path gauges.
+///
+/// Field names are load-bearing: `lint.toml` maps the lock receivers
+/// `touches` / `head` / `retired` in this file to the `Mvcc.*` lock
+/// classes.
+#[derive(Debug)]
+pub struct ContainerMvcc {
+    /// Epoch of the current head version (0 = nothing published yet).
+    epoch: AtomicU64,
+    /// The head version slot. Readers pin with one `Arc` clone under the
+    /// read side; `publish` swaps under the write side.
+    head: OrderedRwLock<Option<Arc<Versioned>>>,
+    /// Superseded versions awaiting their last reader, as weak refs.
+    retired: OrderedMutex<Vec<Weak<Versioned>>>,
+    /// Deferred access-metadata bumps queued by snapshot reads; drained
+    /// by the next mutator under the container lock.
+    touches: OrderedMutex<Vec<(TupleId, Tick)>>,
+    published: AtomicU64,
+    retired_total: AtomicU64,
+    reclaimed: AtomicU64,
+    snapshot_reads: AtomicU64,
+    consume_retries: AtomicU64,
+    consume_fallbacks: AtomicU64,
+}
+
+impl Default for ContainerMvcc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContainerMvcc {
+    /// An empty cell at epoch 0 with no published version.
+    pub fn new() -> Self {
+        ContainerMvcc {
+            epoch: AtomicU64::new(0),
+            head: OrderedRwLock::new(&hierarchy::MVCC_VERSIONS, None),
+            retired: OrderedMutex::new(&hierarchy::MVCC_RETIRED, Vec::new()),
+            touches: OrderedMutex::new(&hierarchy::MVCC_TOUCHES, Vec::new()),
+            published: AtomicU64::new(0),
+            retired_total: AtomicU64::new(0),
+            reclaimed: AtomicU64::new(0),
+            snapshot_reads: AtomicU64::new(0),
+            consume_retries: AtomicU64::new(0),
+            consume_fallbacks: AtomicU64::new(0),
+        }
+    }
+
+    /// The current epoch (the epoch of the head version, or 0).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Pins the head version: readers hold the returned `Arc` for as long
+    /// as they read, which is exactly their reclamation registration.
+    /// `None` until the first publish.
+    pub fn pin(&self) -> Option<Arc<Versioned>> {
+        self.head.read().clone()
+    }
+
+    /// Publishes a new sealed version, advancing the epoch. The old head
+    /// moves to the retirement list as a weak ref; dead entries (no
+    /// remaining readers) are swept and counted reclaimed. Returns the
+    /// new epoch.
+    ///
+    /// Callers must hold the container's write lock so publishes are
+    /// serialized against the mutation they seal (`CONTAINERS` rank 30 <
+    /// `Mvcc.versions` 45 < `Mvcc.retired` 46 — ascending).
+    pub fn publish(&self, extent: ExtentSnapshot, distiller: Distiller) -> u64 {
+        let next = self.epoch.load(Ordering::Acquire) + 1;
+        let version = Arc::new(Versioned {
+            epoch: next,
+            extent,
+            distiller,
+        });
+        let old = {
+            let mut head = self.head.write();
+            let old = head.replace(version);
+            // Readers that pin after this see the new epoch; the store is
+            // ordered after the swap so a pin at the old epoch still has
+            // the old version.
+            self.epoch.store(next, Ordering::Release);
+            old
+        };
+        self.published.fetch_add(1, Ordering::Relaxed);
+        if let Some(old) = old {
+            let mut retired = self.retired.lock();
+            retired.push(Arc::downgrade(&old));
+            self.retired_total.fetch_add(1, Ordering::Relaxed);
+            drop(old); // release our strong ref before sweeping
+            Self::sweep_locked(&mut retired, &self.reclaimed);
+        }
+        next
+    }
+
+    /// Drops retirement entries whose last reader departed.
+    fn sweep_locked(retired: &mut Vec<Weak<Versioned>>, reclaimed: &AtomicU64) {
+        let before = retired.len();
+        retired.retain(|w| w.strong_count() > 0);
+        let dead = (before - retired.len()) as u64;
+        if dead > 0 {
+            reclaimed.fetch_add(dead, Ordering::Relaxed);
+        }
+    }
+
+    /// Sweeps the retirement list now (telemetry reads call this so the
+    /// reclaimed gauge reflects quiescence without waiting for the next
+    /// publish).
+    pub fn sweep(&self) {
+        let mut retired = self.retired.lock();
+        Self::sweep_locked(&mut retired, &self.reclaimed);
+    }
+
+    /// Retired versions still waiting on a reader, after a sweep.
+    pub fn retired_outstanding(&self) -> u64 {
+        let mut retired = self.retired.lock();
+        Self::sweep_locked(&mut retired, &self.reclaimed);
+        retired.len() as u64
+    }
+
+    /// Queues deferred access-metadata bumps from a snapshot read.
+    pub fn queue_touches(&self, ids: &[TupleId], at: Tick) {
+        if ids.is_empty() {
+            return;
+        }
+        let mut touches = self.touches.lock();
+        touches.extend(ids.iter().map(|id| (*id, at)));
+    }
+
+    /// Drains the deferred-touch queue. Callers hold the container write
+    /// lock and apply the entries to the live extent (`CONTAINERS` 30 <
+    /// `Mvcc.touches` 44 — ascending).
+    pub fn drain_touches(&self) -> Vec<(TupleId, Tick)> {
+        let mut touches = self.touches.lock();
+        std::mem::take(&mut *touches)
+    }
+
+    /// Counts one lock-free snapshot read.
+    pub fn note_snapshot_read(&self) {
+        self.snapshot_reads.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `CONSUME` optimistic-race loss (epoch advanced between
+    /// pin and write; the attempt retries).
+    pub fn note_consume_retry(&self) {
+        self.consume_retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one `CONSUME` that exhausted its retries and fell back to
+    /// the fully locked path.
+    pub fn note_consume_fallback(&self) {
+        self.consume_fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// This cell's counters as a telemetry row (sweeps first so
+    /// `reclaimed` is current).
+    pub fn telemetry(&self) -> MvccTelemetry {
+        self.sweep();
+        MvccTelemetry {
+            epoch: self.epoch.load(Ordering::Acquire),
+            published: self.published.load(Ordering::Relaxed),
+            retired: self.retired_total.load(Ordering::Relaxed),
+            reclaimed: self.reclaimed.load(Ordering::Relaxed),
+            snapshot_reads: self.snapshot_reads.load(Ordering::Relaxed),
+            consume_retries: self.consume_retries.load(Ordering::Relaxed),
+            consume_fallbacks: self.consume_fallbacks.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A pinned snapshot a caller holds across multiple reads: the version
+/// `Arc` (its reclamation registration), the owning cell (for gauges and
+/// deferred touches), and the tick the pin was taken at. All reads
+/// evaluate at the pin tick, so a handle answers identically no matter
+/// how much the live container has mutated since — the property the
+/// serializability harness exercises.
+#[derive(Debug, Clone)]
+pub struct SnapshotHandle {
+    version: Arc<Versioned>,
+    cell: Arc<ContainerMvcc>,
+    at: Tick,
+}
+
+impl SnapshotHandle {
+    pub(crate) fn new(version: Arc<Versioned>, cell: Arc<ContainerMvcc>, at: Tick) -> Self {
+        SnapshotHandle { version, cell, at }
+    }
+
+    /// The epoch of the pinned version.
+    pub fn epoch(&self) -> u64 {
+        self.version.epoch()
+    }
+
+    /// The tick the pin was taken at; all reads evaluate here.
+    pub fn at(&self) -> Tick {
+        self.at
+    }
+
+    /// The pinned extent's schema.
+    pub fn schema(&self) -> &Schema {
+        self.version.schema()
+    }
+
+    /// Live tuples in the pinned snapshot.
+    pub fn live_count(&self) -> usize {
+        self.version.extent().live_count()
+    }
+
+    /// Runs a non-consuming `SELECT` against the pinned snapshot at the
+    /// pin tick. `CONSUME` is refused: it writes, and writes go through
+    /// the database so the isolation contract (epoch re-check under the
+    /// container lock) can be enforced.
+    pub fn select(&self, stmt: &SelectStatement) -> Result<ResultSet> {
+        let plan = Planner.plan(stmt, self.version.schema())?;
+        if plan.consume {
+            return Err(FungusError::PlanError(
+                "CONSUME cannot run against a pinned snapshot; \
+                 execute it through the database so the epoch check applies"
+                    .into(),
+            ));
+        }
+        let (result, returned) = execute_readonly(&plan, self.version.extent(), self.at)?;
+        self.cell.note_snapshot_read();
+        self.cell.queue_touches(&returned, self.at);
+        Ok(result)
+    }
+
+    /// Answers a `SUMMARIZE` read from the pinned distiller state.
+    pub fn summarize(
+        &self,
+        container: &str,
+        name: &str,
+        top: Option<usize>,
+    ) -> Result<(Vec<String>, Vec<Vec<Value>>)> {
+        let out = self.version.sketch_report(container, name, top, self.at)?;
+        self.cell.note_snapshot_read();
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fungus_storage::{StorageConfig, TableStore};
+    use fungus_types::{ColumnDef, DataType, Value};
+
+    fn store_with(values: &[i64]) -> TableStore {
+        let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+        let mut s = TableStore::new(schema, StorageConfig::default()).unwrap();
+        for v in values {
+            s.insert(vec![Value::Int(*v)], Tick(1)).unwrap();
+        }
+        s
+    }
+
+    fn snap_of(store: &TableStore) -> ExtentSnapshot {
+        ExtentSnapshot::monolithic(store.schema().clone(), Arc::new(store.clone()))
+    }
+
+    #[test]
+    fn publish_advances_epoch_and_retires_old_head() {
+        let cell = ContainerMvcc::new();
+        assert_eq!(cell.epoch(), 0);
+        assert!(cell.pin().is_none());
+
+        let store = store_with(&[1, 2, 3]);
+        let schema = store.schema().clone();
+        let d = Distiller::new(&[], &schema, 0).unwrap();
+
+        assert_eq!(cell.publish(snap_of(&store), d.clone()), 1);
+        let pinned = cell.pin().expect("head published");
+        assert_eq!(pinned.epoch(), 1);
+        assert_eq!(pinned.extent().live_count(), 3);
+
+        // Second publish retires the first version; our pin keeps it
+        // alive until dropped.
+        assert_eq!(cell.publish(snap_of(&store), d), 2);
+        assert_eq!(cell.epoch(), 2);
+        let t = cell.telemetry();
+        assert_eq!((t.published, t.retired, t.reclaimed), (2, 1, 0));
+        assert_eq!(cell.retired_outstanding(), 1);
+
+        drop(pinned);
+        let t = cell.telemetry();
+        assert_eq!((t.retired, t.reclaimed), (1, 1));
+        assert_eq!(cell.retired_outstanding(), 0);
+    }
+
+    #[test]
+    fn touch_queue_drains_once() {
+        let cell = ContainerMvcc::new();
+        cell.queue_touches(&[TupleId(1), TupleId(2)], Tick(7));
+        cell.queue_touches(&[], Tick(8)); // no-op
+        cell.queue_touches(&[TupleId(3)], Tick(9));
+        assert_eq!(
+            cell.drain_touches(),
+            vec![(TupleId(1), Tick(7)), (TupleId(2), Tick(7)), (TupleId(3), Tick(9))]
+        );
+        assert!(cell.drain_touches().is_empty());
+    }
+}

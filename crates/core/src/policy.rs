@@ -25,6 +25,16 @@ pub struct ContainerPolicy {
     /// Time-range sharding of the extent (None = one monolithic store).
     #[serde(default)]
     pub sharding: Option<ShardSpec>,
+    /// Publish MVCC snapshots so non-consuming reads run lock-free
+    /// against a sealed epoch (on by default). Off = every read takes the
+    /// container lock — the locked baseline the E12-MVCC experiment
+    /// measures against.
+    #[serde(default = "default_mvcc")]
+    pub mvcc: bool,
+}
+
+fn default_mvcc() -> bool {
+    true
 }
 
 impl ContainerPolicy {
@@ -39,6 +49,7 @@ impl ContainerPolicy {
             compact_every: Some(64),
             distill: Vec::new(),
             sharding: None,
+            mvcc: true,
         }
     }
 
@@ -79,6 +90,14 @@ impl ContainerPolicy {
     #[must_use]
     pub fn with_sharding(mut self, spec: ShardSpec) -> Self {
         self.sharding = Some(spec);
+        self
+    }
+
+    /// Disables MVCC snapshot publication: every read goes through the
+    /// container lock (the locked baseline for benchmarks).
+    #[must_use]
+    pub fn without_mvcc(mut self) -> Self {
+        self.mvcc = false;
         self
     }
 

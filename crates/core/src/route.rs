@@ -17,6 +17,7 @@ use fungus_types::{FungusError, Result, Schema, Tick, Tuple, Value};
 
 use crate::database::ContainerHandle;
 use crate::distill::DistillTrigger;
+use crate::mvcc::ContainerMvcc;
 
 /// Declarative description of a route.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -33,6 +34,9 @@ pub struct RouteSpec {
 pub(crate) struct Route {
     pub(crate) to_name: String,
     pub(crate) target: ContainerHandle,
+    /// The target's MVCC cell: deliveries mutate the target, so they
+    /// publish a fresh snapshot for its lock-free readers.
+    target_mvcc: Arc<ContainerMvcc>,
     projection: Vec<usize>,
     pub(crate) trigger: DistillTrigger,
 }
@@ -43,6 +47,7 @@ impl Route {
         spec: &RouteSpec,
         source_schema: &Schema,
         target: ContainerHandle,
+        target_mvcc: Arc<ContainerMvcc>,
     ) -> Result<Route> {
         let mut projection = Vec::with_capacity(spec.columns.len());
         for name in &spec.columns {
@@ -79,6 +84,7 @@ impl Route {
         Ok(Route {
             to_name: spec.to.clone(),
             target,
+            target_mvcc,
             projection,
             trigger: spec.trigger,
         })
@@ -105,6 +111,9 @@ impl Route {
             guard.insert(self.project(t), now)?;
             delivered += 1;
         }
+        // Seal what arrived before the target's lock drops, so snapshot
+        // readers of the target see routed data as soon as it lands.
+        guard.drain_and_publish(&self.target_mvcc);
         Ok(delivered)
     }
 }
@@ -144,6 +153,10 @@ mod tests {
         ))
     }
 
+    fn cell() -> Arc<ContainerMvcc> {
+        Arc::new(ContainerMvcc::new())
+    }
+
     fn source_schema() -> Schema {
         Schema::from_pairs(&[
             ("k", DataType::Int),
@@ -163,7 +176,7 @@ mod tests {
             trigger: DistillTrigger::Both,
         };
         assert!(matches!(
-            Route::resolve(&bad, &source_schema(), Arc::clone(&tgt)),
+            Route::resolve(&bad, &source_schema(), Arc::clone(&tgt), cell()),
             Err(FungusError::UnknownColumn(_))
         ));
         // Arity mismatch.
@@ -172,21 +185,21 @@ mod tests {
             columns: vec!["k".into(), "v".into()],
             trigger: DistillTrigger::Both,
         };
-        assert!(Route::resolve(&bad, &source_schema(), Arc::clone(&tgt)).is_err());
+        assert!(Route::resolve(&bad, &source_schema(), Arc::clone(&tgt), cell()).is_err());
         // Type mismatch: Str → Float.
         let bad = RouteSpec {
             to: "cold".into(),
             columns: vec!["tag".into()],
             trigger: DistillTrigger::Both,
         };
-        assert!(Route::resolve(&bad, &source_schema(), Arc::clone(&tgt)).is_err());
+        assert!(Route::resolve(&bad, &source_schema(), Arc::clone(&tgt), cell()).is_err());
         // Int widens into Float: fine.
         let ok = RouteSpec {
             to: "cold".into(),
             columns: vec!["k".into()],
             trigger: DistillTrigger::Both,
         };
-        Route::resolve(&ok, &source_schema(), tgt).unwrap();
+        Route::resolve(&ok, &source_schema(), tgt, cell()).unwrap();
     }
 
     #[test]
@@ -198,7 +211,7 @@ mod tests {
             columns: vec!["v".into(), "k".into()], // reordered projection
             trigger: DistillTrigger::Rotted,
         };
-        let route = Route::resolve(&spec, &source_schema(), Arc::clone(&tgt)).unwrap();
+        let route = Route::resolve(&spec, &source_schema(), Arc::clone(&tgt), cell()).unwrap();
         let departures = vec![Tuple::new(
             TupleId(0),
             Tick(1),

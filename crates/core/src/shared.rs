@@ -124,6 +124,11 @@ impl SharedDatabase {
         self.inner.read().sketch_telemetry()
     }
 
+    /// Aggregate MVCC telemetry across every container.
+    pub fn mvcc_telemetry(&self) -> crate::metrics::MvccTelemetry {
+        self.inner.read().mvcc_telemetry()
+    }
+
     /// Live tuple count of one container (0 when it does not exist).
     pub fn live_count(&self, container: &str) -> usize {
         self.inner

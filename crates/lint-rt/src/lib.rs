@@ -84,6 +84,29 @@ pub mod hierarchy {
         rank: 40,
         siblings: true,
     };
+    /// A container's deferred-touch queue: snapshot readers push access
+    /// write-backs here (under the catalog lock only); mutators drain it
+    /// under the container lock before applying their own change.
+    pub static MVCC_TOUCHES: LockClass = LockClass {
+        name: "Mvcc.touches",
+        rank: 44,
+        siblings: false,
+    };
+    /// The published-snapshot head of a container's epoch cell. Readers
+    /// take it only long enough to clone the `Arc`; publishers swap it
+    /// under the container lock.
+    pub static MVCC_VERSIONS: LockClass = LockClass {
+        name: "Mvcc.versions",
+        rank: 45,
+        siblings: false,
+    };
+    /// The retired-version list of an epoch cell, swept at publish and on
+    /// gauge reads (a leaf below the snapshot head).
+    pub static MVCC_RETIRED: LockClass = LockClass {
+        name: "Mvcc.retired",
+        rank: 46,
+        siblings: false,
+    };
     /// Work-stealing queues of the shard fan-out pool (leaf; guards are
     /// never held across a steal attempt on another queue).
     pub static POOL_QUEUES: LockClass = LockClass {
@@ -107,6 +130,9 @@ pub mod hierarchy {
         &ROUTES,
         &CONTAINERS,
         &SHARDS,
+        &MVCC_TOUCHES,
+        &MVCC_VERSIONS,
+        &MVCC_RETIRED,
         &POOL_QUEUES,
         &STATS,
     ];

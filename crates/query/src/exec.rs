@@ -22,9 +22,34 @@ use fungus_storage::TombstoneReason;
 use fungus_types::{ColumnDef, DataType, FungusError, Result, Schema, Tick, Tuple, TupleId, Value};
 
 use crate::expr::AggFunc;
-use crate::extent::QueryExtent;
+use crate::extent::{QueryExtent, ReadExtent, ScanOutcome};
 use crate::parser::{parse_statement, Statement};
 use crate::plan::{LogicalPlan, PlannedExpr, Planner};
+
+/// Internal point-access seam: the shaping phases only ever resolve a
+/// matched id to its tuple, one id at a time. Abstracting that single
+/// operation lets the same shaping code run against a mutable extent
+/// (whose lock-sharded layouts need `&mut` for the `get_mut` fast path)
+/// and against an immutable snapshot.
+trait TupleFetch {
+    fn fetch(&mut self, id: TupleId) -> Option<&Tuple>;
+}
+
+impl<E: QueryExtent + ?Sized> TupleFetch for &mut E {
+    fn fetch(&mut self, id: TupleId) -> Option<&Tuple> {
+        self.tuple(id)
+    }
+}
+
+/// Wraps a shared reference to a [`ReadExtent`] so snapshots satisfy
+/// [`TupleFetch`] without overlapping the `&mut E` impl.
+struct Peek<'a, E: ?Sized>(&'a E);
+
+impl<E: ReadExtent + ?Sized> TupleFetch for Peek<'_, E> {
+    fn fetch(&mut self, id: TupleId) -> Option<&Tuple> {
+        self.0.peek(id)
+    }
+}
 
 /// The answer set `A` of a query, plus the consumed tuples (the paper's
 /// "reduced extent" delta) and scan diagnostics.
@@ -204,18 +229,18 @@ pub fn execute<E: QueryExtent>(plan: &LogicalPlan, table: &mut E, now: Tick) -> 
     // The extent owns the access-path choice (indexes, zone-map pruning,
     // shard pruning); the matched ids come back in global id order.
     let scan = table.scan(plan, now)?;
-    let matched = scan.matched;
 
-    // ---- phase 2: shape ----------------------------------------------
-    let columns: Vec<String> = plan.outputs.iter().map(|o| o.name.clone()).collect();
-    let (rows, returned_ids) = if plan.aggregate {
-        (
-            aggregate_rows(plan, table, &matched, &schema, now)?,
-            matched.clone(),
-        )
-    } else {
-        scalar_rows(plan, table, &matched, &schema, now)?
-    };
+    // ---- phase 2+3: shape, sort, limit --------------------------------
+    let (result, returned_ids) = shape_phases(plan, &mut &mut *table, &schema, scan, now)?;
+    let ResultSet {
+        columns,
+        rows,
+        scanned,
+        pruned_segments,
+        pruned_shards,
+        used_index,
+        ..
+    } = result;
 
     // ---- phase 4: consume / touch -------------------------------------
     let mut consumed = Vec::new();
@@ -237,18 +262,74 @@ pub fn execute<E: QueryExtent>(plan: &LogicalPlan, table: &mut E, now: Tick) -> 
         columns,
         rows,
         consumed,
-        scanned: scan.scanned,
-        pruned_segments: scan.pruned_segments,
-        pruned_shards: scan.pruned_shards,
-        used_index: scan.used_index,
+        scanned,
+        pruned_segments,
+        pruned_shards,
+        used_index,
     })
+}
+
+/// Executes the **read phases** of a plan against an immutable snapshot:
+/// scan, shape, sort, limit — everything up to (but excluding) the
+/// consume/touch side effects.
+///
+/// Returns the result set (with `consumed` always empty) plus the ids the
+/// answer was drawn from — the exact set [`execute`] would have consumed
+/// (consume plans) or touched (peek plans). Callers enforcing the MVCC
+/// isolation contract apply those effects to the **live** version
+/// themselves: a peek queues deferred touches; a `CONSUME` validates that
+/// the epoch has not advanced since the snapshot was pinned and then
+/// deletes exactly `returned_ids`, or retries on a newer snapshot.
+pub fn execute_readonly<E: ReadExtent + ?Sized>(
+    plan: &LogicalPlan,
+    table: &E,
+    now: Tick,
+) -> Result<(ResultSet, Vec<TupleId>)> {
+    let schema = table.schema().clone();
+    let scan = table.scan(plan, now)?;
+    shape_phases(plan, &mut Peek(table), &schema, scan, now)
+}
+
+/// Phases 2–3 shared by [`execute`] and [`execute_readonly`]: shape the
+/// matched ids into output rows, sort, and limit. Sharing this code is
+/// what makes snapshot answers bit-identical to locked answers by
+/// construction.
+fn shape_phases<T: TupleFetch>(
+    plan: &LogicalPlan,
+    fetch: &mut T,
+    schema: &Schema,
+    scan: ScanOutcome,
+    now: Tick,
+) -> Result<(ResultSet, Vec<TupleId>)> {
+    let matched = scan.matched;
+    let columns: Vec<String> = plan.outputs.iter().map(|o| o.name.clone()).collect();
+    let (rows, returned_ids) = if plan.aggregate {
+        (
+            aggregate_rows(plan, fetch, &matched, schema, now)?,
+            matched.clone(),
+        )
+    } else {
+        scalar_rows(plan, fetch, &matched, schema, now)?
+    };
+    Ok((
+        ResultSet {
+            columns,
+            rows,
+            consumed: Vec::new(),
+            scanned: scan.scanned,
+            pruned_segments: scan.pruned_segments,
+            pruned_shards: scan.pruned_shards,
+            used_index: scan.used_index,
+        },
+        returned_ids,
+    ))
 }
 
 /// Scalar mode: evaluate outputs per matched tuple, sort, limit.
 /// Returns the rows plus the ids that were actually returned.
-fn scalar_rows<E: QueryExtent>(
+fn scalar_rows<T: TupleFetch>(
     plan: &LogicalPlan,
-    table: &mut E,
+    table: &mut T,
     matched: &[TupleId],
     schema: &Schema,
     now: Tick,
@@ -257,7 +338,7 @@ fn scalar_rows<E: QueryExtent>(
     let mut shaped: Vec<(Vec<Value>, Vec<Value>, TupleId)> = Vec::with_capacity(matched.len());
     for id in matched {
         let tuple = table
-            .tuple(*id)
+            .fetch(*id)
             .expect("matched tuple is live within the same borrow");
         let mut row = Vec::with_capacity(plan.outputs.len());
         for out in &plan.outputs {
@@ -540,9 +621,9 @@ impl Acc {
 /// Aggregate mode: group matched tuples, fold accumulators, emit one row
 /// per group (or exactly one row for the implicit global group), then sort
 /// against the *output* schema and limit.
-fn aggregate_rows<E: QueryExtent>(
+fn aggregate_rows<T: TupleFetch>(
     plan: &LogicalPlan,
-    table: &mut E,
+    table: &mut T,
     matched: &[TupleId],
     schema: &Schema,
     now: Tick,
@@ -577,7 +658,7 @@ fn aggregate_rows<E: QueryExtent>(
     }
 
     for id in matched {
-        let tuple = table.tuple(*id).expect("matched tuple is live");
+        let tuple = table.fetch(*id).expect("matched tuple is live");
         let key: Vec<Value> = key_indices
             .iter()
             .map(|i| tuple.values[*i].clone())

@@ -36,6 +36,44 @@ pub struct ScanOutcome {
     pub used_index: bool,
 }
 
+/// Immutable storage surface for snapshot (MVCC) reads.
+///
+/// A sealed copy-on-write snapshot of an extent implements this trait so
+/// `SELECT` without `CONSUME` can run against it lock-free while writers
+/// mutate the live version. The contract is the read half of
+/// [`QueryExtent`]: [`scan`](ReadExtent::scan) returns matched ids in
+/// global id order, and [`peek`](ReadExtent::peek) resolves a matched id
+/// without mutating anything — so
+/// [`execute_readonly`](crate::exec::execute_readonly) produces exactly
+/// the rows [`execute`](crate::exec::execute) would have produced against
+/// the same logical extent.
+pub trait ReadExtent {
+    /// The extent's schema.
+    fn schema(&self) -> &Schema;
+
+    /// Phase-1 scan: every live tuple matching the plan's predicate, in
+    /// global id order.
+    fn scan(&self, plan: &LogicalPlan, now: Tick) -> Result<ScanOutcome>;
+
+    /// The live tuple with `id`, through a shared reference (snapshots are
+    /// immutable, so no lock fast path is needed).
+    fn peek(&self, id: TupleId) -> Option<&Tuple>;
+}
+
+impl ReadExtent for TableStore {
+    fn schema(&self) -> &Schema {
+        TableStore::schema(self)
+    }
+
+    fn scan(&self, plan: &LogicalPlan, now: Tick) -> Result<ScanOutcome> {
+        scan_store(self, plan, now)
+    }
+
+    fn peek(&self, id: TupleId) -> Option<&Tuple> {
+        self.get(id)
+    }
+}
+
 /// Mutable storage surface the query executor runs against.
 pub trait QueryExtent {
     /// The extent's schema.

@@ -29,9 +29,9 @@ pub mod parser;
 pub mod plan;
 pub mod prune;
 
-pub use exec::{execute, execute_parsed, execute_statement, ResultSet};
+pub use exec::{execute, execute_parsed, execute_readonly, execute_statement, ResultSet};
 pub use expr::{AggFunc, BinOp, CmpOp, Expr, MetaField, ScalarFunc};
-pub use extent::{scan_store, QueryExtent, ScanOutcome};
+pub use extent::{scan_store, QueryExtent, ReadExtent, ScanOutcome};
 pub use parser::{
     parse_expr, parse_statement, CreateContainerStatement, DistillClause, ProjExpr, Projection,
     SelectStatement, ShardingClause, SortKey, Statement,

@@ -149,6 +149,27 @@ pub struct StatsSummary {
     /// Values folded into the pipelines from departing tuples.
     #[serde(default)]
     pub sketch_absorbed: u64,
+    /// Sum of per-container MVCC epoch counters.
+    #[serde(default)]
+    pub mvcc_epoch: u64,
+    /// MVCC snapshot versions published.
+    #[serde(default)]
+    pub mvcc_published: u64,
+    /// Superseded versions handed to the reclamation list.
+    #[serde(default)]
+    pub mvcc_retired: u64,
+    /// Retired versions whose memory was released.
+    #[serde(default)]
+    pub mvcc_reclaimed: u64,
+    /// Non-consuming reads served lock-free from sealed snapshots.
+    #[serde(default)]
+    pub mvcc_snapshot_reads: u64,
+    /// Optimistic `CONSUME` attempts that lost the epoch race and retried.
+    #[serde(default)]
+    pub mvcc_consume_retries: u64,
+    /// `CONSUME`s that fell back to the fully locked path.
+    #[serde(default)]
+    pub mvcc_consume_fallbacks: u64,
 }
 
 impl From<crate::stats::MetricsSnapshot> for StatsSummary {
@@ -172,6 +193,13 @@ impl From<crate::stats::MetricsSnapshot> for StatsSummary {
             sketches: m.sketches,
             sketch_hits: m.sketch_hits,
             sketch_absorbed: m.sketch_absorbed,
+            mvcc_epoch: m.mvcc_epoch,
+            mvcc_published: m.mvcc_published,
+            mvcc_retired: m.mvcc_retired,
+            mvcc_reclaimed: m.mvcc_reclaimed,
+            mvcc_snapshot_reads: m.mvcc_snapshot_reads,
+            mvcc_consume_retries: m.mvcc_consume_retries,
+            mvcc_consume_fallbacks: m.mvcc_consume_fallbacks,
         }
     }
 }
@@ -373,6 +401,13 @@ mod tests {
                     sketches: 6,
                     sketch_hits: 19,
                     sketch_absorbed: 5000,
+                    mvcc_epoch: 88,
+                    mvcc_published: 90,
+                    mvcc_retired: 89,
+                    mvcc_reclaimed: 89,
+                    mvcc_snapshot_reads: 450,
+                    mvcc_consume_retries: 3,
+                    mvcc_consume_fallbacks: 1,
                 }),
             },
             Response::Pong,

@@ -158,6 +158,13 @@ impl Session {
                         ("sketches", s.sketches),
                         ("sketch_hits", s.sketch_hits),
                         ("sketch_absorbed", s.sketch_absorbed),
+                        ("mvcc_epoch", s.mvcc_epoch),
+                        ("mvcc_published", s.mvcc_published),
+                        ("mvcc_retired", s.mvcc_retired),
+                        ("mvcc_reclaimed", s.mvcc_reclaimed),
+                        ("mvcc_snapshot_reads", s.mvcc_snapshot_reads),
+                        ("mvcc_consume_retries", s.mvcc_consume_retries),
+                        ("mvcc_consume_fallbacks", s.mvcc_consume_fallbacks),
                     ]
                     .into_iter()
                     .map(|(name, v)| vec![Value::Str(name.into()), Value::Int(v as i64)])
@@ -353,7 +360,7 @@ mod tests {
         let r = s.handle(Request::Dot {
             line: ".stats".into(),
         });
-        assert_eq!(r.row_count(), Some(18), "{r:?}");
+        assert_eq!(r.row_count(), Some(25), "{r:?}");
         // `.health` carries the same summary inline.
         let r = s.handle(Request::Dot {
             line: ".health".into(),

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use fungus_lint_rt::{hierarchy, OrderedMutex};
 
-use fungus_core::{ShardTelemetry, SharedDatabase, SketchTelemetry};
+use fungus_core::{MvccTelemetry, ShardTelemetry, SharedDatabase, SketchTelemetry};
 
 /// Monotone counters shared by every server thread.
 #[derive(Debug)]
@@ -101,6 +101,22 @@ pub struct MetricsSnapshot {
     pub sketch_hits: u64,
     /// Values folded into the pipelines from departing tuples.
     pub sketch_absorbed: u64,
+    /// Sum of per-container MVCC epoch counters.
+    pub mvcc_epoch: u64,
+    /// MVCC snapshot versions published.
+    pub mvcc_published: u64,
+    /// Superseded versions handed to the reclamation list.
+    pub mvcc_retired: u64,
+    /// Retired versions whose memory was released (equals `mvcc_retired`
+    /// at reader quiescence).
+    pub mvcc_reclaimed: u64,
+    /// Non-consuming reads served lock-free from sealed snapshots.
+    pub mvcc_snapshot_reads: u64,
+    /// Optimistic `CONSUME` attempts that lost the epoch race and
+    /// retried.
+    pub mvcc_consume_retries: u64,
+    /// `CONSUME`s that fell back to the fully locked path.
+    pub mvcc_consume_fallbacks: u64,
 }
 
 impl ServerStats {
@@ -135,6 +151,14 @@ impl ServerStats {
         db.map(|db| db.sketch_telemetry()).unwrap_or_default()
     }
 
+    /// Current MVCC telemetry (zeros without a linked catalog). Same
+    /// clone-the-handle-then-drop-the-guard discipline as
+    /// [`shard_telemetry`](Self::shard_telemetry).
+    pub fn mvcc_telemetry(&self) -> MvccTelemetry {
+        let db = self.shard_source.lock().clone();
+        db.map(|db| db.mvcc_telemetry()).unwrap_or_default()
+    }
+
     /// Adds stream-fault injections from a finished connection.
     pub(crate) fn add_faults(&self, n: u64) {
         if n > 0 {
@@ -155,6 +179,7 @@ impl ServerStats {
     pub fn snapshot(&self) -> MetricsSnapshot {
         let shards = self.shard_telemetry();
         let sketches = self.sketch_telemetry();
+        let mvcc = self.mvcc_telemetry();
         MetricsSnapshot {
             accepted: self.accepted.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
@@ -174,6 +199,13 @@ impl ServerStats {
             sketches: sketches.sketches,
             sketch_hits: sketches.hits,
             sketch_absorbed: sketches.absorbed,
+            mvcc_epoch: mvcc.epoch,
+            mvcc_published: mvcc.published,
+            mvcc_retired: mvcc.retired,
+            mvcc_reclaimed: mvcc.reclaimed,
+            mvcc_snapshot_reads: mvcc.snapshot_reads,
+            mvcc_consume_retries: mvcc.consume_retries,
+            mvcc_consume_fallbacks: mvcc.consume_fallbacks,
         }
     }
 }

@@ -40,6 +40,7 @@
 //! state never do.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use fungus_lint_rt::{hierarchy, OrderedRwLock};
 use serde::{Deserialize, Serialize};
@@ -55,6 +56,7 @@ use fungus_types::{Freshness, Result, Schema, Tick, Tuple, TupleId, TupleMeta, V
 use crate::config::ShardSpec;
 use crate::pool::ShardPool;
 use crate::shard::Shard;
+use crate::snapshot::{ExtentSnapshot, SnapshotShard};
 
 /// The id range `[base, end)` of a shard that was dropped whole.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -227,7 +229,9 @@ pub struct ShardedExtent {
     folded_deleted: u64,
     folded_rotted_unread: u64,
     shards_dropped: u64,
-    shards_pruned: AtomicU64,
+    /// Behind an `Arc` so published [`ExtentSnapshot`]s count their pruned
+    /// shards into the same gauge as locked scans.
+    shards_pruned: Arc<AtomicU64>,
     /// Tail shards sealed early by the adaptive split rule.
     shards_split: u64,
     /// Underfull sealed shards merged into a neighbor.
@@ -266,7 +270,7 @@ impl ShardedExtent {
             folded_deleted: 0,
             folded_rotted_unread: 0,
             shards_dropped: 0,
-            shards_pruned: AtomicU64::new(0),
+            shards_pruned: Arc::new(AtomicU64::new(0)),
             shards_split: 0,
             shards_merged: 0,
             shards_restored: 0,
@@ -673,6 +677,31 @@ impl ShardedExtent {
         )
     }
 
+    /// Publishes a sealed MVCC snapshot of the extent's current state.
+    ///
+    /// Exclusive access (`&mut self`, already held by any caller holding
+    /// the container write lock) means no per-shard locking happens here:
+    /// each shard hands over its copy-on-write store (a cached `Arc` when
+    /// the shard is clean since the last publish, one clone when dirty)
+    /// plus its exact summary. The snapshot shares the extent's
+    /// `shards_pruned` gauge.
+    pub fn publish_snapshot(&mut self) -> ExtentSnapshot {
+        let shards = self
+            .shards
+            .iter_mut()
+            .map(|lock| {
+                let sh = lock.get_mut();
+                SnapshotShard {
+                    base: sh.base(),
+                    end: sh.end(),
+                    ranges: sh.ranges(),
+                    store: sh.snapshot_store(),
+                }
+            })
+            .collect();
+        ExtentSnapshot::new(self.schema.clone(), shards, self.shards_pruned.clone())
+    }
+
     /// A point-in-time structural snapshot: every boundary, summary,
     /// dirty flag, gap, and lifecycle counter. Two extents with equal
     /// structures have identical physical layouts, not merely equivalent
@@ -852,7 +881,7 @@ impl ShardedExtent {
             folded_deleted: manifest.folded_deleted,
             folded_rotted_unread: manifest.folded_rotted_unread,
             shards_dropped: manifest.shards_dropped,
-            shards_pruned: AtomicU64::new(0),
+            shards_pruned: Arc::new(AtomicU64::new(0)),
             shards_split: manifest.shards_split,
             shards_merged: manifest.shards_merged,
             shards_restored: restored,

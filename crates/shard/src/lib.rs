@@ -36,6 +36,7 @@ pub mod config;
 pub mod extent;
 pub mod pool;
 pub mod shard;
+pub mod snapshot;
 
 pub use config::ShardSpec;
 pub use extent::{
@@ -44,3 +45,4 @@ pub use extent::{
 };
 pub use pool::ShardPool;
 pub use shard::Shard;
+pub use snapshot::{ExtentSnapshot, SnapshotShard};

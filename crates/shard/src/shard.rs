@@ -13,6 +13,8 @@
 //! recomputes both exactly. Loose bounds cost pruning opportunities, not
 //! correctness.
 
+use std::sync::Arc;
+
 use fungus_query::MetaRanges;
 use fungus_storage::{StorageConfig, TableStore};
 use fungus_types::{Result, Schema, Tick};
@@ -29,6 +31,11 @@ pub struct Shard {
     freshness_hi: f64,
     min_tick: u64,
     max_tick: u64,
+    /// Copy-on-write cache for MVCC snapshot publication: a sealed copy of
+    /// `store` as of the last publish, invalidated by any mutable store
+    /// access. A clean shard re-publishes the same `Arc` for free; only
+    /// shards written since the last epoch pay the clone.
+    snap_cache: Option<Arc<TableStore>>,
 }
 
 impl Shard {
@@ -51,6 +58,7 @@ impl Shard {
             freshness_hi: 0.0,
             min_tick: u64::MAX,
             max_tick: 0,
+            snap_cache: None,
         })
     }
 
@@ -59,9 +67,20 @@ impl Shard {
         &self.store
     }
 
-    /// Mutable access to the backing store.
+    /// Mutable access to the backing store. Invalidates the snapshot
+    /// cache: the next publish will clone the mutated store.
     pub fn store_mut(&mut self) -> &mut TableStore {
+        self.snap_cache = None;
         &mut self.store
+    }
+
+    /// The shard's sealed snapshot store for MVCC publication: a clone of
+    /// the backing store as of now, cached until the next mutable access
+    /// so consecutive publishes of a clean shard share one copy.
+    pub fn snapshot_store(&mut self) -> Arc<TableStore> {
+        self.snap_cache
+            .get_or_insert_with(|| Arc::new(self.store.clone()))
+            .clone()
     }
 
     /// Consumes the shard, yielding the backing store (whole-shard drop).
@@ -104,6 +123,7 @@ impl Shard {
             freshness_hi,
             min_tick,
             max_tick,
+            snap_cache: None,
         })
     }
 

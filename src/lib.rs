@@ -62,7 +62,7 @@ pub mod prelude {
     pub use fungus_clock::{DeterministicRng, Simulation, TickScheduler, VirtualClock};
     pub use fungus_core::{
         Container, ContainerPolicy, Database, DistillSpec, DistillTrigger, HealthMonitor,
-        HealthReport, HealthStatus, QueryOutcome,
+        HealthReport, HealthStatus, MvccTelemetry, QueryOutcome, SharedDatabase, SnapshotHandle,
     };
     pub use fungus_fungi::{EgiConfig, FungusSpec, SeedBias};
     pub use fungus_query::{parse_statement, Expr, ResultSet, Statement};

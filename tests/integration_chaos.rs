@@ -463,6 +463,147 @@ fn storm(
     (committed, ambiguous)
 }
 
+/// MVCC chaos: snapshot readers race batch writers and a 1 ms decay
+/// driver, and must never observe a torn epoch or a half-applied decay
+/// sweep. The probe is batch atomicity: every `INSERT` statement writes
+/// `K` rows tagged with one batch id at one tick, so a single statement
+/// commits them under one container lock and one snapshot publication —
+/// and the TTL fungus rots the whole batch in one sweep. A reader that
+/// ever counts a batch at anything other than 0 or `K` rows caught a
+/// snapshot published mid-mutation. A second, immortal container checks
+/// the other half of the contract: its per-reader counts are monotone
+/// (epochs never go backwards) and, at the end, exactly equal to the
+/// committed ledger — zero lost committed writes.
+#[test]
+fn mvcc_snapshots_never_expose_torn_batches() {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    const K: u64 = 7;
+    const BATCHES: u64 = 200;
+    const READERS: usize = 3;
+
+    let seed = chaos_seed();
+    let db = SharedDatabase::new(Database::new(seed));
+    // The churning container: short TTL over 32-row shards, so decay
+    // sweeps keep killing whole batches while the writer appends.
+    db.execute_ddl("CREATE CONTAINER r (batch INT NOT NULL, x INT) WITH FUNGUS ttl(20) SHARDS 32")
+        .unwrap();
+    // The ledger container: nothing rots, so the final count is exact.
+    db.execute_ddl("CREATE CONTAINER keep (batch INT NOT NULL, x INT) WITH FUNGUS ttl(1000000)")
+        .unwrap();
+    let driver = db.spawn_decay_driver(Duration::from_millis(1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let written = Arc::new(AtomicU64::new(0)); // batches fully committed
+    let writer = {
+        let db = db.clone();
+        let written = Arc::clone(&written);
+        std::thread::spawn(move || {
+            for b in 0..BATCHES {
+                let rows: Vec<String> = (0..K).map(|x| format!("({b}, {x})")).collect();
+                let values = rows.join(", ");
+                db.execute(&format!("INSERT INTO r VALUES {values}")).unwrap();
+                db.execute(&format!("INSERT INTO keep VALUES {values}"))
+                    .unwrap();
+                written.store(b + 1, Ordering::Release);
+            }
+        })
+    };
+
+    let mut readers = Vec::new();
+    for rd in 0..READERS {
+        let db = db.clone();
+        let stop = Arc::clone(&stop);
+        let written = Arc::clone(&written);
+        readers.push(std::thread::spawn(move || -> Result<u64, String> {
+            let mut probes = 0u64;
+            let mut last_keep = 0i64;
+            let mut lcg = seed ^ (rd as u64 + 1).wrapping_mul(0x9E3779B97F4A7C15);
+            while !stop.load(Ordering::Relaxed) {
+                let committed = written.load(Ordering::Acquire);
+                if committed == 0 {
+                    std::thread::yield_now();
+                    continue;
+                }
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let b = (lcg >> 33) % committed;
+                let n = db
+                    .execute(&format!("SELECT COUNT(*) FROM r WHERE batch = {b}"))
+                    .map_err(|e| e.to_string())?
+                    .result
+                    .scalar()
+                    .ok()
+                    .and_then(|v| v.as_i64())
+                    .ok_or("COUNT returned no scalar")?;
+                if n != 0 && n != K as i64 {
+                    return Err(format!(
+                        "torn batch {b}: snapshot saw {n} of {K} rows (seed {seed})"
+                    ));
+                }
+                let keep = db
+                    .execute("SELECT COUNT(*) FROM keep WHERE batch >= 0")
+                    .map_err(|e| e.to_string())?
+                    .result
+                    .scalar()
+                    .ok()
+                    .and_then(|v| v.as_i64())
+                    .ok_or("COUNT returned no scalar")?;
+                if keep < last_keep {
+                    return Err(format!(
+                        "epoch went backwards: keep count fell {last_keep} -> {keep}"
+                    ));
+                }
+                if keep % K as i64 != 0 {
+                    return Err(format!(
+                        "half-applied insert visible: keep count {keep} not a multiple of {K}"
+                    ));
+                }
+                last_keep = keep;
+                probes += 1;
+            }
+            Ok(probes)
+        }));
+    }
+
+    writer.join().expect("writer died");
+    stop.store(true, Ordering::Relaxed);
+    let mut probes = 0u64;
+    for r in readers {
+        probes += r.join().expect("reader died").unwrap();
+    }
+    driver.stop();
+    assert!(probes > 0, "readers never probed a batch");
+
+    // Zero lost committed writes: the immortal ledger holds every row the
+    // writer was acknowledged for, and the churning container still holds
+    // only whole batches.
+    assert_eq!(db.live_count("keep") as u64, BATCHES * K);
+    for b in 0..BATCHES {
+        let n = db
+            .execute(&format!("SELECT COUNT(*) FROM r WHERE batch = {b}"))
+            .unwrap()
+            .result
+            .scalar()
+            .ok()
+            .and_then(|v| v.as_i64())
+            .unwrap();
+        assert!(
+            n == 0 || n == K as i64,
+            "batch {b} ended torn: {n} of {K} rows (seed {seed})"
+        );
+    }
+
+    // The MVCC machinery was actually on the hot path, and with every
+    // reader gone the retired version list drained.
+    let t = db.mvcc_telemetry();
+    assert!(t.snapshot_reads > 0, "no read used the snapshot path");
+    assert_eq!(
+        t.retired, t.reclaimed,
+        "retired snapshot versions leaked at quiescence: {t:?}"
+    );
+}
+
 /// With the fault plan disabled the same harness must behave exactly like
 /// the fault-free integration suite: every request answered, no retries,
 /// no panics — pinning that the fault layer is pay-for-what-you-use.

@@ -141,3 +141,88 @@ fn drop_container_races_with_driver() {
         assert_eq!(db.container_count(), 0);
     }
 }
+
+/// `SUMMARIZE` served from sealed snapshots while writers ingest and the
+/// decay driver cooks departing tuples: no deadlock, every read answers,
+/// and the sketch hit counter — shared between the live distiller and
+/// every published snapshot clone — accounts for *all* reads, locked or
+/// snapshot-served. This pins the fix for the counter the snapshot path
+/// used to strand on stale clones.
+#[test]
+fn concurrent_summarize_and_ingest_share_one_hit_counter() {
+    let mut db = Database::new(411);
+    db.execute_ddl(
+        "CREATE CONTAINER clicks (item INT NOT NULL) WITH FUNGUS ttl(8) \
+         WITH DISTILL (hot = fading_topk(8, 0.05) ON item)",
+    )
+    .unwrap();
+    let db = Arc::new(db);
+    let driver = db.spawn_decay_driver(Duration::from_micros(500));
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let writer = {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut i = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                db.execute(&format!("INSERT INTO clicks VALUES ({})", i % 17))
+                    .unwrap();
+                i += 1;
+                if i % 32 == 0 {
+                    thread::yield_now();
+                }
+            }
+        })
+    };
+
+    let mut readers = Vec::new();
+    for _ in 0..3 {
+        let db = Arc::clone(&db);
+        let stop = Arc::clone(&stop);
+        readers.push(thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let out = db.execute("SUMMARIZE hot FROM clicks TOP 4").unwrap();
+                assert!(
+                    out.result.rows.len() <= 4,
+                    "TOP 4 returned {} rows",
+                    out.result.rows.len()
+                );
+                reads += 1;
+                thread::yield_now();
+            }
+            reads
+        }));
+    }
+
+    thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    let mut reads = 0u64;
+    for r in readers {
+        reads += r.join().unwrap();
+    }
+    driver.stop();
+
+    assert!(reads > 0, "readers made no progress");
+    let sketches = db.sketch_telemetry();
+    assert_eq!(
+        sketches.hits, reads,
+        "hit counter lost reads: {} summarizes, {} hits recorded",
+        reads, sketches.hits
+    );
+    assert!(
+        sketches.absorbed > 0,
+        "decay never cooked a tuple into the sketch"
+    );
+    let mvcc = db.mvcc_telemetry();
+    assert!(
+        mvcc.snapshot_reads > 0,
+        "no SUMMARIZE was served from a snapshot"
+    );
+    assert_eq!(
+        mvcc.retired, mvcc.reclaimed,
+        "snapshot versions leaked at quiescence: {mvcc:?}"
+    );
+}

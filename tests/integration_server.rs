@@ -163,3 +163,78 @@ fn cross_session_catalog_and_error_recovery() {
     b.close();
     handle.shutdown().unwrap();
 }
+
+/// The MVCC gauges ride `.stats` end to end, and the version-reclamation
+/// ledger balances at quiescence for every shard layout: after a burst of
+/// snapshot-read traffic under live decay, `mvcc_retired` equals
+/// `mvcc_reclaimed` — no snapshot version leaks once every reader is gone
+/// — while `mvcc_snapshot_reads` proves the lock-free path actually
+/// served the reads.
+#[test]
+fn stats_mvcc_gauges_balance_across_shard_layouts() {
+    let gauge = |resp: &Response, name: &str| -> i64 {
+        match resp {
+            Response::Rows { rows, .. } => rows
+                .iter()
+                .find(|r| r[0] == spacefungus::fungus_types::Value::Str(name.into()))
+                .unwrap_or_else(|| panic!("gauge {name} missing from .stats: {rows:?}"))[1]
+                .as_i64()
+                .unwrap(),
+            other => panic!("{other:?}"),
+        }
+    };
+
+    for shards in [1u64, 4, 16] {
+        let db = SharedDatabase::new(Database::new(shards));
+        db.execute_ddl(&format!(
+            "CREATE CONTAINER r (sensor INT NOT NULL, reading FLOAT) \
+             WITH FUNGUS ttl(40) SHARDS {shards}"
+        ))
+        .unwrap();
+        let handle = serve(
+            db,
+            ServerConfig {
+                workers: 2,
+                tick_period: Some(Duration::from_millis(1)),
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        for i in 0..120i64 {
+            let r = client
+                .sql(format!("INSERT INTO r VALUES ({}, {:.1})", i % 8, i as f64))
+                .unwrap();
+            assert!(!r.is_error(), "{r:?}");
+            if i % 3 == 0 {
+                let r = client
+                    .sql("SELECT COUNT(*) FROM r WHERE sensor >= 0")
+                    .unwrap();
+                assert!(!r.is_error(), "{r:?}");
+            }
+        }
+
+        let stats = client.dot(".stats").unwrap();
+        let published = gauge(&stats, "mvcc_published");
+        let snapshot_reads = gauge(&stats, "mvcc_snapshot_reads");
+        let retired = gauge(&stats, "mvcc_retired");
+        let reclaimed = gauge(&stats, "mvcc_reclaimed");
+        assert!(
+            published > 0,
+            "{shards}-shard layout never published a snapshot"
+        );
+        assert!(
+            snapshot_reads > 0,
+            "{shards}-shard layout never served a snapshot read"
+        );
+        assert_eq!(
+            retired, reclaimed,
+            "{shards}-shard layout leaked snapshot versions: \
+             retired {retired}, reclaimed {reclaimed}"
+        );
+
+        client.close();
+        handle.shutdown().unwrap();
+    }
+}

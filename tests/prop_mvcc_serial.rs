@@ -1,0 +1,269 @@
+//! Property harness for the MVCC serializability guarantee: any
+//! interleaving of snapshot reads, consuming reads, inserts, and decay
+//! ticks over an MVCC catalog is observationally equivalent to the same
+//! history under the fully locked monolithic semantics — the oracle.
+//!
+//! Under MVCC, non-consuming `SELECT`s resolve against the latest sealed
+//! snapshot (never the container lock), `CONSUME` runs the optimistic
+//! read-own-snapshot / write-live / retry-on-epoch-advance protocol, and
+//! decay ticks republish the version they mutate. None of that machinery
+//! may move an answer: every query's rows, every consumed set, and the
+//! surviving extent must match the locked monolithic run bit-for-bit.
+//!
+//! Deliberately *excluded* from the observables: the engine's query
+//! counter (pure snapshot reads are counted in MVCC telemetry, not
+//! `metrics.queries`) and per-tuple access metadata (snapshot reads defer
+//! touches to the next mutator, so `last_access` may lag by one mutation
+//! — the documented contract).
+//!
+//! A second property pins explicit [`SnapshotHandle`]s mid-history and
+//! reads them *later*, after more mutations: the delayed read must return
+//! exactly what the oracle answered at pin time. That is serializability
+//! in its sharpest form — the pinned read serializes at the pin point, no
+//! matter how far the live extent has rotted past it.
+
+use proptest::prelude::*;
+
+use spacefungus::prelude::*;
+
+/// One step of the interleaved workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert a row at the current tick.
+    Insert(i64),
+    /// Advance the decay clock one tick (runs the rot sweep).
+    Tick,
+    /// A recency-window read — served from the sealed snapshot.
+    Recent(u64),
+    /// A freshness aggregate — also snapshot-served.
+    FreshCount,
+    /// A consuming read — the optimistic MVCC consume path.
+    Consume(i64),
+    /// Pin an explicit snapshot handle for delayed reading.
+    Pin,
+    /// Read the oldest outstanding pin and release it.
+    ReadPinned,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        5 => (-50i64..50).prop_map(Op::Insert),
+        3 => Just(Op::Tick),
+        2 => (0u64..16).prop_map(Op::Recent),
+        1 => Just(Op::FreshCount),
+        2 => (-50i64..50).prop_map(Op::Consume),
+        1 => Just(Op::Pin),
+        1 => Just(Op::ReadPinned),
+    ]
+}
+
+/// The shard layouts the MVCC run is exercised over. `None` = monolithic;
+/// the adaptive spec keeps split/merge on the hot path so republication
+/// interleaves with shard lifecycle.
+fn layouts(inserts: u64) -> Vec<Option<ShardSpec>> {
+    let quarter = (inserts / 4).max(1);
+    vec![
+        None,
+        Some(ShardSpec::new(quarter).with_workers(1)),
+        Some(ShardSpec::new((inserts / 16).max(1)).with_workers(1)),
+        Some(
+            ShardSpec::new(6)
+                .with_workers(1)
+                .with_adaptive()
+                .with_low_water(0.5),
+        ),
+    ]
+}
+
+fn fungus() -> FungusSpec {
+    FungusSpec::Egi(EgiConfig {
+        seeds_per_tick: 2,
+        seed_bias: SeedBias::AgePow(2.0),
+        rot_rate: 0.5,
+        spread_width: 2,
+    })
+}
+
+fn build(seed: u64, mvcc: bool, spec: Option<ShardSpec>) -> Database {
+    let schema = Schema::from_pairs(&[("v", DataType::Int)]).unwrap();
+    let mut policy = ContainerPolicy::new(fungus());
+    if let Some(spec) = spec {
+        policy = policy.with_sharding(spec);
+    }
+    if !mvcc {
+        policy = policy.without_mvcc();
+    }
+    let mut db = Database::new(seed);
+    db.create_container("t", schema, policy).unwrap();
+    db
+}
+
+/// The full-extent probe used for pinned reads and the survivor check.
+const SURVIVORS: &str = "SELECT $id, v FROM t WHERE v >= -50";
+
+/// Everything observable from one run. Access metadata and the engine
+/// query counter are deliberately absent (see module docs).
+#[derive(Debug, PartialEq)]
+struct Observed {
+    /// Each query's answer rows, in program order (pinned reads
+    /// included, at their *read* position).
+    answers: Vec<Vec<Vec<Value>>>,
+    /// Each consuming read's removed set, in program order.
+    consumed: Vec<Vec<Vec<Value>>>,
+    /// The surviving extent at the end.
+    survivors: Vec<Vec<Value>>,
+}
+
+fn run_workload(ops: &[Op], seed: u64, mvcc: bool, spec: Option<ShardSpec>) -> Observed {
+    let db = build(seed, mvcc, spec);
+    let mut out = Observed {
+        answers: Vec::new(),
+        consumed: Vec::new(),
+        survivors: Vec::new(),
+    };
+    // Outstanding pins, oldest first. The oracle (mvcc off) cannot pin —
+    // Database::pin_snapshot returns None when nothing was published — so
+    // it records the answer it would give at pin time instead; that is
+    // exactly the serial point the MVCC read must land on.
+    let mut pins: Vec<(Option<SnapshotHandle>, Vec<Vec<Value>>)> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+            }
+            Op::Tick => {
+                db.run_for(1);
+            }
+            Op::Recent(back) => {
+                let floor = db.now().get().saturating_sub(*back);
+                let o = db
+                    .execute(&format!(
+                        "SELECT * FROM t WHERE $inserted_at >= {floor} AND v >= -50"
+                    ))
+                    .unwrap();
+                out.answers.push(o.result.rows);
+            }
+            Op::FreshCount => {
+                let o = db
+                    .execute("SELECT COUNT(*) FROM t WHERE $freshness >= 0.5")
+                    .unwrap();
+                out.answers.push(o.result.rows);
+            }
+            Op::Consume(v) => {
+                let o = db
+                    .execute(&format!("SELECT * FROM t WHERE v >= {v} CONSUME"))
+                    .unwrap();
+                out.consumed
+                    .push(o.result.consumed.iter().map(|t| t.values.clone()).collect());
+                out.answers.push(o.result.rows);
+            }
+            Op::Pin => {
+                let handle = db.pin_snapshot("t").unwrap();
+                let at_pin = db.execute(SURVIVORS).unwrap().result.rows;
+                pins.push((handle, at_pin));
+            }
+            Op::ReadPinned => {
+                if pins.is_empty() {
+                    continue;
+                }
+                let (handle, at_pin) = pins.remove(0);
+                let rows = match handle {
+                    Some(h) => {
+                        let stmt = match parse_statement(SURVIVORS).unwrap() {
+                            Statement::Select(s) => s,
+                            other => panic!("expected select, got {other:?}"),
+                        };
+                        h.select(&stmt).unwrap().rows
+                    }
+                    // The locked oracle has no snapshot to hold; its
+                    // serial point is the recorded pin-time answer.
+                    None => at_pin,
+                };
+                out.answers.push(rows);
+            }
+        }
+    }
+    drop(pins);
+    out.survivors = db.execute(SURVIVORS).unwrap().result.rows;
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The MVCC read/consume/decay machinery over monolithic, fixed-shard,
+    /// and adaptive layouts observes the exact history of the locked
+    /// monolithic oracle, case after case.
+    #[test]
+    fn mvcc_histories_serialize_against_the_locked_oracle(
+        ops in proptest::collection::vec(arb_op(), 1..60),
+        seed in 0u64..1_000,
+    ) {
+        let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count() as u64;
+        let oracle = run_workload(&ops, seed, false, None);
+        for spec in layouts(inserts) {
+            let label = match &spec {
+                None => "mono".to_string(),
+                Some(s) => format!("{s:?}"),
+            };
+            let mvcc = run_workload(&ops, seed, true, spec);
+            prop_assert_eq!(
+                &oracle, &mvcc,
+                "mvcc layout {} diverged from the locked oracle", label
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Version reclamation under pinning: however many snapshots a
+    /// history pins and drops, once every handle is gone the retired
+    /// list drains to zero — retired == reclaimed at quiescence, across
+    /// monolithic, 4- and 16-shard layouts.
+    #[test]
+    fn retired_versions_reclaim_at_quiescence(
+        ops in proptest::collection::vec(arb_op(), 10..60),
+        seed in 0u64..1_000,
+        shards in prop_oneof![Just(0u64), Just(4), Just(16)],
+    ) {
+        let spec = if shards == 0 {
+            None
+        } else {
+            let inserts = ops.iter().filter(|o| matches!(o, Op::Insert(_))).count() as u64;
+            Some(ShardSpec::new((inserts / shards).max(1)).with_workers(1))
+        };
+        let db = build(seed, true, spec);
+        let mut pins = Vec::new();
+        for op in &ops {
+            match op {
+                Op::Insert(v) => {
+                    db.execute(&format!("INSERT INTO t VALUES ({v})")).unwrap();
+                }
+                Op::Tick => { db.run_for(1); }
+                Op::Consume(v) => {
+                    db.execute(&format!("SELECT * FROM t WHERE v >= {v} CONSUME")).unwrap();
+                }
+                Op::Recent(back) => {
+                    let floor = db.now().get().saturating_sub(*back);
+                    db.execute(&format!(
+                        "SELECT * FROM t WHERE $inserted_at >= {floor} AND v >= -50"
+                    )).unwrap();
+                }
+                Op::FreshCount => {
+                    db.execute("SELECT COUNT(*) FROM t WHERE $freshness >= 0.5").unwrap();
+                }
+                Op::Pin => { pins.push(db.pin_snapshot("t").unwrap()); }
+                Op::ReadPinned => { if !pins.is_empty() { pins.remove(0); } }
+            }
+        }
+        // Quiescence: drop every reader.
+        drop(pins);
+        let t = db.mvcc_telemetry_of("t").unwrap();
+        prop_assert_eq!(
+            t.retired, t.reclaimed,
+            "retired versions leaked with every reader gone: {:?}", t
+        );
+    }
+}

@@ -140,12 +140,13 @@ proptest! {
         prop_assert_eq!(Response::decode(&bytes).unwrap(), resp);
     }
 
-    /// The full server-counter summary — shard gauges and the cooking-
-    /// sketch counters included — survives the wire bit-for-bit for
-    /// arbitrary counter values up to the codec's 2^53 integer ceiling.
+    /// The full server-counter summary — shard gauges, cooking-sketch
+    /// counters, and the MVCC gauges included — survives the wire
+    /// bit-for-bit for arbitrary counter values up to the codec's 2^53
+    /// integer ceiling.
     #[test]
     fn stats_summary_round_trips_any_counters(
-        counters in proptest::collection::vec(0u64..(1 << 53), 18),
+        counters in proptest::collection::vec(0u64..(1 << 53), 25),
     ) {
         let resp = Response::Health {
             reports: vec![],
@@ -168,6 +169,13 @@ proptest! {
                 sketches: counters[15],
                 sketch_hits: counters[16],
                 sketch_absorbed: counters[17],
+                mvcc_epoch: counters[18],
+                mvcc_published: counters[19],
+                mvcc_retired: counters[20],
+                mvcc_reclaimed: counters[21],
+                mvcc_snapshot_reads: counters[22],
+                mvcc_consume_retries: counters[23],
+                mvcc_consume_fallbacks: counters[24],
             }),
         };
         let bytes = resp.encode().unwrap();
