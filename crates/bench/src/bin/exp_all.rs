@@ -38,6 +38,7 @@ fn main() {
         ("e9", fungus_bench::e9_seed_ablation::run),
         ("e10", fungus_bench::e10_health::run),
         ("e11", fungus_bench::e11_server::run),
+        ("e11-scale", fungus_bench::e11_scale::run),
         ("e12", fungus_bench::e12_sharding::run),
         ("e12-mvcc", fungus_bench::e12_mvcc::run),
         ("e13", fungus_bench::e13_adaptive::run),

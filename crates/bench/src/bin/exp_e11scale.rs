@@ -1,0 +1,12 @@
+//! Prints the e11_scale experiment table (see DESIGN.md / EXPERIMENTS.md).
+
+use fungus_bench::harness::Scale;
+
+fn main() {
+    let scale = if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    };
+    print!("{}", fungus_bench::e11_scale::run(scale));
+}

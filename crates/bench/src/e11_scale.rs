@@ -1,0 +1,339 @@
+//! **E11-scale — connection scaling: threaded vs reactor** (table).
+//!
+//! Claim: a thread-per-connection front-end caps out at its worker
+//! count, while the reactor multiplexes orders of magnitude more open
+//! sessions over the same small pool. This experiment stands up
+//! `fungus-server` on loopback twice per rung — once per
+//! [`IoModel`] — and ladders the number of *concurrently open*
+//! open-loop clients from 10² towards 10⁴ (clamped below the process fd
+//! ceiling), recording per-request sojourn latency (p50/p90/p99/max), a
+//! log₂ latency histogram, and how many of the offered connections each
+//! model actually served.
+//!
+//! Expected shape (what EXPERIMENTS.md asserts): the threaded model
+//! admits at most `workers + backlog` connections and *serves* at most
+//! `workers` of them concurrently — every rung beyond that shows a wall
+//! of rejections/timeouts. The reactor serves every rung up to the fd
+//! clamp with a bounded worker pool, trading tail latency (dispatch
+//! queue sojourn under backpressure) for admission.
+//!
+//! Mechanics: `min(conns, 64)` driver threads each own a slice of the
+//! connections. A rung first opens every connection and proves admission
+//! with one ping (a typed `Unavailable` or a handshake timeout counts
+//! the connection as unserved), then runs pipelined request rounds —
+//! pings alternating with INSERTs against a decaying container, the
+//! E11 heritage workload — timing each request from its own write to
+//! its response. Reads are serialised per driver, so a request's
+//! latency includes open-loop queue sojourn; that is deliberate.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use fungus_core::{Database, SharedDatabase};
+use fungus_server::frame::{read_frame, write_frame};
+use fungus_server::{serve, IoModel, Request, Response, ServerConfig};
+
+use crate::harness::{fnum, percentile, Scale, TableBuilder};
+
+/// Log₂ latency buckets: bucket *i* holds requests with latency in
+/// `(2^(i-1), 2^i]` microseconds; the last bucket is open-ended.
+const HIST_BUCKETS: usize = 22;
+
+/// The fixed worker pool both models share — the point of the
+/// experiment is connections scaling far beyond it.
+const WORKERS: usize = 4;
+
+fn bucket(us: f64) -> usize {
+    if us <= 1.0 {
+        0
+    } else {
+        (us.log2().ceil() as usize).min(HIST_BUCKETS - 1)
+    }
+}
+
+/// Per-rung, per-model result.
+struct RunResult {
+    io: IoModel,
+    conns: usize,
+    served: usize,
+    rejected: usize,
+    requests: u64,
+    errors: u64,
+    elapsed: Duration,
+    latencies_us: Vec<f64>,
+    stalls: u64,
+}
+
+/// What one driver thread observed for its slice of the connections.
+struct GroupResult {
+    served: usize,
+    rejected: usize,
+    requests: u64,
+    errors: u64,
+    latencies_us: Vec<f64>,
+}
+
+fn drive_group(
+    addr: SocketAddr,
+    group: usize,
+    rounds: usize,
+    timeout: Duration,
+    seed: usize,
+    start: &Barrier,
+) -> GroupResult {
+    let ping = Request::Ping.encode().expect("encode ping");
+    let insert = Request::Sql {
+        text: format!("INSERT INTO r VALUES ({seed}, 0.5)"),
+    }
+    .encode()
+    .expect("encode insert");
+
+    // Admission phase: open the slice and prove each connection is
+    // actually served (one ping). The threaded model turns the surplus
+    // away here — with a typed Unavailable for over-capacity connects,
+    // or a handshake timeout for accepted-but-never-scheduled ones.
+    let mut live = Vec::new();
+    let mut rejected = 0usize;
+    for _ in 0..group {
+        match TcpStream::connect(addr) {
+            Ok(mut s) => {
+                let _ = s.set_nodelay(true);
+                let _ = s.set_read_timeout(Some(timeout));
+                let admitted = write_frame(&mut s, &ping).is_ok()
+                    && matches!(
+                        read_frame(&mut s),
+                        Ok(Some(p)) if Response::decode(&p).map(|r| !r.is_error()).unwrap_or(false)
+                    );
+                if admitted {
+                    live.push(s);
+                } else {
+                    rejected += 1;
+                }
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    let served = live.len();
+    start.wait();
+
+    // Measurement phase: pipelined rounds over every live connection.
+    let mut latencies_us = Vec::with_capacity(served * rounds);
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    for round in 0..rounds {
+        let payload = if round % 2 == 0 { &ping } else { &insert };
+        let mut stamps = Vec::with_capacity(live.len());
+        let mut wrote = Vec::with_capacity(live.len());
+        for s in live.iter_mut() {
+            stamps.push(Instant::now());
+            wrote.push(write_frame(s, payload).is_ok());
+        }
+        let mut next = Vec::with_capacity(live.len());
+        for (i, mut s) in live.into_iter().enumerate() {
+            if !wrote[i] {
+                errors += 1;
+                continue;
+            }
+            requests += 1;
+            match read_frame(&mut s) {
+                Ok(Some(p)) => {
+                    latencies_us.push(stamps[i].elapsed().as_secs_f64() * 1e6);
+                    if Response::decode(&p).map(|r| r.is_error()).unwrap_or(true) {
+                        errors += 1;
+                    }
+                    next.push(s);
+                }
+                Ok(None) | Err(_) => errors += 1,
+            }
+        }
+        live = next;
+    }
+
+    GroupResult {
+        served,
+        rejected,
+        requests,
+        errors,
+        latencies_us,
+    }
+}
+
+fn run_once(io: IoModel, conns: usize, rounds: usize, timeout: Duration) -> RunResult {
+    let db = SharedDatabase::new(Database::new(1102));
+    db.execute_ddl(
+        "CREATE CONTAINER r (sensor INT NOT NULL, reading FLOAT) \
+         WITH FUNGUS ttl(60) DECAY EVERY 2",
+    )
+    .expect("DDL");
+
+    let config = ServerConfig {
+        workers: WORKERS,
+        io_model: io,
+        reactor_threads: 2,
+        max_sessions: conns + 64,
+        dispatch_depth: 256,
+        tick_period: Some(Duration::from_millis(1)),
+        ..ServerConfig::default()
+    };
+    let handle = serve(db, config).expect("server start");
+    let addr = handle.addr();
+
+    let drivers = conns.clamp(1, 64);
+    let start = Arc::new(Barrier::new(drivers + 1));
+    let mut threads = Vec::new();
+    for d in 0..drivers {
+        let group = conns / drivers + usize::from(d < conns % drivers);
+        let start = Arc::clone(&start);
+        threads.push(std::thread::spawn(move || {
+            drive_group(addr, group, rounds, timeout, d, &start)
+        }));
+    }
+
+    // Admission settles behind the barrier; the clock covers only the
+    // measured rounds.
+    start.wait();
+    let started = Instant::now();
+    let mut served = 0;
+    let mut rejected = 0;
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut latencies_us = Vec::new();
+    for t in threads {
+        let g = t.join().expect("driver thread");
+        served += g.served;
+        rejected += g.rejected;
+        requests += g.requests;
+        errors += g.errors;
+        latencies_us.extend(g.latencies_us);
+    }
+    let elapsed = started.elapsed();
+
+    let report = handle.shutdown().expect("shutdown");
+    RunResult {
+        io,
+        conns,
+        served,
+        rejected,
+        requests,
+        errors,
+        elapsed,
+        latencies_us,
+        stalls: report.metrics.reactor_stalls,
+    }
+}
+
+fn hist_cell(latencies_us: &[f64]) -> String {
+    let mut hist = [0u64; HIST_BUCKETS];
+    for &us in latencies_us {
+        hist[bucket(us)] += 1;
+    }
+    let cells: Vec<String> = hist
+        .iter()
+        .enumerate()
+        .filter(|(_, &n)| n > 0)
+        .map(|(i, n)| format!("le{}us:{n}", 1u64 << i))
+        .collect();
+    if cells.is_empty() {
+        "-".into()
+    } else {
+        cells.join(";")
+    }
+}
+
+fn model_name(io: IoModel) -> &'static str {
+    match io {
+        IoModel::Threaded => "threaded",
+        IoModel::Reactor => "reactor",
+    }
+}
+
+/// Runs E11-scale and renders the scaling table.
+pub fn run(scale: Scale) -> String {
+    // The top rung stays well under the fd ceiling (each connection
+    // costs two fds in-process: the client end and the server end).
+    let rungs: &[usize] = scale.pick(&[100, 300, 1000, 3000, 8000][..], &[8, 16][..]);
+    let rounds = scale.pick(20usize, 3);
+    let timeout = scale.pick(Duration::from_secs(3), Duration::from_secs(1));
+
+    let mut table = TableBuilder::new(
+        "E11-scale — concurrent open-loop clients: threaded vs reactor (4 workers)",
+        &[
+            "io",
+            "conns",
+            "served",
+            "rejected",
+            "requests",
+            "errors",
+            "elapsed_s",
+            "req_per_s",
+            "p50_us",
+            "p90_us",
+            "p99_us",
+            "max_us",
+            "stalls",
+            "hist",
+        ],
+    );
+    for &conns in rungs {
+        for io in [IoModel::Threaded, IoModel::Reactor] {
+            let r = run_once(io, conns, rounds, timeout);
+            let throughput = r.requests as f64 / r.elapsed.as_secs_f64().max(1e-9);
+            let max_us = r.latencies_us.iter().copied().fold(0.0f64, f64::max);
+            table.row(vec![
+                model_name(r.io).into(),
+                r.conns.to_string(),
+                r.served.to_string(),
+                r.rejected.to_string(),
+                r.requests.to_string(),
+                r.errors.to_string(),
+                fnum(r.elapsed.as_secs_f64()),
+                fnum(throughput),
+                fnum(percentile(&r.latencies_us, 0.50)),
+                fnum(percentile(&r.latencies_us, 0.90)),
+                fnum(percentile(&r.latencies_us, 0.99)),
+                fnum(max_us),
+                r.stalls.to_string(),
+                hist_cell(&r.latencies_us),
+            ]);
+        }
+    }
+    table.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shape the full table demonstrates, miniature: with four
+    /// workers, the reactor serves four times as many concurrent
+    /// clients without rejecting or erring on a single one.
+    #[test]
+    fn reactor_serves_four_times_the_worker_count() {
+        let r = run_once(IoModel::Reactor, 16, 2, Duration::from_secs(5));
+        assert_eq!(r.served, 16, "every offered connection served");
+        assert_eq!(r.rejected, 0);
+        assert_eq!(r.errors, 0);
+        assert_eq!(r.requests, 32, "two rounds over sixteen live conns");
+        assert_eq!(r.latencies_us.len(), 32);
+    }
+
+    /// The threaded baseline's documented cap: admission stops at
+    /// `workers + backlog`, concurrent service at `workers`.
+    #[test]
+    fn threaded_model_caps_at_its_pool() {
+        let conns = 30;
+        let r = run_once(IoModel::Threaded, conns, 2, Duration::from_millis(500));
+        assert!(r.served >= 1, "someone must be served");
+        assert!(
+            r.served <= WORKERS + 16,
+            "served {} beyond workers+backlog",
+            r.served
+        );
+        assert!(
+            r.rejected >= conns - (WORKERS + 16),
+            "over-capacity connects must be turned away: {}",
+            r.rejected
+        );
+    }
+}

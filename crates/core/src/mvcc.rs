@@ -16,7 +16,7 @@
 //!
 //! 1. pin the head version (epoch *e*);
 //! 2. run the read phases against the snapshot off-lock
-//!    ([`execute_readonly`](fungus_query::execute_readonly));
+//!    ([`execute_readonly`]);
 //! 3. take the container write lock and re-check the cell's epoch — if it
 //!    still equals *e*, the live extent is content-identical to the
 //!    snapshot (every mutator publishes before releasing the lock), so

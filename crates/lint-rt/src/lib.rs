@@ -58,6 +58,22 @@ pub mod hierarchy {
         rank: 15,
         siblings: false,
     };
+    /// A reactor's enrolment queue: the accept thread parks freshly
+    /// accepted sockets here; the reactor thread drains it on wake.
+    /// Never nested with any other lock on either side.
+    pub static REACTOR_REGISTRY: LockClass = LockClass {
+        name: "Reactor.registry",
+        rank: 16,
+        siblings: false,
+    };
+    /// A reactor's completion queue: workers park finished jobs here
+    /// (and the poison guard parks corpses); the reactor thread drains
+    /// it on wake. Never nested with any other lock on either side.
+    pub static REACTOR_COMPLETIONS: LockClass = LockClass {
+        name: "Reactor.completions",
+        rank: 18,
+        siblings: false,
+    };
     /// The tick scheduler's task registry; held while decay tasks fire.
     pub static SCHEDULER: LockClass = LockClass {
         name: "Scheduler.tasks",
@@ -126,6 +142,8 @@ pub mod hierarchy {
     pub static ALL: &[&LockClass] = &[
         &CATALOG,
         &WORKERS,
+        &REACTOR_REGISTRY,
+        &REACTOR_COMPLETIONS,
         &SCHEDULER,
         &ROUTES,
         &CONTAINERS,

@@ -400,51 +400,28 @@ impl<S: Write> Write for Faulty<S> {
 /// *do* come out are exactly a prefix of the fault-free decode — faults
 /// can truncate the conversation but never corrupt it.
 pub fn drain_frames(r: &mut impl Read) -> (Vec<Vec<u8>>, Option<crate::frame::FrameError>) {
-    use crate::frame::{decode_frame, FrameError};
-    let mut buf = bytes::BytesMut::new();
+    use crate::frame::{FramePump, PumpStep};
+    let mut pump = FramePump::new();
     let mut frames = Vec::new();
-    let mut chunk = [0u8; 4096];
     loop {
-        match r.read(&mut chunk) {
-            Ok(0) => {
+        match pump.pump(r) {
+            PumpStep::Eof => {
                 // EOF: anything left in the buffer is a truncated frame.
-                if buf.is_empty() {
-                    return (frames, None);
+                return (frames, pump.truncation());
+            }
+            PumpStep::Fed(_) => loop {
+                match pump.next_frame() {
+                    Ok(Some(frame)) => frames.push(frame.to_vec()),
+                    Ok(None) => break,
+                    Err(e) => return (frames, Some(e)),
                 }
-                let have = buf.len();
-                let need = frame_need(&buf);
-                return (frames, Some(FrameError::Truncated { have, need }));
-            }
-            Ok(n) => {
-                buf.extend_from_slice(&chunk[..n]);
-                loop {
-                    match decode_frame(&mut buf) {
-                        Ok(Some(frame)) => frames.push(frame.to_vec()),
-                        Ok(None) => break,
-                        Err(e) => return (frames, Some(e)),
-                    }
-                }
-            }
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock
-                    || e.kind() == io::ErrorKind::Interrupted =>
-            {
-                continue
-            }
-            Err(e) => return (frames, Some(FrameError::Io(e.to_string()))),
+            },
+            // The blocking reference drain owns the simplest retry
+            // policy: spin until the stream yields or dies.
+            PumpStep::Blocked => continue,
+            PumpStep::Failed(e) => return (frames, Some(e)),
         }
     }
-}
-
-/// Bytes the partially-buffered frame still needs (header or payload).
-fn frame_need(buf: &bytes::BytesMut) -> usize {
-    use crate::frame::HEADER_LEN;
-    if buf.len() < HEADER_LEN {
-        return HEADER_LEN;
-    }
-    let mut header = [0u8; HEADER_LEN];
-    header.copy_from_slice(&buf.as_slice()[..HEADER_LEN]);
-    u32::from_be_bytes(header) as usize
 }
 
 #[cfg(test)]

@@ -162,6 +162,118 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError>
     Ok(())
 }
 
+/// One step of [`FramePump::pump`]: what the underlying stream produced.
+#[derive(Debug)]
+pub enum PumpStep {
+    /// Fresh bytes entered the accumulation buffer; complete frames may
+    /// now be available via [`FramePump::next_frame`].
+    Fed(usize),
+    /// Clean end-of-stream. Anything still buffered is a truncated frame
+    /// ([`FramePump::truncation`]).
+    Eof,
+    /// The stream has nothing right now (`WouldBlock` / `Interrupted` /
+    /// `TimedOut`). A blocking caller retries after its poll slice; a
+    /// readiness caller parks the connection until the poller reports it
+    /// readable again.
+    Blocked,
+    /// Hard I/O failure; the stream can no longer be framed.
+    Failed(FrameError),
+}
+
+/// Incremental frame pump: one read step plus the accumulation buffer,
+/// shared by every consumer of the wire format. The blocking worker
+/// loop, the readiness reactor, and the fault-injection reference drain
+/// ([`crate::fault::drain_frames`]) all advance connections through this
+/// same type, so the prefix-truncation property and the chaos suite
+/// exercise the exact code both I/O models run in production.
+#[derive(Debug, Default)]
+pub struct FramePump {
+    buf: BytesMut,
+}
+
+impl FramePump {
+    /// An empty pump (no buffered bytes).
+    pub fn new() -> Self {
+        FramePump {
+            buf: BytesMut::new(),
+        }
+    }
+
+    /// Appends raw bytes to the accumulation buffer without touching any
+    /// stream — the entry point for property tests feeding arbitrary
+    /// splits and for readiness loops that read elsewhere.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, if one is fully buffered.
+    ///
+    /// Mirrors [`decode_frame`]: `Ok(None)` while bytes are missing,
+    /// `Err(Oversized)` when the header announces an illegal length.
+    pub fn next_frame(&mut self) -> Result<Option<Bytes>, FrameError> {
+        decode_frame(&mut self.buf)
+    }
+
+    /// Performs one bounded read from `r` into the buffer. Never blocks
+    /// longer than the underlying `read` does and never loops: callers
+    /// own the retry policy (that is the whole point of the pump).
+    pub fn pump(&mut self, r: &mut impl Read) -> PumpStep {
+        let mut chunk = [0u8; 4096];
+        match r.read(&mut chunk) {
+            Ok(0) => PumpStep::Eof,
+            Ok(n) => {
+                // lint: allow(panic, "guarded: n <= chunk.len() per Read contract")
+                self.buf.extend_from_slice(&chunk[..n]);
+                PumpStep::Fed(n)
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                PumpStep::Blocked
+            }
+            Err(e) => PumpStep::Failed(FrameError::Io(e.to_string())),
+        }
+    }
+
+    /// Bytes currently buffered (0 when parked cleanly between frames).
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when the buffer holds the start of an undecoded frame.
+    pub fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Total bytes — header included — the partially buffered frame
+    /// needs before it can decode.
+    pub fn needed(&self) -> usize {
+        match self.buf.as_slice().get(..HEADER_LEN) {
+            None => HEADER_LEN,
+            Some(h) => {
+                let mut header = [0u8; HEADER_LEN];
+                header.copy_from_slice(h);
+                HEADER_LEN + u32::from_be_bytes(header) as usize
+            }
+        }
+    }
+
+    /// The typed truncation error for an EOF *right now*: `Some` when a
+    /// partial frame is stranded in the buffer, `None` on a clean
+    /// between-frames boundary. Guarantees `have < need`.
+    pub fn truncation(&self) -> Option<FrameError> {
+        if self.buf.is_empty() {
+            return None;
+        }
+        Some(FrameError::Truncated {
+            have: self.buf.len(),
+            need: self.needed(),
+        })
+    }
+}
+
 /// Fills `buf` from `r`, tolerating EOF: returns how many bytes were
 /// actually read (0 = immediate EOF, `buf.len()` = filled).
 fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<usize, FrameError> {
@@ -228,6 +340,87 @@ mod tests {
             other => panic!("expected Oversized, got {other:?}"),
         }
         assert!(encode_frame(&vec![0u8; MAX_FRAME + 1]).is_err());
+    }
+
+    #[test]
+    fn pump_feeds_byte_at_a_time_without_corruption() {
+        let mut pump = FramePump::new();
+        let stream: Vec<u8> = [
+            encode_frame(b"alpha").unwrap(),
+            encode_frame(b"").unwrap(),
+            encode_frame(b"omega").unwrap(),
+        ]
+        .concat();
+        let mut decoded = Vec::new();
+        for b in &stream {
+            pump.feed(&[*b]);
+            while let Some(frame) = pump.next_frame().unwrap() {
+                decoded.push(frame.to_vec());
+            }
+        }
+        assert_eq!(
+            decoded,
+            vec![b"alpha".to_vec(), Vec::new(), b"omega".to_vec()]
+        );
+        assert!(!pump.mid_frame());
+        assert_eq!(pump.truncation(), None);
+    }
+
+    #[test]
+    fn pump_reports_truncation_with_have_below_need() {
+        let mut pump = FramePump::new();
+        // Mid-header: two of four length bytes.
+        pump.feed(&[0, 0]);
+        assert_eq!(
+            pump.truncation(),
+            Some(FrameError::Truncated { have: 2, need: 4 })
+        );
+        // Complete header claiming 6 payload bytes, one delivered.
+        let mut pump = FramePump::new();
+        let frame = encode_frame(b"abcdef").unwrap();
+        pump.feed(&frame[..HEADER_LEN + 1]);
+        assert_eq!(pump.next_frame().unwrap(), None);
+        match pump.truncation() {
+            Some(FrameError::Truncated { have, need }) => {
+                assert_eq!(have, HEADER_LEN + 1);
+                assert_eq!(need, HEADER_LEN + 6);
+                assert!(have < need);
+            }
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pump_steps_classify_stream_conditions() {
+        struct Script(Vec<std::io::Result<Vec<u8>>>);
+        impl Read for Script {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.pop() {
+                    Some(Ok(bytes)) => {
+                        buf[..bytes.len()].copy_from_slice(&bytes);
+                        Ok(bytes.len())
+                    }
+                    Some(Err(e)) => Err(e),
+                    None => Ok(0),
+                }
+            }
+        }
+        let frame = encode_frame(b"ok").unwrap();
+        let mut src = Script(vec![
+            Ok(frame.clone()),
+            Err(std::io::Error::new(std::io::ErrorKind::WouldBlock, "wb")),
+        ]);
+        let mut pump = FramePump::new();
+        assert!(matches!(pump.pump(&mut src), PumpStep::Blocked));
+        assert!(matches!(pump.pump(&mut src), PumpStep::Fed(n) if n == frame.len()));
+        assert_eq!(pump.next_frame().unwrap().unwrap().as_slice(), b"ok");
+        assert!(matches!(pump.pump(&mut src), PumpStep::Eof));
+
+        let mut broken = Script(vec![Err(std::io::Error::other("boom"))]);
+        assert!(matches!(
+            pump.pump(&mut broken),
+            PumpStep::Failed(FrameError::Io(_))
+        ));
     }
 
     #[test]

@@ -13,9 +13,14 @@
 //!   with the engine's own JSON codec (`fungus_types::json`);
 //! * [`session`] — per-connection state: statement counter, session id,
 //!   deterministic per-session RNG seed, dot-command dispatch;
-//! * [`server`] — a blocking TCP server on a crossbeam worker pool with
-//!   a connection cap, read/write timeouts, an optional wall-clock decay
-//!   driver, and graceful drain-then-checkpoint shutdown;
+//! * [`server`] — the TCP server: a crossbeam worker pool with a
+//!   connection cap, read/write timeouts, an optional wall-clock decay
+//!   driver, and graceful drain-then-checkpoint shutdown, behind either
+//!   of two I/O models ([`ServerConfig::io_model`]);
+//! * [`reactor`] (unix) — the event-driven connection layer: sessions as
+//!   explicit state machines multiplexed over a hand-rolled poll/epoll
+//!   readiness reactor, with bounded dispatch onto the worker pool and
+//!   backpressure when the pool saturates;
 //! * [`client`] — a blocking [`Client`] used by the load-driving
 //!   experiment (E11), the integration tests, and `examples/serve.rs`,
 //!   with an optional [`RetryPolicy`] (bounded exponential backoff,
@@ -28,10 +33,11 @@
 //!   `.health`/`.stats`, fault/panic/respawn telemetry included.
 //!
 //! No async runtime: the engine's critical sections are microseconds of
-//! CPU under `parking_lot` locks, so blocking I/O with one worker thread
-//! per active connection is both simpler and faster at the scales the
-//! experiments drive (tens of connections, tens of thousands of
-//! requests).
+//! CPU under `parking_lot` locks. The threaded model (one worker thread
+//! per active connection) is the simple reference baseline; the reactor
+//! model decouples live sessions from threads, holding thousands of
+//! mostly-idle connections over a small fixed thread set while the same
+//! worker pool bounds actual CPU concurrency.
 //!
 //! ```no_run
 //! use fungus_core::{Database, SharedDatabase};
@@ -57,14 +63,16 @@ pub mod client;
 pub mod fault;
 pub mod frame;
 pub mod protocol;
+#[cfg(unix)]
+pub mod reactor;
 pub mod server;
 pub mod session;
 pub mod stats;
 
 pub use client::{Client, ClientError, ClientStats, RetryPolicy};
 pub use fault::{drain_frames, Fault, FaultPlan, FaultSchedule, Faulty};
-pub use frame::{FrameError, MAX_FRAME};
+pub use frame::{FrameError, FramePump, PumpStep, MAX_FRAME};
 pub use protocol::{ErrorCode, HealthSummary, Request, Response, StatsSummary};
-pub use server::{serve, ServerConfig, ServerHandle, ShutdownReport};
+pub use server::{serve, IoModel, PollerKind, ServerConfig, ServerHandle, ShutdownReport};
 pub use session::Session;
 pub use stats::{MetricsSnapshot, ServerStats};

@@ -170,6 +170,22 @@ pub struct StatsSummary {
     /// `CONSUME`s that fell back to the fully locked path.
     #[serde(default)]
     pub mvcc_consume_fallbacks: u64,
+    /// Sessions currently registered on reactor threads (0 under the
+    /// threaded model).
+    #[serde(default)]
+    pub reactor_sessions: u64,
+    /// Readiness events delivered to reactor connections.
+    #[serde(default)]
+    pub reactor_ready_events: u64,
+    /// Dispatches parked on a full worker queue (backpressure stalls).
+    #[serde(default)]
+    pub reactor_stalls: u64,
+    /// Self-pipe wake bytes the reactors drained.
+    #[serde(default)]
+    pub reactor_wakeups: u64,
+    /// High-water mark of one connection's buffered response bytes.
+    #[serde(default)]
+    pub reactor_write_hwm: u64,
 }
 
 impl From<crate::stats::MetricsSnapshot> for StatsSummary {
@@ -200,6 +216,11 @@ impl From<crate::stats::MetricsSnapshot> for StatsSummary {
             mvcc_snapshot_reads: m.mvcc_snapshot_reads,
             mvcc_consume_retries: m.mvcc_consume_retries,
             mvcc_consume_fallbacks: m.mvcc_consume_fallbacks,
+            reactor_sessions: m.reactor_sessions,
+            reactor_ready_events: m.reactor_ready_events,
+            reactor_stalls: m.reactor_stalls,
+            reactor_wakeups: m.reactor_wakeups,
+            reactor_write_hwm: m.reactor_write_hwm,
         }
     }
 }
@@ -408,6 +429,11 @@ mod tests {
                     mvcc_snapshot_reads: 450,
                     mvcc_consume_retries: 3,
                     mvcc_consume_fallbacks: 1,
+                    reactor_sessions: 12,
+                    reactor_ready_events: 900,
+                    reactor_stalls: 4,
+                    reactor_wakeups: 350,
+                    reactor_write_hwm: 8192,
                 }),
             },
             Response::Pong,

@@ -1,0 +1,625 @@
+//! `fungus-reactor`: the event-driven connection layer.
+//!
+//! Sessions as state machines over a readiness reactor — the second
+//! I/O model behind [`ServerConfig::io_model`], built for live-session
+//! counts far beyond the worker-thread bound of the threaded baseline:
+//!
+//! ```text
+//!  accept thread ──enroll──► ReactorShared.registry ─┐   (self-pipe wake)
+//!                                                    ▼
+//!                 ┌───────────────── reactor thread ────────────────┐
+//!                 │  Poller (epoll / poll) ◄── Waker self-pipe      │
+//!                 │  slot table: SessionConn state machines         │
+//!                 │  readable → FramePump → pending requests        │
+//!                 │  writable → drain out buffers                   │
+//!                 └──────┬──────────────────────────────▲───────────┘
+//!                        │ Job (bounded try_send;       │ Completion
+//!                        │ Full ⇒ backpressure)         │ (+ wake)
+//!                        ▼                              │
+//!                   crossbeam worker pool ──────────────┘
+//!                   (same supervised pool as the threaded model)
+//! ```
+//!
+//! **Backpressure contract:** the dispatch queue is bounded. When
+//! `try_send` reports it full, the reactor parks the request back on
+//! its connection, *drops read interest* for that socket (level-
+//! triggered pollers make this lossless), and counts a stall tick;
+//! `.health` probes are answered inline with a typed `Unavailable`
+//! error instead of queueing, so monitoring stays responsive while the
+//! pool is saturated.
+//!
+//! **Wakeup protocol:** workers finish jobs onto a per-reactor
+//! completion queue and write one byte into the reactor's self-pipe;
+//! the accept thread does the same after enrolling a socket. The pipe
+//! is nonblocking on both ends — a full pipe means a wake is already
+//! pending, which is all a wake must guarantee. The reactor drains the
+//! pipe once per tick and counts the coalesced bytes.
+//!
+//! The frame codec and the fault layer survive unchanged: every
+//! connection advances through the same [`FramePump`] the blocking
+//! model and the chaos reference drain use, and `FaultPlan`-wrapped
+//! streams inject the same seeded schedule.
+//!
+//! [`ServerConfig::io_model`]: crate::server::ServerConfig
+//! [`FramePump`]: crate::frame::FramePump
+
+pub mod conn;
+pub mod poller;
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender, TrySendError};
+use fungus_core::SharedDatabase;
+use fungus_lint_rt::{hierarchy, OrderedMutex};
+
+use crate::fault::Faulty;
+use crate::protocol::{ErrorCode, Request, Response};
+use crate::server::{ServerConfig, POLL_SLICE};
+use crate::session::Session;
+use crate::stats::ServerStats;
+use conn::{ConnState, SessionConn};
+use poller::{Event, Interest, Poller, WakeReader, Waker};
+
+/// Reserved poller token for the self-pipe wake reader; connection
+/// tokens are `slot index + 1`.
+const WAKER_TOKEN: usize = 0;
+
+/// Poll slices a graceful drain waits for in-flight jobs before
+/// force-closing what remains (≈ 5 s at the 50 ms slice).
+const DRAIN_TICKS: u32 = 100;
+
+/// A connection's transport under the reactor: bare socket, or the
+/// seeded fault layer around it.
+pub(crate) enum ConnStream {
+    /// No fault plan: zero-overhead passthrough.
+    Plain(TcpStream),
+    /// Wrapped by a seeded [`Faulty`] schedule.
+    Faulted(Box<Faulty<TcpStream>>),
+}
+
+impl ConnStream {
+    fn raw_fd(&self) -> RawFd {
+        match self {
+            ConnStream::Plain(s) => s.as_raw_fd(),
+            ConnStream::Faulted(f) => f.get_ref().as_raw_fd(),
+        }
+    }
+
+    fn injected(&self) -> u64 {
+        match self {
+            ConnStream::Plain(_) => 0,
+            ConnStream::Faulted(f) => f.injected(),
+        }
+    }
+}
+
+impl Read for ConnStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Plain(s) => s.read(buf),
+            ConnStream::Faulted(f) => f.read(buf),
+        }
+    }
+}
+
+impl Write for ConnStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ConnStream::Plain(s) => s.write(buf),
+            ConnStream::Faulted(f) => f.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ConnStream::Plain(s) => s.flush(),
+            ConnStream::Faulted(f) => f.flush(),
+        }
+    }
+}
+
+/// One decoded request travelling to the worker pool. The session rides
+/// along (it is single-threaded state) and comes home in the
+/// [`Completion`].
+pub(crate) struct Job {
+    shared: Arc<ReactorShared>,
+    token: usize,
+    conn_id: u64,
+    doomed: bool,
+    fault_seed: u64,
+    session: Session,
+    payload: Vec<u8>,
+}
+
+enum CompletionOutcome {
+    /// The worker produced a response; the session comes home. Boxed so
+    /// the queued completion stays pointer-sized next to `Poisoned`.
+    Done(Box<(Session, Response)>),
+    /// The worker died mid-request (injected or organic panic): the
+    /// session is gone, the connection must drop.
+    Poisoned,
+}
+
+/// A finished job on its way back to the reactor.
+pub(crate) struct Completion {
+    token: usize,
+    outcome: CompletionOutcome,
+}
+
+/// The rendezvous between one reactor thread and everyone who needs to
+/// reach it: the accept thread (enrolment), the workers (completions),
+/// and shutdown (wake). Both queues are leaf locks — nothing else is
+/// ever held while they are, on either side.
+pub(crate) struct ReactorShared {
+    registry: OrderedMutex<Vec<(TcpStream, u64)>>,
+    completions: OrderedMutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+impl ReactorShared {
+    /// Builds the shared cell plus the wake-pipe read half the reactor
+    /// thread registers with its poller.
+    pub(crate) fn new() -> io::Result<(Arc<ReactorShared>, WakeReader)> {
+        let (waker, reader) = poller::waker_pair()?;
+        let shared = ReactorShared {
+            registry: OrderedMutex::new(&hierarchy::REACTOR_REGISTRY, Vec::new()),
+            completions: OrderedMutex::new(&hierarchy::REACTOR_COMPLETIONS, Vec::new()),
+            waker,
+        };
+        Ok((Arc::new(shared), reader))
+    }
+
+    /// Hands a freshly accepted (already nonblocking) socket to this
+    /// reactor. Called from the accept thread.
+    pub(crate) fn enroll(&self, stream: TcpStream, conn_id: u64) {
+        self.registry.lock().push((stream, conn_id));
+        self.waker.wake();
+    }
+
+    /// Parks a finished job for pickup and nudges the reactor.
+    fn complete(&self, completion: Completion) {
+        self.completions.lock().push(completion);
+        self.waker.wake();
+    }
+
+    /// Interrupts the reactor's poll wait (shutdown path).
+    pub(crate) fn wake(&self) {
+        self.waker.wake();
+    }
+}
+
+/// Delivers a `Poisoned` completion if the job never finishes — armed
+/// across the request so a panicking worker (the chaos suite injects
+/// them) still hands the connection's corpse back to the reactor
+/// instead of leaking the slot in `Queued` forever.
+struct PoisonGuard {
+    shared: Option<Arc<ReactorShared>>,
+    token: usize,
+}
+
+impl PoisonGuard {
+    fn finish(&mut self, session: Session, response: Response) {
+        if let Some(shared) = self.shared.take() {
+            shared.complete(Completion {
+                token: self.token,
+                outcome: CompletionOutcome::Done(Box::new((session, response))),
+            });
+        }
+    }
+}
+
+impl Drop for PoisonGuard {
+    fn drop(&mut self) {
+        if let Some(shared) = self.shared.take() {
+            shared.complete(Completion {
+                token: self.token,
+                outcome: CompletionOutcome::Poisoned,
+            });
+        }
+    }
+}
+
+/// The worker-pool loop for the reactor model: pull jobs, run them
+/// through the session, send completions home. Mirrors the threaded
+/// `worker_loop`'s shutdown discipline (drain the queue, then exit).
+pub(crate) fn job_loop(rx: &Receiver<Job>, shutdown: &AtomicBool) {
+    loop {
+        match rx.recv_timeout(POLL_SLICE) {
+            Ok(job) => run_job(job),
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::SeqCst) && rx.is_empty() {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn run_job(job: Job) {
+    let Job {
+        shared,
+        token,
+        conn_id,
+        doomed,
+        fault_seed,
+        mut session,
+        payload,
+    } = job;
+    let mut guard = PoisonGuard {
+        shared: Some(shared),
+        token,
+    };
+    if doomed {
+        // The unwind delivers a Poisoned completion through the guard
+        // (the reactor drops the connection) and kills this worker; the
+        // supervisor counts the corpse and respawns it.
+        // lint: allow(panic, "injected fault: the supervisor's respawn path is under test")
+        panic!("injected worker panic on connection {conn_id} (fault seed {fault_seed})");
+    }
+    let response = match Request::decode(&payload) {
+        Ok(request) => session.handle(request),
+        Err(err) => Response::from_error(&err),
+    };
+    guard.finish(session, response);
+}
+
+/// True when `payload` is a `.health` probe — the one request the
+/// overloaded fail-fast path answers inline instead of queueing.
+fn is_health_probe(payload: &[u8]) -> bool {
+    matches!(Request::decode(payload), Ok(Request::Dot { ref line }) if line.trim() == ".health")
+}
+
+/// Everything one reactor thread owns.
+pub(crate) struct ReactorCtx {
+    /// Rendezvous cell shared with accept/workers/shutdown.
+    pub shared: Arc<ReactorShared>,
+    /// Read half of the self-pipe.
+    pub wake_rx: WakeReader,
+    /// The readiness backend (built in `serve` so bind-time errors
+    /// surface to the caller).
+    pub poller: Box<dyn Poller>,
+    /// Catalog handle for building sessions.
+    pub db: SharedDatabase,
+    /// Shared counters.
+    pub stats: Arc<ServerStats>,
+    /// Server-wide shutdown flag.
+    pub shutdown: Arc<AtomicBool>,
+    /// Server-wide live-connection count (the accept loop's admission
+    /// gauge); the reactor decrements it on close.
+    pub active: Arc<AtomicUsize>,
+    /// Bounded dispatch queue into the worker pool.
+    pub jobs: Sender<Job>,
+    /// Server tuning knobs (timeouts, fault plan).
+    pub config: ServerConfig,
+}
+
+struct Slot {
+    conn: SessionConn<ConnStream>,
+    id: u64,
+    armed: Interest,
+    /// First dispatched request must panic its worker (injected fault).
+    doomed: bool,
+    /// Dispatch is parked on a full queue; read interest is dropped
+    /// until the queue drains.
+    stalled: bool,
+}
+
+/// Duration → whole poll slices, rounded up, at least one.
+fn ticks_for(d: Duration) -> u32 {
+    let slice = POLL_SLICE.as_millis().max(1);
+    (d.as_millis().div_ceil(slice)).clamp(1, u32::MAX as u128) as u32
+}
+
+/// The reactor thread: poll readiness, advance session state machines,
+/// dispatch decoded requests, absorb completions, reconcile interest.
+pub(crate) fn reactor_loop(mut ctx: ReactorCtx) {
+    let mut slots: Vec<Option<Slot>> = Vec::new();
+    let mut free: Vec<usize> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+
+    if ctx
+        .poller
+        .register(ctx.wake_rx.fd(), WAKER_TOKEN, Interest::READ)
+        .is_err()
+    {
+        // Without a wake pipe the reactor cannot be reached; it must
+        // not run (serve() verified the poller, so this is unreachable
+        // in practice).
+        return;
+    }
+
+    let read_limit = ticks_for(ctx.config.read_timeout);
+    let write_limit = ticks_for(ctx.config.write_timeout);
+    let stall_limit = read_limit.max(write_limit);
+
+    // lint: allow(determinism, "socket timeout deadlines are wall-clock by definition")
+    let mut last_sweep = Instant::now();
+    let mut drain_ticks = 0u32;
+
+    loop {
+        let shutting_down = ctx.shutdown.load(Ordering::SeqCst);
+
+        // New enrolments from the accept thread. The guard is dropped
+        // before any session work: the registry is a leaf lock.
+        let incoming: Vec<(TcpStream, u64)> = std::mem::take(&mut *ctx.shared.registry.lock());
+        for (stream, id) in incoming {
+            if shutting_down {
+                // Draining: late arrivals are turned away silently (the
+                // accept loop already stopped; this is a race remnant).
+                ctx.active.fetch_sub(1, Ordering::SeqCst);
+                continue;
+            }
+            enroll(&mut ctx, &mut slots, &mut free, stream, id);
+        }
+
+        if ctx.poller.wait(&mut events, POLL_SLICE).is_err() {
+            // The poller itself failed (not EINTR — that reports empty).
+            // Nothing can make progress again: release everything.
+            for idx in 0..slots.len() {
+                release(&mut ctx, &mut slots, &mut free, idx);
+            }
+            return;
+        }
+
+        // Readiness events → state machine steps.
+        let mut ready_events = 0u64;
+        let mut wake_bytes = 0u64;
+        for &ev in events.iter() {
+            if ev.token == WAKER_TOKEN {
+                wake_bytes += ctx.wake_rx.drain();
+                continue;
+            }
+            ready_events += 1;
+            let idx = ev.token - 1;
+            let Some(slot) = slots.get_mut(idx).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            if ev.readable {
+                let out = slot.conn.on_readable();
+                bump(&ctx.stats.requests, out.decoded as u64);
+                if out.framing_error {
+                    ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if ev.writable {
+                let out = slot.conn.on_writable();
+                bump(&ctx.stats.responses, out.responses as u64);
+            }
+        }
+        bump(&ctx.stats.reactor_ready_events, ready_events);
+        bump(&ctx.stats.reactor_wakeups, wake_bytes);
+
+        // Completions home from the worker pool.
+        let finished: Vec<Completion> = std::mem::take(&mut *ctx.shared.completions.lock());
+        for c in finished {
+            let idx = c.token - 1;
+            let Some(slot) = slots.get_mut(idx).and_then(|s| s.as_mut()) else {
+                continue;
+            };
+            match c.outcome {
+                CompletionOutcome::Done(done) => {
+                    let (session, response) = *done;
+                    if slot.conn.complete(session, &response) {
+                        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    ctx.stats
+                        .reactor_write_hwm
+                        .fetch_max(slot.conn.out_len() as u64, Ordering::Relaxed);
+                    // Optimistic flush: most responses fit the socket
+                    // buffer, saving a poll round-trip.
+                    let out = slot.conn.on_writable();
+                    bump(&ctx.stats.responses, out.responses as u64);
+                    // The dispatch freed pipeline capacity: decode what
+                    // the pump already buffered (the poller will not
+                    // re-fire for bytes we already hold).
+                    let d = slot.conn.decode_buffered();
+                    bump(&ctx.stats.requests, d.decoded as u64);
+                    if d.framing_error {
+                        ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                CompletionOutcome::Poisoned => slot.conn.poison(),
+            }
+        }
+
+        // Dispatch decoded requests onto the bounded worker queue.
+        if !shutting_down {
+            let fault_seed = ctx
+                .config
+                .fault_plan
+                .as_ref()
+                .map(|p| p.seed())
+                .unwrap_or(0);
+            for (idx, entry) in slots.iter_mut().enumerate() {
+                let Some(slot) = entry.as_mut() else {
+                    continue;
+                };
+                let Some((session, payload)) = slot.conn.next_dispatch() else {
+                    continue;
+                };
+                let job = Job {
+                    shared: Arc::clone(&ctx.shared),
+                    token: idx + 1,
+                    conn_id: slot.id,
+                    doomed: slot.doomed,
+                    fault_seed,
+                    session,
+                    payload,
+                };
+                match ctx.jobs.try_send(job) {
+                    Ok(()) => {
+                        slot.doomed = false;
+                        slot.stalled = false;
+                    }
+                    Err(TrySendError::Full(job)) => {
+                        // Backpressure: count the stall, park the
+                        // request, stop polling this socket readable.
+                        // Health probes fail fast instead of queueing.
+                        ctx.stats.reactor_stalls.fetch_add(1, Ordering::Relaxed);
+                        let Job {
+                            session, payload, ..
+                        } = job;
+                        if is_health_probe(&payload) {
+                            let resp = Response::Error {
+                                code: ErrorCode::Unavailable,
+                                message: "server overloaded: dispatch queue full".into(),
+                            };
+                            slot.conn.complete(session, &resp);
+                            ctx.stats.errors.fetch_add(1, Ordering::Relaxed);
+                            let out = slot.conn.on_writable();
+                            bump(&ctx.stats.responses, out.responses as u64);
+                        } else {
+                            slot.conn.requeue(session, payload);
+                            slot.stalled = true;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(job)) => {
+                        // Pool gone: shutdown raced us; park the request
+                        // and let the drain below close the connection.
+                        let Job {
+                            session, payload, ..
+                        } = job;
+                        slot.conn.requeue(session, payload);
+                    }
+                }
+            }
+        }
+
+        // Stall clock: at most once per wall poll slice, so a busy
+        // reactor (wait returning instantly) does not age connections
+        // thousands of times a second.
+        // lint: allow(determinism, "socket timeout deadlines are wall-clock by definition")
+        let now = Instant::now();
+        let sweep_stalls = now.duration_since(last_sweep) >= POLL_SLICE;
+        if sweep_stalls {
+            last_sweep = now;
+            if shutting_down {
+                drain_ticks = drain_ticks.saturating_add(1);
+            }
+        }
+
+        // Close + interest reconciliation sweep.
+        for idx in 0..slots.len() {
+            let close = {
+                let Some(slot) = slots[idx].as_mut() else {
+                    continue;
+                };
+                let timed_out = sweep_stalls && slot.conn.tick_stall() > stall_limit;
+                let drained_out = shutting_down
+                    && slot.conn.state() != ConnState::Queued
+                    && !slot.conn.wants_write();
+                slot.conn.should_close() || timed_out || drained_out
+            };
+            if close {
+                release(&mut ctx, &mut slots, &mut free, idx);
+                continue;
+            }
+            let Some(slot) = slots[idx].as_mut() else {
+                continue;
+            };
+            let desired = Interest {
+                readable: !shutting_down && !slot.stalled && slot.conn.wants_read(),
+                writable: slot.conn.wants_write(),
+            };
+            if desired != slot.armed {
+                let fd = slot.conn.stream().raw_fd();
+                if ctx.poller.reregister(fd, idx + 1, desired).is_ok() {
+                    slot.armed = desired;
+                }
+            }
+        }
+
+        if shutting_down {
+            // Idle and fully-flushed connections were released by the
+            // sweep above; what remains is waiting on a worker completion
+            // or a slow peer's socket buffer. Give those a bounded drain,
+            // then force the stragglers closed.
+            let open = slots.iter().filter(|s| s.is_some()).count();
+            if open == 0 {
+                return;
+            }
+            if drain_ticks > DRAIN_TICKS {
+                for idx in 0..slots.len() {
+                    release(&mut ctx, &mut slots, &mut free, idx);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Relaxed add, skipping the RMW when there is nothing to add.
+fn bump(counter: &std::sync::atomic::AtomicU64, n: u64) {
+    if n > 0 {
+        counter.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// Builds the session + state machine for an accepted socket and
+/// registers it with the poller.
+fn enroll(
+    ctx: &mut ReactorCtx,
+    slots: &mut Vec<Option<Slot>>,
+    free: &mut Vec<usize>,
+    stream: TcpStream,
+    id: u64,
+) {
+    let fd = stream.as_raw_fd();
+    let session = Session::new(id, ctx.db.clone()).with_stats(Arc::clone(&ctx.stats));
+    let (transport, doomed) = match &ctx.config.fault_plan {
+        Some(plan) => {
+            let schedule = plan.schedule_for(id);
+            let doomed = schedule.panics_worker();
+            if plan.wraps_streams() {
+                (
+                    ConnStream::Faulted(Box::new(Faulty::new(stream, schedule))),
+                    doomed,
+                )
+            } else {
+                (ConnStream::Plain(stream), doomed)
+            }
+        }
+        None => (ConnStream::Plain(stream), false),
+    };
+    let idx = free.pop().unwrap_or_else(|| {
+        slots.push(None);
+        slots.len() - 1
+    });
+    match ctx.poller.register(fd, idx + 1, Interest::READ) {
+        Ok(()) => {
+            slots[idx] = Some(Slot {
+                conn: SessionConn::new(transport, session),
+                id,
+                armed: Interest::READ,
+                doomed,
+                stalled: false,
+            });
+            ctx.stats.reactor_sessions.fetch_add(1, Ordering::Relaxed);
+        }
+        Err(_) => {
+            // Registration failed (fd limit, dead socket): drop it and
+            // give the admission gauge its slot back.
+            free.push(idx);
+            ctx.active.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Tears a connection down: deregister, fault accounting, gauges.
+fn release(ctx: &mut ReactorCtx, slots: &mut [Option<Slot>], free: &mut Vec<usize>, idx: usize) {
+    let Some(slot) = slots[idx].take() else {
+        return;
+    };
+    let stream = slot.conn.into_stream();
+    let _ = ctx.poller.deregister(stream.raw_fd());
+    ctx.stats.add_faults(stream.injected());
+    ctx.stats.reactor_sessions.fetch_sub(1, Ordering::Relaxed);
+    ctx.active.fetch_sub(1, Ordering::SeqCst);
+    free.push(idx);
+}

@@ -1,12 +1,19 @@
 //! The concurrent TCP front-end.
 //!
-//! Threading model (deliberately boring — no async runtime):
+//! Two I/O models share one front door, one worker pool, one supervisor,
+//! and one frame codec ([`ServerConfig::io_model`] picks):
 //!
 //! ```text
 //!             accept thread                worker pool (N threads)
 //!   TcpListener ──────────► crossbeam ──────────► Session per connection
 //!        │    nonblocking,   bounded(cap)          blocking frame loop
 //!        │    cap-checked                          read → dispatch → write
+//!        │         (threaded model: 1 connection per worker)
+//!        │
+//!        ├──────► reactor threads ◄──── completions + self-pipe wake
+//!        │         (reactor model: sessions as state machines over
+//!        │          poll/epoll; decoded requests batch onto the same
+//!        │          worker pool — see [`crate::reactor`])
 //!        │
 //!   supervisor thread: joins dead workers, counts the panic, and spawns
 //!        │    a replacement — one connection's crash never shrinks the pool.
@@ -18,11 +25,15 @@
 //!   schedule through worker deaths (Law 1 under chaos).
 //! ```
 //!
-//! Each worker owns one connection at a time from accept to hangup, so
-//! the pool size bounds concurrent connections; the accept thread rejects
-//! the overflow with a typed [`Response::Error`] instead of letting them
-//! queue invisibly. Sockets carry read/write timeouts, and the read path
-//! polls in short slices so an idle connection notices shutdown quickly.
+//! Under the threaded model each worker owns one connection at a time
+//! from accept to hangup, so the pool size bounds concurrent connections;
+//! the accept thread rejects the overflow with a typed
+//! [`Response::Error`] instead of letting them queue invisibly. Sockets
+//! carry read/write timeouts, and the read path polls in short slices so
+//! an idle connection notices shutdown quickly. Under the reactor model
+//! the session count is bounded by [`ServerConfig::max_sessions`]
+//! instead, and the worker pool bounds *in-flight requests* rather than
+//! connections.
 //!
 //! **Fault injection:** installing a [`FaultPlan`] in [`ServerConfig`]
 //! wraps every accepted socket in a [`Faulty`] stream whose seeded
@@ -52,23 +63,51 @@ use fungus_core::SharedDatabase;
 use fungus_types::{FungusError, Result};
 
 use crate::fault::{FaultPlan, Faulty};
-use crate::frame::{self, FrameError, HEADER_LEN, MAX_FRAME};
+use crate::frame::{self, FrameError, FramePump, PumpStep};
 use crate::protocol::{ErrorCode, Request, Response};
 use crate::session::Session;
 use crate::stats::{MetricsSnapshot, ServerStats};
 
-/// How often blocked reads wake up to check the shutdown flag.
-const POLL_SLICE: Duration = Duration::from_millis(50);
+/// How often blocked reads (and reactor poll waits) wake up to check the
+/// shutdown flag.
+pub(crate) const POLL_SLICE: Duration = Duration::from_millis(50);
+
+/// Which connection I/O model the server runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IoModel {
+    /// One blocking worker thread owns each live connection — the
+    /// reference baseline. Concurrency is bounded by the pool size.
+    #[default]
+    Threaded,
+    /// Event-driven: sessions are state machines multiplexed over a
+    /// poll/epoll reactor; decoded requests batch onto the worker pool.
+    /// Unix-only ([`serve`] fails with a typed error elsewhere).
+    Reactor,
+}
+
+/// Which readiness backend a reactor thread uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PollerKind {
+    /// The platform's best backend: `epoll` on Linux, `poll(2)` elsewhere.
+    #[default]
+    System,
+    /// Force the portable `poll(2)` backend (tests use this to cover the
+    /// fallback on platforms that would never pick it).
+    Poll,
+}
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
     pub addr: SocketAddr,
-    /// Worker threads — also the concurrent-connection bound.
+    /// Worker threads. Under [`IoModel::Threaded`] this is also the
+    /// concurrent-connection bound; under [`IoModel::Reactor`] it bounds
+    /// in-flight requests.
     pub workers: usize,
-    /// Connections admitted beyond the busy workers (queued, waiting for
-    /// a worker). Anything above `workers + backlog` is rejected.
+    /// Threaded model: connections admitted beyond the busy workers
+    /// (queued, waiting for a worker). Anything above `workers + backlog`
+    /// is rejected.
     pub backlog: usize,
     /// A connection stalling mid-frame longer than this is dropped.
     pub read_timeout: Duration,
@@ -83,6 +122,20 @@ pub struct ServerConfig {
     /// [`Faulty`] stream (and scheduled worker panics fire). `None`
     /// serves sockets unwrapped — zero overhead.
     pub fault_plan: Option<FaultPlan>,
+    /// Connection I/O model: blocking worker-per-connection, or the
+    /// poll/epoll reactor.
+    pub io_model: IoModel,
+    /// Reactor model: how many reactor threads multiplex the sessions.
+    pub reactor_threads: usize,
+    /// Reactor model: the admission cap on concurrently open sessions
+    /// (the reactor's analogue of `workers + backlog`).
+    pub max_sessions: usize,
+    /// Reactor model: depth of the bounded request queue into the worker
+    /// pool. A full queue is the backpressure signal — the reactor stops
+    /// polling saturating sockets and `.health` probes fail fast.
+    pub dispatch_depth: usize,
+    /// Reactor model: readiness backend selection.
+    pub poller: PollerKind,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +149,11 @@ impl Default for ServerConfig {
             tick_period: None,
             checkpoint_dir: None,
             fault_plan: None,
+            io_model: IoModel::Threaded,
+            reactor_threads: 2,
+            max_sessions: 1024,
+            dispatch_depth: 64,
+            poller: PollerKind::System,
         }
     }
 }
@@ -109,10 +167,22 @@ pub struct ShutdownReport {
     pub checkpointed: bool,
 }
 
+/// What a worker thread pulls from: whole connections (threaded model)
+/// or decoded requests (reactor model). One pool, one supervisor, two
+/// feeds.
+#[derive(Clone)]
+enum ConnSource {
+    /// Threaded model: each received socket is owned until hangup.
+    Streams(Receiver<TcpStream>),
+    /// Reactor model: each received job is one decoded request.
+    #[cfg(unix)]
+    Jobs(Receiver<crate::reactor::Job>),
+}
+
 /// Everything a worker thread (or its respawned replacement) needs.
 #[derive(Clone)]
 struct WorkerCtx {
-    rx: Receiver<TcpStream>,
+    source: ConnSource,
     db: SharedDatabase,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
@@ -140,6 +210,8 @@ pub struct ServerHandle {
     driver: Option<DriverHandle>,
     stats: Arc<ServerStats>,
     checkpoint_dir: Option<PathBuf>,
+    #[cfg(unix)]
+    reactors: Vec<(Arc<crate::reactor::ReactorShared>, JoinHandle<()>)>,
 }
 
 /// Starts a server over `db` and returns its handle.
@@ -147,28 +219,41 @@ pub struct ServerHandle {
 /// The listener is bound and the pool is running when this returns — a
 /// client may connect immediately. All threads are named for debuggers.
 pub fn serve(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
+    match config.io_model {
+        IoModel::Threaded => serve_threaded(db, config),
+        IoModel::Reactor => serve_reactor(db, config),
+    }
+}
+
+/// The bind + shared-state boilerplate both I/O models start from.
+struct ServerBase {
+    listener: TcpListener,
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    active: Arc<AtomicUsize>,
+    sessions: Arc<AtomicU64>,
+}
+
+fn bind_base(db: &SharedDatabase, config: &ServerConfig) -> Result<ServerBase> {
     let listener = TcpListener::bind(config.addr).map_err(io_err)?;
     listener.set_nonblocking(true).map_err(io_err)?;
     let addr = listener.local_addr().map_err(io_err)?;
-
-    let shutdown = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
     stats.link_shards(db.clone());
-    let active = Arc::new(AtomicUsize::new(0));
-    let sessions = Arc::new(AtomicU64::new(0));
-    let workers = config.workers.max(1);
-    let (conn_tx, conn_rx) = bounded::<TcpStream>(config.backlog.max(1));
+    Ok(ServerBase {
+        listener,
+        addr,
+        shutdown: Arc::new(AtomicBool::new(false)),
+        stats,
+        active: Arc::new(AtomicUsize::new(0)),
+        sessions: Arc::new(AtomicU64::new(0)),
+    })
+}
 
-    let ctx = WorkerCtx {
-        rx: conn_rx,
-        db: db.clone(),
-        shutdown: Arc::clone(&shutdown),
-        stats: Arc::clone(&stats),
-        active: Arc::clone(&active),
-        sessions: Arc::clone(&sessions),
-        config: config.clone(),
-    };
-
+/// Spawns the worker pool and its supervisor (shared by both models —
+/// the supervisor's respawn discipline applies to job workers too).
+fn spawn_pool(workers: usize, ctx: &WorkerCtx) -> Result<(WorkerSet, JoinHandle<()>)> {
     let mut pool = Vec::with_capacity(workers);
     for w in 0..workers {
         pool.push(WorkerSlot {
@@ -177,44 +262,153 @@ pub fn serve(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
         });
     }
     let pool: WorkerSet = Arc::new(OrderedMutex::new(&hierarchy::WORKERS, pool));
-
     let supervisor = {
-        let workers = Arc::clone(&pool);
+        let set = Arc::clone(&pool);
         let ctx = ctx.clone();
         std::thread::Builder::new()
             .name("fungus-supervisor".into())
-            .spawn(move || supervisor_loop(workers, ctx))
+            .spawn(move || supervisor_loop(set, ctx))
             .map_err(io_err)?
     };
+    Ok((pool, supervisor))
+}
+
+fn spawn_accept(
+    base: &ServerBase,
+    sink: AcceptSink,
+    capacity: usize,
+    config: &ServerConfig,
+) -> Result<JoinHandle<()>> {
+    let listener = base.listener.try_clone().map_err(io_err)?;
+    let shutdown = Arc::clone(&base.shutdown);
+    let stats = Arc::clone(&base.stats);
+    let active = Arc::clone(&base.active);
+    let config = config.clone();
+    std::thread::Builder::new()
+        .name("fungus-accept".into())
+        .spawn(move || accept_loop(listener, sink, shutdown, stats, active, capacity, config))
+        .map_err(io_err)
+}
+
+fn serve_threaded(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
+    let base = bind_base(&db, &config)?;
+    let workers = config.workers.max(1);
+    let (conn_tx, conn_rx) = bounded::<TcpStream>(config.backlog.max(1));
+
+    let ctx = WorkerCtx {
+        source: ConnSource::Streams(conn_rx),
+        db: db.clone(),
+        shutdown: Arc::clone(&base.shutdown),
+        stats: Arc::clone(&base.stats),
+        active: Arc::clone(&base.active),
+        sessions: Arc::clone(&base.sessions),
+        config: config.clone(),
+    };
+    let (pool, supervisor) = spawn_pool(workers, &ctx)?;
 
     let driver = config.tick_period.map(|p| db.spawn_decay_driver(p));
     if let Some(driver) = &driver {
-        stats.link_driver(driver.tick_counter());
+        base.stats.link_driver(driver.tick_counter());
     }
 
-    let accept = {
-        let shutdown = Arc::clone(&shutdown);
-        let stats = Arc::clone(&stats);
-        let active = Arc::clone(&active);
-        let tx: Sender<TcpStream> = conn_tx;
-        let capacity = workers + config.backlog;
-        std::thread::Builder::new()
-            .name("fungus-accept".into())
-            .spawn(move || accept_loop(listener, tx, shutdown, stats, active, capacity))
-            .map_err(io_err)?
-    };
+    let capacity = workers + config.backlog;
+    let accept = spawn_accept(&base, AcceptSink::Pool(conn_tx), capacity, &config)?;
 
     Ok(ServerHandle {
-        addr,
+        addr: base.addr,
         db,
-        shutdown,
+        shutdown: base.shutdown,
         accept: Some(accept),
         workers: pool,
         supervisor: Some(supervisor),
         driver,
-        stats,
+        stats: base.stats,
         checkpoint_dir: config.checkpoint_dir,
+        #[cfg(unix)]
+        reactors: Vec::new(),
     })
+}
+
+/// Starts the reactor-model server: N reactor threads multiplexing the
+/// sessions, the shared worker pool draining decoded requests.
+#[cfg(unix)]
+fn serve_reactor(db: SharedDatabase, config: ServerConfig) -> Result<ServerHandle> {
+    use crate::reactor::{self, Job, ReactorCtx, ReactorShared};
+
+    let base = bind_base(&db, &config)?;
+    let workers = config.workers.max(1);
+    let (job_tx, job_rx) = bounded::<Job>(config.dispatch_depth.max(1));
+
+    let force_poll = config.poller == PollerKind::Poll;
+    let mut reactors = Vec::new();
+    let mut shareds = Vec::new();
+    for r in 0..config.reactor_threads.max(1) {
+        let (shared, wake_rx) = ReactorShared::new().map_err(io_err)?;
+        let poller = reactor::poller::new_poller(force_poll).map_err(io_err)?;
+        let ctx = ReactorCtx {
+            shared: Arc::clone(&shared),
+            wake_rx,
+            poller,
+            db: db.clone(),
+            stats: Arc::clone(&base.stats),
+            shutdown: Arc::clone(&base.shutdown),
+            active: Arc::clone(&base.active),
+            jobs: job_tx.clone(),
+            config: config.clone(),
+        };
+        let handle = std::thread::Builder::new()
+            .name(format!("fungus-reactor-{r}"))
+            .spawn(move || reactor::reactor_loop(ctx))
+            .map_err(io_err)?;
+        shareds.push(Arc::clone(&shared));
+        reactors.push((shared, handle));
+    }
+    // Reactors hold the only senders now: when the last reactor thread
+    // exits, the job channel disconnects and idle workers drain out.
+    drop(job_tx);
+
+    let ctx = WorkerCtx {
+        source: ConnSource::Jobs(job_rx),
+        db: db.clone(),
+        shutdown: Arc::clone(&base.shutdown),
+        stats: Arc::clone(&base.stats),
+        active: Arc::clone(&base.active),
+        sessions: Arc::clone(&base.sessions),
+        config: config.clone(),
+    };
+    let (pool, supervisor) = spawn_pool(workers, &ctx)?;
+
+    let driver = config.tick_period.map(|p| db.spawn_decay_driver(p));
+    if let Some(driver) = &driver {
+        base.stats.link_driver(driver.tick_counter());
+    }
+
+    let sink = AcceptSink::Reactors {
+        shareds,
+        sessions: Arc::clone(&base.sessions),
+        next: 0,
+    };
+    let accept = spawn_accept(&base, sink, config.max_sessions.max(1), &config)?;
+
+    Ok(ServerHandle {
+        addr: base.addr,
+        db,
+        shutdown: base.shutdown,
+        accept: Some(accept),
+        workers: pool,
+        supervisor: Some(supervisor),
+        driver,
+        stats: base.stats,
+        checkpoint_dir: config.checkpoint_dir,
+        reactors,
+    })
+}
+
+#[cfg(not(unix))]
+fn serve_reactor(_db: SharedDatabase, _config: ServerConfig) -> Result<ServerHandle> {
+    Err(FungusError::Io(
+        "io_model = Reactor requires a unix host (poll/epoll)".into(),
+    ))
 }
 
 fn spawn_worker(index: usize, generation: u64, ctx: WorkerCtx) -> Result<JoinHandle<()>> {
@@ -279,6 +473,14 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        // Reactors drain before the pool joins: their in-flight jobs need
+        // live workers to complete, and their exit is what disconnects
+        // the job channel and releases idle workers.
+        #[cfg(unix)]
+        for (shared, handle) in self.reactors.drain(..) {
+            shared.wake();
+            let _ = handle.join();
+        }
         if let Some(supervisor) = self.supervisor.take() {
             let _ = supervisor.join();
         }
@@ -294,29 +496,81 @@ impl Drop for ServerHandle {
     }
 }
 
+/// Where the accept loop hands admitted sockets.
+enum AcceptSink {
+    /// Threaded model: the worker pool's connection queue.
+    Pool(Sender<TcpStream>),
+    /// Reactor model: enroll round-robin across the reactor threads,
+    /// assigning the session id at admission.
+    #[cfg(unix)]
+    Reactors {
+        shareds: Vec<Arc<crate::reactor::ReactorShared>>,
+        sessions: Arc<AtomicU64>,
+        next: usize,
+    },
+}
+
+/// Configures an accepted socket for its I/O model — the single place
+/// socket modes are decided. The threaded path needs a *blocking* socket
+/// with a sliced read timeout (accepted fds may inherit the listener's
+/// nonblocking flag on some platforms); the reactor needs it nonblocking
+/// with no timeouts (the poller is the timeout).
+fn prepare_stream(stream: &TcpStream, config: &ServerConfig) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    match config.io_model {
+        IoModel::Threaded => {
+            stream.set_nonblocking(false)?;
+            stream.set_read_timeout(Some(POLL_SLICE))?;
+            stream.set_write_timeout(Some(config.write_timeout))?;
+        }
+        IoModel::Reactor => {
+            stream.set_nonblocking(true)?;
+        }
+    }
+    Ok(())
+}
+
 fn accept_loop(
     listener: TcpListener,
-    tx: Sender<TcpStream>,
+    mut sink: AcceptSink,
     shutdown: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     active: Arc<AtomicUsize>,
     capacity: usize,
+    config: ServerConfig,
 ) {
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
-                let _ = stream.set_nonblocking(false);
                 if active.load(Ordering::SeqCst) >= capacity {
                     stats.rejected.fetch_add(1, Ordering::Relaxed);
                     reject(stream);
                     continue;
                 }
+                if prepare_stream(&stream, &config).is_err() {
+                    // The socket died between accept and setup.
+                    continue;
+                }
                 active.fetch_add(1, Ordering::SeqCst);
                 stats.accepted.fetch_add(1, Ordering::Relaxed);
-                if tx.send(stream).is_err() {
-                    // Pool already gone (shutdown raced us).
-                    active.fetch_sub(1, Ordering::SeqCst);
-                    break;
+                match &mut sink {
+                    AcceptSink::Pool(tx) => {
+                        if tx.send(stream).is_err() {
+                            // Pool already gone (shutdown raced us).
+                            active.fetch_sub(1, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    #[cfg(unix)]
+                    AcceptSink::Reactors {
+                        shareds,
+                        sessions,
+                        next,
+                    } => {
+                        let id = sessions.fetch_add(1, Ordering::Relaxed) + 1;
+                        shareds[*next].enroll(stream, id);
+                        *next = (*next + 1) % shareds.len();
+                    }
                 }
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
@@ -325,16 +579,20 @@ fn accept_loop(
             Err(_) => std::thread::sleep(Duration::from_millis(2)),
         }
     }
-    // Dropping `tx` closes the channel; workers exit after their current
-    // connection drains.
+    // Dropping the sink closes the threaded model's channel; workers exit
+    // after their current connection drains. (Reactor enrolment queues
+    // are drained and refused by the reactors' own shutdown path.)
 }
 
-/// Tells an over-capacity client why it is being turned away.
+/// Tells an over-capacity client why it is being turned away. The socket
+/// has not been through [`prepare_stream`] — force it blocking so the
+/// one-shot write works under either I/O model.
 fn reject(mut stream: TcpStream) {
     let resp = Response::Error {
         code: ErrorCode::Unavailable,
         message: "server at connection capacity".into(),
     };
+    let _ = stream.set_nonblocking(false);
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
     if let Ok(payload) = resp.encode() {
         let _ = frame::write_frame(&mut stream, &payload);
@@ -390,16 +648,24 @@ impl Drop for ActiveGuard {
 }
 
 fn worker_loop(ctx: WorkerCtx) {
+    match ctx.source.clone() {
+        ConnSource::Streams(rx) => stream_loop(&rx, &ctx),
+        #[cfg(unix)]
+        ConnSource::Jobs(rx) => crate::reactor::job_loop(&rx, &ctx.shutdown),
+    }
+}
+
+fn stream_loop(rx: &Receiver<TcpStream>, ctx: &WorkerCtx) {
     loop {
-        match ctx.rx.recv_timeout(POLL_SLICE) {
+        match rx.recv_timeout(POLL_SLICE) {
             Ok(stream) => {
                 let _guard = ActiveGuard(Arc::clone(&ctx.active));
                 let id = ctx.sessions.fetch_add(1, Ordering::Relaxed) + 1;
                 let session = Session::new(id, ctx.db.clone()).with_stats(Arc::clone(&ctx.stats));
-                handle_connection(stream, id, session, &ctx);
+                handle_connection(stream, id, session, ctx);
             }
             Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
-                if ctx.shutdown.load(Ordering::SeqCst) && ctx.rx.is_empty() {
+                if ctx.shutdown.load(Ordering::SeqCst) && rx.is_empty() {
                     return;
                 }
             }
@@ -408,14 +674,11 @@ fn worker_loop(ctx: WorkerCtx) {
     }
 }
 
-/// Configures the socket, applies the fault plan, and serves the frame
-/// loop. An injected worker panic deliberately escapes this function —
-/// the supervisor's respawn path is part of what the chaos suite tests.
+/// Applies the fault plan and serves the frame loop (the socket was
+/// configured by [`prepare_stream`] at accept time). An injected worker
+/// panic deliberately escapes this function — the supervisor's respawn
+/// path is part of what the chaos suite tests.
 fn handle_connection(stream: TcpStream, id: u64, session: Session, ctx: &WorkerCtx) {
-    let _ = stream.set_read_timeout(Some(POLL_SLICE));
-    let _ = stream.set_write_timeout(Some(ctx.config.write_timeout));
-    let _ = stream.set_nodelay(true);
-
     match &ctx.config.fault_plan {
         Some(plan) => {
             let schedule = plan.schedule_for(id);
@@ -460,8 +723,9 @@ fn serve_connection<S: Read + Write>(
     stats: &ServerStats,
     config: &ServerConfig,
 ) {
+    let mut pump = FramePump::new();
     loop {
-        match read_step(stream, config.read_timeout) {
+        match read_step(stream, &mut pump, config.read_timeout) {
             ReadStep::Idle => {
                 // Between frames: an idle client is fine, but shutdown
                 // means we stop waiting for it.
@@ -508,114 +772,59 @@ fn serve_connection<S: Read + Write>(
     }
 }
 
-/// Reads one frame, waking every [`POLL_SLICE`] while idle.
+/// Reads one frame through the shared incremental [`FramePump`] — the
+/// same pump the reactor's state machines and the chaos reference drain
+/// run — waking every [`POLL_SLICE`] while idle.
 ///
-/// Waiting for the *start* of a frame returns [`ReadStep::Idle`] each
-/// slice so the caller can check the shutdown flag — an idle session may
-/// sit for hours. Once the first header byte has arrived the rest of the
-/// frame must follow within `read_timeout` (slow-loris defence).
-fn read_step<S: Read>(stream: &mut S, read_timeout: Duration) -> ReadStep {
-    let mut header = [0u8; HEADER_LEN];
-    match read_full(stream, &mut header, read_timeout, true) {
-        Fill::Done => {}
-        Fill::Empty => return ReadStep::Eof,
-        Fill::Idle => return ReadStep::Idle,
-        Fill::TimedOut(have) | Fill::Short(have) => {
-            return ReadStep::Failed(FrameError::Truncated {
-                have,
-                need: HEADER_LEN,
-            })
-        }
-        Fill::Err(e) => return ReadStep::Failed(e),
-    }
-    let claimed = u32::from_be_bytes(header) as usize;
-    if claimed > MAX_FRAME {
-        return ReadStep::Failed(FrameError::Oversized {
-            claimed,
-            max: MAX_FRAME,
-        });
-    }
-    let mut payload = vec![0u8; claimed];
-    match read_full(stream, &mut payload, read_timeout, false) {
-        Fill::Done => ReadStep::Frame(payload),
-        Fill::Empty => ReadStep::Failed(FrameError::Truncated {
-            have: 0,
-            need: claimed,
-        }),
-        Fill::Idle | Fill::TimedOut(0) => ReadStep::Failed(FrameError::Truncated {
-            have: 0,
-            need: claimed,
-        }),
-        Fill::TimedOut(have) | Fill::Short(have) => ReadStep::Failed(FrameError::Truncated {
-            have,
-            need: claimed,
-        }),
-        Fill::Err(e) => ReadStep::Failed(e),
-    }
-}
-
-enum Fill {
-    /// Buffer filled.
-    Done,
-    /// EOF before the first byte.
-    Empty,
-    /// No byte arrived within one poll slice (only when `allow_idle`).
-    Idle,
-    /// Deadline passed with this many bytes read.
-    TimedOut(usize),
-    /// EOF after this many bytes.
-    Short(usize),
-    /// Hard I/O failure.
-    Err(FrameError),
-}
-
-/// Fills `buf` from a stream whose blocking reads time out about every
-/// [`POLL_SLICE`] (the socket read timeout; injected `WouldBlock`s from a
-/// fault schedule land on the same arm).
-///
-/// With `allow_idle`, a slice that delivers no first byte returns
-/// [`Fill::Idle`] (caller decides whether to keep waiting). After the
-/// first byte, timeouts keep polling until `deadline` has elapsed.
-fn read_full<S: Read>(
-    stream: &mut S,
-    buf: &mut [u8],
-    deadline: Duration,
-    allow_idle: bool,
-) -> Fill {
-    if buf.is_empty() {
-        return Fill::Done;
+/// Waiting between frames returns [`ReadStep::Idle`] each slice so the
+/// caller can check the shutdown flag — an idle session may sit for
+/// hours. Once a frame has started, the rest must follow within
+/// `read_timeout` (slow-loris defence) or the stranded bytes become a
+/// typed truncation. The pump persists across calls, so a read that
+/// straddles frame boundaries loses nothing.
+fn read_step<S: Read>(stream: &mut S, pump: &mut FramePump, read_timeout: Duration) -> ReadStep {
+    // A whole frame may already be buffered from the previous slice.
+    match pump.next_frame() {
+        Ok(Some(frame)) => return ReadStep::Frame(frame.to_vec()),
+        Ok(None) => {}
+        Err(e) => return ReadStep::Failed(e),
     }
     // lint: allow(determinism, "socket timeout deadlines are wall-clock by definition")
     let started = Instant::now();
-    let mut filled = 0;
     loop {
-        match stream.read(&mut buf[filled..]) {
-            Ok(0) => {
-                return if filled == 0 {
-                    Fill::Empty
-                } else {
-                    Fill::Short(filled)
+        match pump.pump(stream) {
+            PumpStep::Fed(_) => match pump.next_frame() {
+                Ok(Some(frame)) => return ReadStep::Frame(frame.to_vec()),
+                Ok(None) => {
+                    if started.elapsed() >= read_timeout {
+                        return match pump.truncation() {
+                            Some(e) => ReadStep::Failed(e),
+                            None => ReadStep::Idle,
+                        };
+                    }
+                }
+                Err(e) => return ReadStep::Failed(e),
+            },
+            PumpStep::Eof => {
+                return match pump.truncation() {
+                    Some(e) => ReadStep::Failed(e),
+                    None => ReadStep::Eof,
                 }
             }
-            Ok(n) => {
-                filled += n;
-                if filled == buf.len() {
-                    return Fill::Done;
+            PumpStep::Blocked => {
+                // The socket read timeout fires about every POLL_SLICE;
+                // injected WouldBlocks from a fault schedule land here too.
+                if !pump.mid_frame() {
+                    return ReadStep::Idle;
+                }
+                if started.elapsed() >= read_timeout {
+                    return match pump.truncation() {
+                        Some(e) => ReadStep::Failed(e),
+                        None => ReadStep::Idle,
+                    };
                 }
             }
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                if filled == 0 && allow_idle {
-                    return Fill::Idle;
-                }
-                if started.elapsed() >= deadline {
-                    return Fill::TimedOut(filled);
-                }
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Fill::Err(FrameError::Io(e.to_string())),
+            PumpStep::Failed(e) => return ReadStep::Failed(e),
         }
     }
 }

@@ -165,6 +165,11 @@ impl Session {
                         ("mvcc_snapshot_reads", s.mvcc_snapshot_reads),
                         ("mvcc_consume_retries", s.mvcc_consume_retries),
                         ("mvcc_consume_fallbacks", s.mvcc_consume_fallbacks),
+                        ("reactor_sessions", s.reactor_sessions),
+                        ("reactor_ready_events", s.reactor_ready_events),
+                        ("reactor_stalls", s.reactor_stalls),
+                        ("reactor_wakeups", s.reactor_wakeups),
+                        ("reactor_write_hwm", s.reactor_write_hwm),
                     ]
                     .into_iter()
                     .map(|(name, v)| vec![Value::Str(name.into()), Value::Int(v as i64)])
@@ -360,7 +365,7 @@ mod tests {
         let r = s.handle(Request::Dot {
             line: ".stats".into(),
         });
-        assert_eq!(r.row_count(), Some(25), "{r:?}");
+        assert_eq!(r.row_count(), Some(30), "{r:?}");
         // `.health` carries the same summary inline.
         let r = s.handle(Request::Dot {
             line: ".health".into(),

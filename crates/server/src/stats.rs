@@ -34,6 +34,21 @@ pub struct ServerStats {
     pub(crate) worker_panics: AtomicU64,
     /// Replacement workers the supervisor spawned.
     pub(crate) workers_respawned: AtomicU64,
+    /// Sessions currently registered on reactor threads (a gauge:
+    /// incremented at enrolment, decremented at close; 0 under the
+    /// threaded model).
+    pub(crate) reactor_sessions: AtomicU64,
+    /// Readiness events delivered to reactor connections.
+    pub(crate) reactor_ready_events: AtomicU64,
+    /// Dispatch attempts parked because the worker queue was full (each
+    /// is one backpressure stall of one connection).
+    pub(crate) reactor_stalls: AtomicU64,
+    /// Self-pipe wake bytes drained (enrolments + completions + shutdown
+    /// nudges, coalesced per tick).
+    pub(crate) reactor_wakeups: AtomicU64,
+    /// High-water mark of any single connection's buffered response
+    /// bytes (updated with `fetch_max`).
+    pub(crate) reactor_write_hwm: AtomicU64,
     /// Decay-driver tick counter, linked once the driver is spawned.
     driver_ticks: OrderedMutex<Option<Arc<AtomicU64>>>,
     /// Catalog handle for shard-layout and cooking-sketch gauges, linked
@@ -52,6 +67,11 @@ impl Default for ServerStats {
             faults_injected: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             workers_respawned: AtomicU64::new(0),
+            reactor_sessions: AtomicU64::new(0),
+            reactor_ready_events: AtomicU64::new(0),
+            reactor_stalls: AtomicU64::new(0),
+            reactor_wakeups: AtomicU64::new(0),
+            reactor_write_hwm: AtomicU64::new(0),
             driver_ticks: OrderedMutex::new(&hierarchy::STATS, None),
             shard_source: OrderedMutex::new(&hierarchy::STATS, None),
         }
@@ -117,6 +137,17 @@ pub struct MetricsSnapshot {
     pub mvcc_consume_retries: u64,
     /// `CONSUME`s that fell back to the fully locked path.
     pub mvcc_consume_fallbacks: u64,
+    /// Sessions currently registered on reactor threads (0 under the
+    /// threaded model).
+    pub reactor_sessions: u64,
+    /// Readiness events delivered to reactor connections.
+    pub reactor_ready_events: u64,
+    /// Dispatches parked on a full worker queue (backpressure stalls).
+    pub reactor_stalls: u64,
+    /// Self-pipe wake bytes the reactors drained.
+    pub reactor_wakeups: u64,
+    /// High-water mark of one connection's buffered response bytes.
+    pub reactor_write_hwm: u64,
 }
 
 impl ServerStats {
@@ -206,6 +237,11 @@ impl ServerStats {
             mvcc_snapshot_reads: mvcc.snapshot_reads,
             mvcc_consume_retries: mvcc.consume_retries,
             mvcc_consume_fallbacks: mvcc.consume_fallbacks,
+            reactor_sessions: self.reactor_sessions.load(Ordering::Relaxed),
+            reactor_ready_events: self.reactor_ready_events.load(Ordering::Relaxed),
+            reactor_stalls: self.reactor_stalls.load(Ordering::Relaxed),
+            reactor_wakeups: self.reactor_wakeups.load(Ordering::Relaxed),
+            reactor_write_hwm: self.reactor_write_hwm.load(Ordering::Relaxed),
         }
     }
 }

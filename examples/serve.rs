@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release --example serve -- [--port N] [--tick-ms N]
 //!     [--workers N] [--seed N] [--ddl script.sql] [--checkpoint DIR]
-//!     [--fault-seed N] [--shards N]
+//!     [--fault-seed N] [--shards N] [--reactor]
 //! ```
 //!
 //! Binds a TCP listener, spawns the worker pool and the wall-clock decay
@@ -27,6 +27,12 @@
 //! connection panics its worker to exercise supervisor respawn. The same
 //! seed replays the same faults.
 //!
+//! `--reactor` swaps the thread-per-connection front-end for the
+//! event-driven connection layer (`IoModel::Reactor`): sessions as state
+//! machines over a poll/epoll reactor, requests dispatched to the same
+//! worker pool — open sessions scale past the pool instead of capping at
+//! `workers + backlog`. Unix only.
+//!
 //! ```text
 //! cargo run --release --example serve -- --smoke [--fault-seed N]
 //! ```
@@ -44,7 +50,7 @@ use std::time::{Duration, Instant};
 use spacefungus::fungus_core::{resolve_sharding, Database, SharedDatabase};
 use spacefungus::fungus_query::ShardingClause;
 use spacefungus::fungus_server::{
-    serve, Client, ClientError, FaultPlan, RetryPolicy, ServerConfig,
+    serve, Client, ClientError, FaultPlan, IoModel, RetryPolicy, ServerConfig,
 };
 use spacefungus::fungus_types::Tick;
 use spacefungus::fungus_workload::{ClientMix, ClientOp};
@@ -63,6 +69,7 @@ struct Args {
     ddl: Option<String>,
     checkpoint: Option<std::path::PathBuf>,
     smoke: bool,
+    reactor: bool,
 }
 
 fn parse_args() -> Args {
@@ -76,6 +83,7 @@ fn parse_args() -> Args {
         ddl: None,
         checkpoint: None,
         smoke: false,
+        reactor: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -97,10 +105,12 @@ fn parse_args() -> Args {
             }
             "--checkpoint" => args.checkpoint = Some(value("--checkpoint").into()),
             "--smoke" => args.smoke = true,
+            "--reactor" => args.reactor = true,
             "--help" | "-h" => {
                 eprintln!(
                     "usage: serve [--port N] [--tick-ms N] [--workers N] [--seed N] \
-                     [--fault-seed N] [--shards N] [--ddl FILE] [--checkpoint DIR] [--smoke]"
+                     [--fault-seed N] [--shards N] [--ddl FILE] [--checkpoint DIR] \
+                     [--reactor] [--smoke]"
                 );
                 std::process::exit(0);
             }
@@ -125,7 +135,7 @@ fn main() {
     eprintln!("containers: {:?}", db.container_names());
 
     if args.smoke {
-        smoke(db, args.fault_seed);
+        smoke(db, args.fault_seed, args.reactor);
         return;
     }
 
@@ -135,13 +145,19 @@ fn main() {
         tick_period: Some(Duration::from_millis(args.tick_ms.max(1))),
         checkpoint_dir: args.checkpoint.clone(),
         fault_plan: args.fault_seed.map(FaultPlan::chaos),
+        io_model: if args.reactor {
+            IoModel::Reactor
+        } else {
+            IoModel::Threaded
+        },
         ..ServerConfig::default()
     };
     let handle = serve(db, config).expect("server start");
     eprintln!(
-        "fungus-server listening on {} ({} workers, decay every {} ms)",
+        "fungus-server listening on {} ({} workers, {} front-end, decay every {} ms)",
         handle.addr(),
         args.workers,
+        if args.reactor { "reactor" } else { "threaded" },
         args.tick_ms
     );
     if let Some(seed) = args.fault_seed {
@@ -189,7 +205,7 @@ fn apply_sharding(db: &SharedDatabase, rows_per_shard: u64) {
 /// The CI smoke scenario: 8 clients × 1300 requests, live decay, drain.
 /// With a fault seed, the same load runs through the chaos plan with
 /// retrying fault-aware clients and survival-invariant checks.
-fn smoke(db: SharedDatabase, fault_seed: Option<u64>) {
+fn smoke(db: SharedDatabase, fault_seed: Option<u64>, reactor: bool) {
     const CLIENTS: usize = 8;
     const PER_CLIENT: u64 = 1300;
 
@@ -202,6 +218,11 @@ fn smoke(db: SharedDatabase, fault_seed: Option<u64>) {
         workers: CLIENTS,
         tick_period: Some(Duration::from_millis(1)),
         fault_plan: fault_seed.map(FaultPlan::chaos),
+        io_model: if reactor {
+            IoModel::Reactor
+        } else {
+            IoModel::Threaded
+        },
         ..ServerConfig::default()
     };
     let handle = serve(db, config).expect("server start");

@@ -1,0 +1,255 @@
+//! End-to-end tests for the event-driven connection layer
+//! (`ServerConfig::io_model = IoModel::Reactor`).
+//!
+//! The reactor multiplexes every session over a small fixed thread set,
+//! so the properties under test here are exactly the ones the threaded
+//! model cannot exhibit:
+//!
+//! - **Concurrency beyond the worker count.** Two dozen sessions stay
+//!   open at once over two workers; the threaded model would hold at
+//!   most `workers + backlog` and reject the rest.
+//! - **Backpressure with fail-fast health.** When the dispatch queue
+//!   saturates, ordinary requests wait (the reactor stops polling their
+//!   sockets) while `.health` probes get an immediate typed
+//!   `Unavailable` — overload is observable, not a timeout.
+//! - **Graceful drain.** Shutdown completes in-flight requests, flushes
+//!   their responses, and force-closes idle stragglers; the
+//!   `reactor_sessions` gauge returns to zero.
+//!
+//! Both poller backends (the platform default and the portable
+//! `poll(2)` fallback) run the same smoke path.
+
+#![cfg(unix)]
+
+use std::net::TcpStream;
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+use spacefungus::fungus_core::{Database, SharedDatabase};
+use spacefungus::fungus_server::frame::{read_frame, write_frame};
+use spacefungus::fungus_server::{
+    serve, Client, ErrorCode, IoModel, PollerKind, Request, Response, ServerConfig,
+};
+
+fn reactor_db() -> SharedDatabase {
+    let db = SharedDatabase::new(Database::new(7));
+    db.execute_ddl(
+        "CREATE CONTAINER r (sensor INT NOT NULL, reading FLOAT) WITH FUNGUS ttl(1000000)",
+    )
+    .unwrap();
+    db
+}
+
+fn reactor_config() -> ServerConfig {
+    ServerConfig {
+        workers: 2,
+        io_model: IoModel::Reactor,
+        ..ServerConfig::default()
+    }
+}
+
+/// Runs a representative session against the given config and checks
+/// the request/response ledger afterwards. Shared by the epoll and
+/// poll(2) smoke tests.
+fn smoke(config: ServerConfig) {
+    let db = reactor_db();
+    let handle = serve(db, config).unwrap();
+    let mut client = Client::connect(handle.addr()).unwrap();
+
+    client.ping().unwrap();
+    for i in 0..20 {
+        let resp = client
+            .sql(format!("INSERT INTO r VALUES ({i}, {i}.5)"))
+            .unwrap();
+        assert!(!resp.is_error(), "insert {i} failed: {resp:?}");
+    }
+    let rows = client.sql("SELECT sensor, reading FROM r").unwrap();
+    assert_eq!(rows.row_count(), Some(20), "all inserts visible: {rows:?}");
+
+    // The stats surface is reachable over the reactor and includes the
+    // reactor counter block.
+    let stats = client.dot(".stats").unwrap();
+    assert_eq!(stats.row_count(), Some(30), "full counter table: {stats:?}");
+
+    client.close();
+    let report = handle.shutdown().unwrap();
+    let m = report.metrics;
+    assert_eq!(m.requests, m.responses, "every request answered");
+    assert_eq!(m.errors, 0, "clean run");
+    assert_eq!(m.reactor_sessions, 0, "gauge back to zero after drain");
+    assert!(m.reactor_ready_events > 0, "poller observed readiness");
+    assert!(m.reactor_wakeups > 0, "completions woke the reactor");
+    assert!(m.reactor_write_hwm > 0, "responses passed the write buffer");
+}
+
+#[test]
+fn reactor_serves_sql_end_to_end() {
+    smoke(reactor_config());
+}
+
+#[test]
+fn poll_fallback_serves_sql_end_to_end() {
+    smoke(ServerConfig {
+        poller: PollerKind::Poll,
+        reactor_threads: 1,
+        ..reactor_config()
+    });
+}
+
+#[test]
+fn reactor_holds_more_sessions_than_workers() {
+    const SESSIONS: usize = 24;
+
+    let db = reactor_db();
+    let handle = serve(
+        db,
+        ServerConfig {
+            max_sessions: 64,
+            ..reactor_config()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Every client connects, proves liveness, then *stays connected*
+    // while the rest do the same — far more open sessions than the two
+    // pool workers could ever hold one-to-one.
+    let all_open = Arc::new(Barrier::new(SESSIONS + 1));
+    let all_done = Arc::new(Barrier::new(SESSIONS + 1));
+    let mut threads = Vec::new();
+    for i in 0..SESSIONS {
+        let all_open = Arc::clone(&all_open);
+        let all_done = Arc::clone(&all_done);
+        threads.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client.ping().unwrap();
+            all_open.wait();
+            let resp = client
+                .sql(format!("INSERT INTO r VALUES ({i}, 1.0)"))
+                .unwrap();
+            assert!(!resp.is_error(), "session {i}: {resp:?}");
+            all_done.wait();
+            client.close();
+        }));
+    }
+
+    all_open.wait();
+    // All sessions have completed a round trip and none has closed: the
+    // gauge must show every one of them registered.
+    assert_eq!(handle.metrics().reactor_sessions, SESSIONS as u64);
+    all_done.wait();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let report = handle.shutdown().unwrap();
+    let m = report.metrics;
+    assert_eq!(m.accepted, SESSIONS as u64);
+    assert_eq!(m.rejected, 0, "capacity was never exceeded");
+    assert_eq!(m.requests, m.responses);
+    assert_eq!(m.reactor_sessions, 0);
+}
+
+#[test]
+fn overload_sheds_health_probes_and_loses_nothing() {
+    const HOGS: usize = 4;
+    const PER_HOG: usize = 32;
+
+    let db = reactor_db();
+    // Preload enough rows that each SELECT is a real unit of work for
+    // the single worker.
+    for chunk in 0..20 {
+        let values: Vec<String> = (0..100)
+            .map(|i| format!("({}, {}.0)", chunk * 100 + i, i))
+            .collect();
+        db.execute(&format!("INSERT INTO r VALUES {}", values.join(", ")))
+            .unwrap();
+    }
+
+    let handle = serve(
+        db,
+        ServerConfig {
+            workers: 1,
+            reactor_threads: 1,
+            dispatch_depth: 1,
+            max_sessions: 64,
+            io_model: IoModel::Reactor,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = handle.addr();
+
+    // Hog connections pipeline a burst of heavy SELECTs without reading
+    // a single response: the depth-1 dispatch queue saturates at once.
+    let select = Request::Sql {
+        text: "SELECT sensor, reading FROM r".into(),
+    }
+    .encode()
+    .unwrap();
+    let mut hogs = Vec::new();
+    for _ in 0..HOGS {
+        let mut s = TcpStream::connect(addr).unwrap();
+        for _ in 0..PER_HOG {
+            write_frame(&mut s, &select).unwrap();
+        }
+        hogs.push(s);
+    }
+
+    // A probe hammers `.health` while the storm is queued. The
+    // backpressure contract promises a *fast* typed `Unavailable` from
+    // the reactor itself whenever the queue is full — never a stall.
+    let mut probe = Client::connect(addr).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut shed = false;
+    while Instant::now() < deadline {
+        if let Response::Error { code, message } = probe.dot(".health").unwrap() {
+            assert_eq!(code, ErrorCode::Unavailable, "{message}");
+            shed = true;
+            break;
+        }
+    }
+    assert!(shed, "overloaded server never failed a health probe fast");
+    probe.close();
+
+    // Backpressure delayed the hogs — it must not have dropped them.
+    // Every pipelined request eventually gets its full response, in
+    // order, uncorrupted.
+    for (h, mut s) in hogs.into_iter().enumerate() {
+        s.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        for i in 0..PER_HOG {
+            let payload = read_frame(&mut s)
+                .unwrap()
+                .unwrap_or_else(|| panic!("hog {h} hit EOF at response {i}"));
+            let resp = Response::decode(&payload).unwrap();
+            assert!(!resp.is_error(), "hog {h} response {i}: {resp:?}");
+            assert_eq!(resp.row_count(), Some(2000), "hog {h} response {i}");
+        }
+        drop(s);
+    }
+
+    let report = handle.shutdown().unwrap();
+    let m = report.metrics;
+    assert!(m.reactor_stalls >= 1, "the dispatch queue never saturated");
+    assert_eq!(m.reactor_sessions, 0);
+}
+
+#[test]
+fn shutdown_returns_promptly_with_idle_sessions_open() {
+    let db = reactor_db();
+    let handle = serve(db, reactor_config()).unwrap();
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.ping().unwrap();
+
+    // The client is left open and idle: the drain must force it closed
+    // rather than waiting out a timeout.
+    let started = Instant::now();
+    let report = handle.shutdown().unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "drain hung on an idle session"
+    );
+    assert_eq!(report.metrics.reactor_sessions, 0);
+    drop(client);
+}

@@ -146,7 +146,7 @@ proptest! {
     /// integer ceiling.
     #[test]
     fn stats_summary_round_trips_any_counters(
-        counters in proptest::collection::vec(0u64..(1 << 53), 25),
+        counters in proptest::collection::vec(0u64..(1 << 53), 30),
     ) {
         let resp = Response::Health {
             reports: vec![],
@@ -176,6 +176,11 @@ proptest! {
                 mvcc_snapshot_reads: counters[22],
                 mvcc_consume_retries: counters[23],
                 mvcc_consume_fallbacks: counters[24],
+                reactor_sessions: counters[25],
+                reactor_ready_events: counters[26],
+                reactor_stalls: counters[27],
+                reactor_wakeups: counters[28],
+                reactor_write_hwm: counters[29],
             }),
         };
         let bytes = resp.encode().unwrap();
