@@ -110,7 +110,9 @@ fn build(s: &Sizing, mvcc: bool) -> Database {
 /// values, order included — the layouts must agree on content *and*
 /// order).
 fn fold(mut crc: u64, rows: &[Vec<Value>]) -> u64 {
-    crc = crc.wrapping_mul(0x100000001b3).wrapping_add(rows.len() as u64);
+    crc = crc
+        .wrapping_mul(0x100000001b3)
+        .wrapping_add(rows.len() as u64);
     for row in rows {
         for v in row {
             let x = v.as_i64().unwrap_or(i64::MIN) as u64;
@@ -179,7 +181,7 @@ fn run_concurrent(label: &str, mvcc: bool, s: &Sizing) -> Vec<String> {
         let written = Arc::clone(&written);
         std::thread::spawn(move || {
             let mut i: i64 = 0;
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
                 written.fetch_add(1, Ordering::Relaxed);
                 i += 1;
@@ -192,7 +194,7 @@ fn run_concurrent(label: &str, mvcc: bool, s: &Sizing) -> Vec<String> {
         let db = shared.clone();
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
-            while !stop.load(Ordering::Relaxed) {
+            while !stop.load(Ordering::Acquire) {
                 db.tick();
                 std::thread::sleep(std::time::Duration::from_micros(200));
             }
@@ -225,7 +227,7 @@ fn run_concurrent(label: &str, mvcc: bool, s: &Sizing) -> Vec<String> {
     for r in readers {
         lat_us.extend(r.join().expect("reader thread"));
     }
-    stop.store(true, Ordering::Relaxed);
+    stop.store(true, Ordering::Release);
     writer.join().expect("writer thread");
     ticker.join().expect("ticker thread");
 

@@ -187,12 +187,14 @@ impl TickScheduler {
                     if now.get().is_multiple_of(reg.task.period.get()) {
                         let action = std::panic::AssertUnwindSafe(|| (reg.task.action)(now));
                         if std::panic::catch_unwind(action).is_err() {
-                            panic_count.fetch_add(1, Ordering::Relaxed);
+                            // Release: a thread that observes the count
+                            // also observes the tick that produced it.
+                            panic_count.fetch_add(1, Ordering::Release);
                         }
                     }
                 }
                 drop(inner);
-                tick_count.fetch_add(1, Ordering::Relaxed);
+                tick_count.fetch_add(1, Ordering::Release);
             })
             .expect("spawn decay driver thread");
         DriverHandle {
@@ -216,7 +218,7 @@ impl DriverHandle {
     /// Ticks the driver thread has completed (manual [`TickScheduler::step`]
     /// calls do not count — only the wall-clock thread increments this).
     pub fn ticks(&self) -> u64 {
-        self.ticks.load(Ordering::Relaxed)
+        self.ticks.load(Ordering::Acquire)
     }
 
     /// Shared counter behind [`ticks`](Self::ticks), for callers (e.g. a
@@ -227,7 +229,7 @@ impl DriverHandle {
 
     /// Task actions that panicked and were isolated (tick still completed).
     pub fn task_panics(&self) -> u64 {
-        self.panics.load(Ordering::Relaxed)
+        self.panics.load(Ordering::Acquire)
     }
 
     /// Stops the driver and waits for the thread to exit.

@@ -435,7 +435,8 @@ impl Container {
         now: Tick,
     ) -> ResultSet {
         for id in returned {
-            if let Some(mut t) = QueryExtent::delete(&mut self.extent, *id, TombstoneReason::Consumed)
+            if let Some(mut t) =
+                QueryExtent::delete(&mut self.extent, *id, TombstoneReason::Consumed)
             {
                 // A consumed tuple was, by definition, read once.
                 t.meta.touch(now);

@@ -178,9 +178,7 @@ impl Extent {
     /// a mutation actually touched; a monolithic extent clones whole.
     pub fn publish_snapshot(&mut self) -> ExtentSnapshot {
         match self {
-            Extent::Mono(s) => {
-                ExtentSnapshot::monolithic(s.schema().clone(), Arc::new(s.clone()))
-            }
+            Extent::Mono(s) => ExtentSnapshot::monolithic(s.schema().clone(), Arc::new(s.clone())),
             Extent::Sharded(s) => s.publish_snapshot(),
         }
     }

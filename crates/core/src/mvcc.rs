@@ -412,7 +412,11 @@ mod tests {
         cell.queue_touches(&[TupleId(3)], Tick(9));
         assert_eq!(
             cell.drain_touches(),
-            vec![(TupleId(1), Tick(7)), (TupleId(2), Tick(7)), (TupleId(3), Tick(9))]
+            vec![
+                (TupleId(1), Tick(7)),
+                (TupleId(2), Tick(7)),
+                (TupleId(3), Tick(9))
+            ]
         );
         assert!(cell.drain_touches().is_empty());
     }

@@ -264,6 +264,15 @@ pub struct LockPattern {
     pub class: String,
 }
 
+/// A path-scoped atomic pattern from `[atomics] audited`: in files
+/// whose path contains `path_fragment`, atomic methods on a receiver
+/// whose last segment is `ident` must not pass `Ordering::Relaxed`.
+#[derive(Debug, Clone)]
+pub struct AtomicPattern {
+    pub path_fragment: String,
+    pub ident: String,
+}
+
 /// The fully-resolved analyzer configuration.
 #[derive(Debug, Default)]
 pub struct Config {
@@ -287,6 +296,16 @@ pub struct Config {
     /// cross-crate calls and boxed closures — but the runtime
     /// validator covers; they join the lock graph and the cycle check.
     pub declared_edges: Vec<(String, String)>,
+    /// Reactor entry functions (`crate::fn` / `crate::Type::fn`): BFS
+    /// roots for the blocking-reachability pass.
+    pub reactor_entry_fns: Vec<String>,
+    /// Types (`crate::Type`) whose every method the reactor drives
+    /// through dynamic dispatch; all of them become BFS roots too.
+    pub reactor_entry_types: Vec<String>,
+    /// Highest lock rank reactor-reachable code may acquire.
+    pub reactor_max_lock_rank: Option<u16>,
+    /// Atomics whose `Ordering::Relaxed` uses are audited.
+    pub atomics_audited: Vec<AtomicPattern>,
 }
 
 impl Config {
@@ -306,7 +325,29 @@ impl Config {
             patterns: Vec::new(),
             raw_lock_allow: doc.strings("lock", "raw_lock_allow"),
             declared_edges: Vec::new(),
+            reactor_entry_fns: doc.strings("reactor", "entry_fns"),
+            reactor_entry_types: doc.strings("reactor", "entry_types"),
+            reactor_max_lock_rank: None,
+            atomics_audited: Vec::new(),
         };
+        if let Some(v) = doc.get("reactor", "max_lock_rank") {
+            let rank = v
+                .as_int()
+                .ok_or_else(|| "reactor.max_lock_rank must be an integer".to_string())?;
+            if !(0..=u16::MAX as i64).contains(&rank) {
+                return Err(format!("reactor.max_lock_rank {rank} out of u16 range"));
+            }
+            cfg.reactor_max_lock_rank = Some(rank as u16);
+        }
+        for key in doc.strings("atomics", "audited") {
+            let (frag, ident) = key.rsplit_once(':').ok_or_else(|| {
+                format!("atomics.audited entry `{key}` must be `path-fragment:ident`")
+            })?;
+            cfg.atomics_audited.push(AtomicPattern {
+                path_fragment: frag.to_string(),
+                ident: ident.to_string(),
+            });
+        }
         for spec in doc.strings("lock", "declared_edges") {
             let (a, b) = spec
                 .split_once("->")
@@ -447,5 +488,32 @@ siblings = ["B.y"]
         assert!(parse("key = 1").is_err(), "key outside section");
         assert!(Config::from_str("[lock.patterns]\n\"a:b\" = \"NoSuch\"").is_err());
         assert!(Config::from_str("[lock]\nsiblings = [\"ghost\"]").is_err());
+        assert!(Config::from_str("[reactor]\nmax_lock_rank = \"ten\"").is_err());
+        assert!(Config::from_str("[atomics]\naudited = [\"no-colon\"]").is_err());
+    }
+
+    #[test]
+    fn reactor_and_atomics_sections_resolve() {
+        let cfg = Config::from_str(
+            r#"
+[reactor]
+entry_fns = ["server::reactor_loop", "server::EpollPoller::wait"]
+entry_types = ["server::SessionConn"]
+max_lock_rank = 18
+
+[atomics]
+audited = ["crates/core/src/mvcc.rs:epoch", "crates/server/src:stop"]
+"#,
+        )
+        .unwrap();
+        assert_eq!(cfg.reactor_entry_fns.len(), 2);
+        assert_eq!(cfg.reactor_entry_types, vec!["server::SessionConn"]);
+        assert_eq!(cfg.reactor_max_lock_rank, Some(18));
+        assert_eq!(cfg.atomics_audited.len(), 2);
+        assert_eq!(cfg.atomics_audited[0].ident, "epoch");
+        assert_eq!(
+            cfg.atomics_audited[0].path_fragment,
+            "crates/core/src/mvcc.rs"
+        );
     }
 }

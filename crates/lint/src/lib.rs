@@ -1,6 +1,6 @@
 //! fungus-lint — the workspace invariant analyzer.
 //!
-//! Three passes over `crates/` and `tests/`, all driven by the declared
+//! Six passes over `crates/` and `tests/`, all driven by the declared
 //! manifest in `lint.toml` at the workspace root:
 //!
 //! * [`determinism`] — no ambient time or entropy outside the clock
@@ -9,7 +9,14 @@
 //!   hierarchy, inter-procedurally per crate, and the observed lock
 //!   graph is acyclic;
 //! * [`panics`] — `unwrap`/`expect`/`panic!`/indexing on the request
-//!   path must be converted to errors or justified in writing.
+//!   path must be converted to errors or justified in writing;
+//! * [`unsafe_hygiene`] — every `unsafe` site carries an adjacent
+//!   `// SAFETY:` justification, and the full inventory is emitted for
+//!   the CI drift-diff against `results/unsafe-inventory.tsv`;
+//! * [`blocking`] — nothing reachable from the reactor's declared
+//!   entry points may block (deep locks, sleeps, channel receives,
+//!   file I/O);
+//! * [`atomics`] — audited atomics must not use `Ordering::Relaxed`.
 //!
 //! The static analysis is paired with `fungus-lint-rt`, whose ordered
 //! lock wrappers assert the *same* hierarchy at runtime during every
@@ -19,31 +26,43 @@
 //! crate pins `lint.toml` to `fungus_lint_rt::hierarchy` so the two
 //! can never drift.
 
+pub mod atomics;
+pub mod blocking;
 pub mod config;
 pub mod determinism;
 pub mod lexer;
 pub mod locks;
 pub mod panics;
 pub mod scan;
+pub mod unsafe_hygiene;
 
 use std::path::Path;
 
 pub use config::Config;
 pub use scan::{Finding, SourceFile};
+pub use unsafe_hygiene::UnsafeSite;
 
 /// Everything one `check` run produces.
 pub struct Report {
     pub findings: Vec<Finding>,
     pub graph: locks::LockGraph,
+    /// Every `unsafe` / raw-extern site, justified or not, in
+    /// (file, span) order — the source of `results/unsafe-inventory.tsv`.
+    pub unsafe_sites: Vec<UnsafeSite>,
     pub files_scanned: usize,
+}
+
+/// Parses `root/lint.toml` into a validated [`Config`].
+pub fn load_config(root: &Path) -> Result<Config, String> {
+    let manifest = std::fs::read_to_string(root.join("lint.toml"))
+        .map_err(|e| format!("cannot read lint.toml at workspace root: {e}"))?;
+    Config::from_str(&manifest)
 }
 
 /// Loads `lint.toml` from `root` and runs every pass over
 /// `root/crates` and `root/tests`.
 pub fn check_workspace(root: &Path) -> Result<Report, String> {
-    let manifest = std::fs::read_to_string(root.join("lint.toml"))
-        .map_err(|e| format!("cannot read lint.toml at workspace root: {e}"))?;
-    let cfg = Config::from_str(&manifest)?;
+    let cfg = load_config(root)?;
     check_with_config(root, &cfg)
 }
 
@@ -57,15 +76,22 @@ pub fn check_with_config(root: &Path, cfg: &Config) -> Result<Report, String> {
         files.push(SourceFile::load(root, rel).map_err(|e| format!("read error: {e}"))?);
     }
     let mut findings = Vec::new();
+    let mut unsafe_sites = Vec::new();
     for file in &files {
         determinism::run(cfg, file, &mut findings);
         panics::run(cfg, file, &mut findings);
+        atomics::run(cfg, file, &mut findings);
+        unsafe_hygiene::run(file, &mut findings, &mut unsafe_sites);
     }
-    let graph = locks::run(cfg, &files, &mut findings);
+    // The two inter-procedural passes share one impl-typed call graph.
+    let cg = locks::CallGraph::build(&files);
+    let graph = locks::run(cfg, &files, &cg, &mut findings);
+    blocking::run(cfg, &files, &cg, &mut findings)?;
     findings.sort_by(|a, b| (&a.file, a.span.0).cmp(&(&b.file, b.span.0)));
     Ok(Report {
         findings,
         graph,
+        unsafe_sites,
         files_scanned: files.len(),
     })
 }

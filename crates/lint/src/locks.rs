@@ -49,19 +49,72 @@ const ACQUIRE_METHODS: &[&str] = &["lock", "read", "write"];
 
 /// One function extracted from a file: `code[body]` is everything
 /// between its braces.
-struct Function {
-    name: String,
+pub(crate) struct Function {
+    pub(crate) name: String,
     /// The `impl` type the function lives in (`""` for free functions).
     /// Calls resolve per type, so `guard.insert(…)` on a container
     /// guard cannot inherit the lock effect of `Database::insert`.
-    type_name: String,
-    file: usize,
-    body: std::ops::Range<usize>,
-    is_test: bool,
+    pub(crate) type_name: String,
+    pub(crate) file: usize,
+    pub(crate) body: std::ops::Range<usize>,
+    pub(crate) is_test: bool,
+}
+
+impl Function {
+    /// The function's registry key, given its file's crate.
+    pub(crate) fn key(&self, krate: &str) -> FnKey {
+        (krate.to_string(), self.type_name.clone(), self.name.clone())
+    }
 }
 
 /// Call-graph key: (crate, impl type, fn name).
-type FnKey = (String, String, String);
+pub(crate) type FnKey = (String, String, String);
+
+/// The impl-typed call graph shared by the lock-order and the
+/// reactor-blocking passes: every extracted function, the registry of
+/// non-test keys, and the resolved same-crate call edges per key.
+pub(crate) struct CallGraph {
+    pub(crate) functions: Vec<Function>,
+    pub(crate) registry: BTreeSet<FnKey>,
+    pub(crate) calls: BTreeMap<FnKey, BTreeSet<FnKey>>,
+}
+
+impl CallGraph {
+    /// Extracts every function and resolves its same-crate calls. Built
+    /// once per `check` run and handed to both inter-procedural passes.
+    pub(crate) fn build(files: &[SourceFile]) -> CallGraph {
+        let functions = extract_functions(files);
+        let mut registry: BTreeSet<FnKey> = BTreeSet::new();
+        for f in &functions {
+            if !f.is_test {
+                registry.insert(f.key(&crate_of(&files[f.file].rel)));
+            }
+        }
+        let mut calls: BTreeMap<FnKey, BTreeSet<FnKey>> = BTreeMap::new();
+        for f in &functions {
+            if f.is_test {
+                continue;
+            }
+            let file = &files[f.file];
+            let krate = crate_of(&file.rel);
+            let key = f.key(&krate);
+            let mut called = BTreeSet::new();
+            for i in f.body.clone() {
+                if let Some(callee) = call_at(file, i, &krate, &f.type_name, &registry) {
+                    if callee != key {
+                        called.insert(callee);
+                    }
+                }
+            }
+            calls.entry(key).or_default().extend(called);
+        }
+        CallGraph {
+            functions,
+            registry,
+            calls,
+        }
+    }
+}
 
 /// An observed nesting: while holding `from`, `to` was acquired (class
 /// indices into `Config::classes`), first seen at `file:line`.
@@ -111,56 +164,40 @@ impl LockGraph {
 
 /// Runs the pass over every file at once (the call graph is
 /// inter-procedural) and returns the observed lock graph.
-pub fn run(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) -> LockGraph {
+pub(crate) fn run(
+    cfg: &Config,
+    files: &[SourceFile],
+    cg: &CallGraph,
+    findings: &mut Vec<Finding>,
+) -> LockGraph {
     let mut graph = LockGraph::default();
     if cfg.classes.is_empty() {
         return graph;
     }
     raw_lock_imports(cfg, files, findings);
 
-    let functions = extract_functions(files);
-    // Registry of every non-test function, keyed (crate, type, name).
-    let mut registry: BTreeSet<FnKey> = BTreeSet::new();
-    for f in &functions {
-        if !f.is_test {
-            registry.insert((
-                crate_of(&files[f.file].rel),
-                f.type_name.clone(),
-                f.name.clone(),
-            ));
-        }
-    }
-    // Direct lock effects and resolved calls per key. Overloads under
-    // one key merge conservatively.
+    // Direct lock effects per key. Overloads under one key merge
+    // conservatively.
     let mut direct: BTreeMap<FnKey, BTreeSet<usize>> = BTreeMap::new();
-    let mut calls: BTreeMap<FnKey, BTreeSet<FnKey>> = BTreeMap::new();
-    for f in &functions {
+    for f in &cg.functions {
         if f.is_test {
             continue;
         }
         let file = &files[f.file];
-        let krate = crate_of(&file.rel);
-        let key: FnKey = (krate.clone(), f.type_name.clone(), f.name.clone());
+        let key = f.key(&crate_of(&file.rel));
         let mut acq = BTreeSet::new();
-        let mut called = BTreeSet::new();
         for i in f.body.clone() {
             if let Some((class, _)) = acquisition_at(cfg, file, i) {
                 acq.insert(class);
             }
-            if let Some(callee) = call_at(file, i, &krate, &f.type_name, &registry) {
-                if callee != key {
-                    called.insert(callee);
-                }
-            }
         }
-        direct.entry(key.clone()).or_default().extend(acq);
-        calls.entry(key).or_default().extend(called);
+        direct.entry(key).or_default().extend(acq);
     }
     // Fixpoint: effect(f) = direct(f) ∪ ⋃ effect(callees).
     let mut effects = direct.clone();
     loop {
         let mut changed = false;
-        for (key, called) in &calls {
+        for (key, called) in &cg.calls {
             let mut add: BTreeSet<usize> = BTreeSet::new();
             for callee in called {
                 if let Some(e) = effects.get(callee) {
@@ -180,14 +217,21 @@ pub fn run(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) -> L
     }
 
     // Full guard-scope simulation per function.
-    for f in &functions {
+    for f in &cg.functions {
         if f.is_test {
             continue;
         }
         let file = &files[f.file];
         let krate = crate_of(&file.rel);
         simulate(
-            cfg, file, f, &krate, &registry, &effects, &mut graph, findings,
+            cfg,
+            file,
+            f,
+            &krate,
+            &cg.registry,
+            &effects,
+            &mut graph,
+            findings,
         );
     }
 
@@ -248,7 +292,7 @@ pub fn run(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Finding>) -> L
 
 /// `crates/<name>/…` → `<name>`; anything else (workspace `tests/`)
 /// gets its own pseudo-crate.
-fn crate_of(rel: &str) -> String {
+pub(crate) fn crate_of(rel: &str) -> String {
     rel.strip_prefix("crates/")
         .and_then(|r| r.split('/').next())
         .unwrap_or("tests")
@@ -290,7 +334,11 @@ fn raw_lock_imports(cfg: &Config, files: &[SourceFile], findings: &mut Vec<Findi
 /// If code token `i` is the method ident of a classified acquisition
 /// (`recv.lock()` / `.read()` / `.write()`), returns (class index,
 /// receiver ident).
-fn acquisition_at<'a>(cfg: &Config, file: &'a SourceFile, i: usize) -> Option<(usize, &'a str)> {
+pub(crate) fn acquisition_at<'a>(
+    cfg: &Config,
+    file: &'a SourceFile,
+    i: usize,
+) -> Option<(usize, &'a str)> {
     let src = &file.src;
     let code = &file.code;
     let t = code[i];
@@ -839,7 +887,8 @@ siblings = ["Shards"]
             src.into(),
         )];
         let mut findings = Vec::new();
-        let graph = run(&cfg, &files, &mut findings);
+        let cg = CallGraph::build(&files);
+        let graph = run(&cfg, &files, &cg, &mut findings);
         (findings, graph)
     }
 
@@ -941,7 +990,8 @@ siblings = ["Shards"]
             src.into(),
         )];
         let mut findings = Vec::new();
-        let graph = run(&cfg, &files, &mut findings);
+        let cg = CallGraph::build(&files);
+        let graph = run(&cfg, &files, &cg, &mut findings);
         let dot = graph.to_dot(&cfg);
         assert!(dot.contains("digraph lock_order"));
         assert!(dot.contains("Catalog\\nrank 10"));

@@ -1,21 +1,31 @@
 //! fungus-lint CLI.
 //!
 //! ```text
-//! fungus-lint check [--root DIR]            # run all passes, exit 1 on findings
-//! fungus-lint dump-lock-graph [--root DIR]  # observed lock graph as DOT on stdout
+//! fungus-lint check [--root DIR] [--format human|json]
+//! fungus-lint dump-lock-graph [--root DIR]        # lock graph as DOT
+//! fungus-lint dump-unsafe-inventory [--root DIR]  # unsafe sites as TSV
 //! ```
 //!
 //! `--root` defaults to the workspace root (two levels above this
 //! crate's manifest dir, so `cargo run -p fungus-lint -- check` does
 //! the right thing from anywhere in the tree).
+//!
+//! Exit codes: 0 clean, 1 findings present, 2 internal error or bad
+//! manifest — so CI can tell a dirty tree from a crashed analyzer.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+enum Format {
+    Human,
+    Json,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cmd = None;
     let mut root = None;
+    let mut format = Format::Human;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -27,19 +37,40 @@ fn main() -> ExitCode {
                 root = Some(PathBuf::from(&args[i + 1]));
                 i += 2;
             }
-            "check" | "dump-lock-graph" if cmd.is_none() => {
+            "--format" => {
+                match args.get(i + 1).map(|s| s.as_str()) {
+                    Some("human") => format = Format::Human,
+                    Some("json") => format = Format::Json,
+                    _ => {
+                        eprintln!("--format needs `human` or `json`");
+                        return ExitCode::from(2);
+                    }
+                }
+                i += 2;
+            }
+            "check" | "dump-lock-graph" | "dump-unsafe-inventory" if cmd.is_none() => {
                 cmd = Some(args[i].clone());
                 i += 1;
             }
             other => {
                 eprintln!("unknown argument `{other}`");
-                eprintln!("usage: fungus-lint <check|dump-lock-graph> [--root DIR]");
+                eprintln!(
+                    "usage: fungus-lint <check|dump-lock-graph|dump-unsafe-inventory> \
+                     [--root DIR] [--format human|json]"
+                );
                 return ExitCode::from(2);
             }
         }
     }
     let root = root.unwrap_or_else(default_root);
-    let report = match fungus_lint::check_workspace(&root) {
+    let cfg = match fungus_lint::load_config(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("fungus-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match fungus_lint::check_with_config(&root, &cfg) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("fungus-lint: {e}");
@@ -48,19 +79,27 @@ fn main() -> ExitCode {
     };
     match cmd.as_deref() {
         Some("dump-lock-graph") => {
-            // The graph needs the parsed config for node labels.
-            let manifest = std::fs::read_to_string(root.join("lint.toml")).expect("checked above");
-            let cfg = fungus_lint::Config::from_str(&manifest).expect("checked above");
             print!("{}", report.graph.to_dot(&cfg));
+            ExitCode::SUCCESS
+        }
+        Some("dump-unsafe-inventory") => {
+            print!(
+                "{}",
+                fungus_lint::unsafe_hygiene::inventory_tsv(&report.unsafe_sites)
+            );
             ExitCode::SUCCESS
         }
         _ => {
             for f in &report.findings {
-                println!("{f}");
+                match format {
+                    Format::Human => println!("{f}"),
+                    Format::Json => println!("{}", f.to_json()),
+                }
             }
             if report.findings.is_empty() {
                 eprintln!(
-                    "fungus-lint: {} files clean (determinism, lock_order, panic)",
+                    "fungus-lint: {} files clean (determinism, lock_order, panic, \
+                     unsafe, reactor_blocking, atomics)",
                     report.files_scanned
                 );
                 ExitCode::SUCCESS

@@ -33,6 +33,42 @@ impl std::fmt::Display for Finding {
     }
 }
 
+impl Finding {
+    /// One finding as a single-line JSON object (the `--format json`
+    /// CLI output; the workspace is registry-free, so the escaping is
+    /// done by hand).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"pass\":\"{}\",\"file\":\"{}\",\"line\":{},\"col\":{},\
+             \"span\":[{},{}],\"message\":\"{}\"}}",
+            json_escape(self.pass),
+            json_escape(&self.file),
+            self.line,
+            self.col,
+            self.span.0,
+            self.span.1,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Escapes a string for embedding in a JSON literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// A `// lint: allow(<pass>, "reason")` annotation.
 #[derive(Debug)]
 pub struct Allow {
@@ -49,6 +85,9 @@ pub struct SourceFile {
     pub src: String,
     /// Code tokens only (comments stripped).
     pub code: Vec<Tok>,
+    /// Comment tokens, in file order — the unsafe-hygiene pass reads
+    /// `// SAFETY:` justifications out of these.
+    pub comments: Vec<Tok>,
     pub lines: LineMap,
     /// Byte ranges covered by `#[cfg(test)] mod … { … }`; when the file
     /// lives under a `tests/` directory this is one whole-file range.
@@ -76,10 +115,9 @@ impl SourceFile {
                 }
             }
         }
-        let code: Vec<Tok> = all
+        let (code, comments): (Vec<Tok>, Vec<Tok>) = all
             .into_iter()
-            .filter(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
-            .collect();
+            .partition(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment));
         let test_regions = if rel.starts_with("tests/") || rel.contains("/tests/") {
             vec![(0, src.len())]
         } else {
@@ -89,6 +127,7 @@ impl SourceFile {
             rel,
             src,
             code,
+            comments,
             lines,
             test_regions,
             allows,
@@ -312,5 +351,33 @@ mod tests {
         let src = "// lint: allow(panic)\nfoo.unwrap();";
         let f = SourceFile::from_source("crates/x/src/lib.rs".into(), src.into());
         assert!(!f.allowed("panic", src.find("foo").unwrap()));
+    }
+
+    #[test]
+    fn comment_tokens_are_retained_separately() {
+        let src = "// leading\nfn f() {} /* trailing */";
+        let f = SourceFile::from_source("crates/x/src/lib.rs".into(), src.into());
+        assert_eq!(f.comments.len(), 2);
+        assert!(f
+            .code
+            .iter()
+            .all(|t| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment)));
+    }
+
+    #[test]
+    fn findings_render_as_json_with_escaping() {
+        let finding = Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            col: 7,
+            span: (40, 46),
+            pass: "panic",
+            message: "say \"no\"\\done".into(),
+        };
+        assert_eq!(
+            finding.to_json(),
+            "{\"pass\":\"panic\",\"file\":\"crates/x/src/lib.rs\",\"line\":3,\"col\":7,\
+             \"span\":[40,46],\"message\":\"say \\\"no\\\"\\\\done\"}"
+        );
     }
 }

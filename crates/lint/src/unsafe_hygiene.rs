@@ -1,0 +1,279 @@
+//! Pass 4 — unsafe hygiene.
+//!
+//! Every `unsafe` block, function, impl, or trait — and every raw
+//! `extern "C"` foreign-declaration block, which is where the unsafe
+//! syscall surface is actually *declared* — must carry an adjacent
+//! `// SAFETY:` comment with a non-empty reason: on the same line, or
+//! in the contiguous comment run directly above. The pass also keeps a
+//! full inventory of every site (file, span, kind, first line of the
+//! justification); `fungus-lint dump-unsafe-inventory` renders it as
+//! TSV, which is checked in at `results/unsafe-inventory.tsv` and
+//! CI-diffed exactly like the lock graph — new unsafe code cannot land
+//! without a visible diff and a written justification.
+//!
+//! Unlike the other passes this one audits test code too: a bad
+//! `unsafe` block is equally unsound inside `#[cfg(test)]`, and the
+//! runtime validator has nothing to say about soundness. There is
+//! deliberately no `// lint: allow(unsafe, …)` escape hatch either —
+//! the `SAFETY:` comment *is* the annotation.
+
+use crate::lexer::TokKind;
+use crate::scan::{Finding, SourceFile};
+
+const PASS: &str = "unsafe";
+
+/// One `unsafe` (or raw-extern) site in the inventory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnsafeSite {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the `unsafe` / `extern` keyword.
+    pub line: usize,
+    /// Byte span of the keyword token.
+    pub span: (usize, usize),
+    /// `block`, `fn`, `impl`, `trait`, or `extern`.
+    pub kind: &'static str,
+    /// First line of the adjacent `SAFETY:` justification ("" when the
+    /// comment is missing entirely).
+    pub justification: String,
+}
+
+/// Renders the inventory as TSV, one site per row.
+pub fn inventory_tsv(sites: &[UnsafeSite]) -> String {
+    let mut out = String::from("# unsafe inventory: file\tline\tstart\tend\tkind\tjustification\n");
+    for s in sites {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\n",
+            s.file, s.line, s.span.0, s.span.1, s.kind, s.justification
+        ));
+    }
+    out
+}
+
+pub fn run(file: &SourceFile, findings: &mut Vec<Finding>, inventory: &mut Vec<UnsafeSite>) {
+    let src = &file.src;
+    let code = &file.code;
+    for i in 0..code.len() {
+        let t = code[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let kind = if t.is_ident(src, "unsafe") {
+            match code.get(i + 1) {
+                Some(n) if n.is(b'{') => "block",
+                Some(n) if n.is_ident(src, "fn") => "fn",
+                Some(n) if n.is_ident(src, "impl") => "impl",
+                Some(n) if n.is_ident(src, "trait") => "trait",
+                Some(n) if n.is_ident(src, "extern") => "extern",
+                // `unsafe` in other positions (e.g. an `unsafe fn`
+                // pointer type behind qualifiers) is not a site.
+                _ => continue,
+            }
+        } else if t.is_ident(src, "extern")
+            && !(i >= 1 && code[i - 1].is_ident(src, "unsafe"))
+            && code.get(i + 1).is_some_and(|n| n.kind == TokKind::Str)
+            && code.get(i + 2).is_some_and(|n| n.is(b'{'))
+        {
+            // A bare `extern "C" { … }` foreign block: every
+            // declaration inside is an unchecked ABI contract, so the
+            // block needs a justification like any unsafe block.
+            // (`extern "C" fn` and `extern crate` fall through above.)
+            "extern"
+        } else {
+            continue;
+        };
+        let justification = safety_comment(file, t.start);
+        let (line, col) = file.lines.line_col(t.start);
+        inventory.push(UnsafeSite {
+            file: file.rel.clone(),
+            line,
+            span: (t.start, t.end),
+            kind,
+            justification: justification.clone().unwrap_or_default(),
+        });
+        let problem = match justification.as_deref() {
+            None => Some(format!(
+                "`unsafe` {kind} without a `// SAFETY:` comment — state the invariant \
+                 that makes this sound, adjacent to the site"
+            )),
+            Some("") => Some(format!(
+                "`// SAFETY:` comment on this `unsafe` {kind} has an empty reason — \
+                 the justification must say *why* the operation is sound"
+            )),
+            Some(_) => None,
+        };
+        if let Some(message) = problem {
+            findings.push(Finding {
+                file: file.rel.clone(),
+                line,
+                col,
+                span: (t.start, t.end),
+                pass: PASS,
+                message,
+            });
+        }
+    }
+}
+
+/// Looks for a `SAFETY:` comment adjacent to the keyword at byte
+/// `offset`: on the same line, or anywhere in the contiguous run of
+/// comment lines directly above. Returns the first line of the reason
+/// (`Some("")` when the tag is present but the reason is empty, `None`
+/// when no tag is adjacent).
+fn safety_comment(file: &SourceFile, offset: usize) -> Option<String> {
+    let site_line = file.lines.line(offset);
+    // Walk comments bottom-up; `expect` is the highest line a comment
+    // may end on and still touch the run (the site line itself, then
+    // each comment's start line as the run extends upward).
+    let mut expect = site_line;
+    for c in file.comments.iter().rev() {
+        let start_line = file.lines.line(c.start);
+        let end_line = file.lines.line(c.end.saturating_sub(1).max(c.start));
+        if end_line > site_line {
+            continue; // Below the site in the file.
+        }
+        if end_line + 1 < expect {
+            break; // A blank or code line separates the run.
+        }
+        if let Some(reason) = safety_reason(c.text(&file.src)) {
+            return Some(reason);
+        }
+        expect = start_line;
+    }
+    None
+}
+
+/// Extracts the first-line reason from a comment whose body starts
+/// with `SAFETY:`.
+fn safety_reason(comment: &str) -> Option<String> {
+    let body = comment
+        .trim_start_matches('/')
+        .trim_start_matches('*')
+        .trim_start();
+    let rest = body.strip_prefix("SAFETY:")?;
+    let first = rest.lines().next().unwrap_or("");
+    Some(first.trim().trim_end_matches("*/").trim().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(src: &str) -> (Vec<Finding>, Vec<UnsafeSite>) {
+        let file = SourceFile::from_source("crates/x/src/lib.rs".into(), src.into());
+        let mut findings = Vec::new();
+        let mut inventory = Vec::new();
+        run(&file, &mut findings, &mut inventory);
+        (findings, inventory)
+    }
+
+    #[test]
+    fn justified_block_is_clean_and_inventoried() {
+        let src =
+            "fn f() {\n    // SAFETY: the fd is owned and open.\n    unsafe { close(fd) };\n}";
+        let (f, inv) = check(src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].kind, "block");
+        assert_eq!(inv[0].justification, "the fd is owned and open.");
+        assert_eq!(inv[0].line, 3);
+    }
+
+    #[test]
+    fn same_line_comment_counts() {
+        let src = "fn f() { unsafe { g() } // SAFETY: g has no preconditions.\n}";
+        let (f, inv) = check(src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(inv[0].justification, "g has no preconditions.");
+    }
+
+    #[test]
+    fn multi_line_justification_is_found_through_the_run() {
+        let src = "// SAFETY: the pointer came from Box::into_raw and\n\
+                   // is consumed exactly once here.\n\
+                   unsafe fn g() {}";
+        let (f, inv) = check(src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(
+            inv[0].justification,
+            "the pointer came from Box::into_raw and"
+        );
+        assert_eq!(inv[0].kind, "fn");
+    }
+
+    #[test]
+    fn bare_unsafe_is_flagged() {
+        let src = "fn f() { unsafe { g() } }";
+        let (f, inv) = check(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("without a `// SAFETY:`"));
+        assert_eq!(inv[0].justification, "");
+    }
+
+    #[test]
+    fn empty_reason_is_flagged() {
+        let src = "// SAFETY:\nunsafe fn g() {}";
+        let (f, _) = check(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("empty reason"));
+    }
+
+    #[test]
+    fn a_blank_line_breaks_adjacency() {
+        let src = "// SAFETY: stale, belongs to nothing.\n\nunsafe fn g() {}";
+        let (f, _) = check(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+    }
+
+    #[test]
+    fn extern_blocks_are_sites_but_extern_fn_is_not() {
+        let src = "// SAFETY: signatures match the kernel ABI.\n\
+                   extern \"C\" { fn close(fd: i32) -> i32; }\n\
+                   pub extern \"C\" fn cb() {}";
+        let (f, inv) = check(src);
+        assert!(f.is_empty(), "{f:?}");
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].kind, "extern");
+    }
+
+    #[test]
+    fn unsafe_extern_block_is_one_site() {
+        let src = "unsafe extern \"C\" { fn close(fd: i32) -> i32; }";
+        let (f, inv) = check(src);
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].kind, "extern");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn test_code_is_audited_too() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t() { unsafe { g() } }\n}";
+        let (f, inv) = check(src);
+        assert_eq!(f.len(), 1, "unsafe is unsafe in tests too: {f:?}");
+        assert_eq!(inv.len(), 1);
+    }
+
+    #[test]
+    fn strings_and_nested_comments_do_not_produce_sites() {
+        let src = "fn f() {\n\
+                   let a = \"unsafe { not code }\";\n\
+                   let b = r#\"SAFETY: also not code, unsafe fn\"#;\n\
+                   /* outer /* unsafe { nested } */ still comment */\n\
+                   let _ = (a, b);\n}";
+        let (f, inv) = check(src);
+        assert!(f.is_empty(), "{f:?}");
+        assert!(inv.is_empty(), "{inv:?}");
+    }
+
+    #[test]
+    fn inventory_tsv_renders_one_row_per_site() {
+        let src = "// SAFETY: fine.\nunsafe fn g() {}";
+        let (_, inv) = check(src);
+        let tsv = inventory_tsv(&inv);
+        let lines: Vec<&str> = tsv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("# unsafe inventory"));
+        assert!(lines[1].starts_with("crates/x/src/lib.rs\t2\t"));
+        assert!(lines[1].ends_with("\tfn\tfine."));
+    }
+}

@@ -1,0 +1,121 @@
+//! End-to-end tests of the `fungus-lint` binary itself: the exit-code
+//! contract (0 clean, 1 findings, 2 internal error / bad manifest) and
+//! the two output formats, snapshot-pinned against the violating
+//! fixture so any drift in finding text or JSON shape is a visible
+//! diff.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fungus-lint"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn run_on(fixture: &str, extra: &[&str]) -> Output {
+    let root = fixture_root(fixture);
+    let mut args = vec!["check", "--root", root.to_str().unwrap()];
+    args.extend_from_slice(extra);
+    run(&args)
+}
+
+fn snapshot(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/snapshots")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("snapshot {} unreadable: {e}", path.display()))
+}
+
+#[test]
+fn clean_tree_exits_zero_and_names_every_pass() {
+    let out = run_on("clean", &[]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(out.stdout.is_empty());
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(
+        stderr.contains(
+            "3 files clean (determinism, lock_order, panic, unsafe, \
+             reactor_blocking, atomics)"
+        ),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn violating_tree_exits_one_with_the_pinned_human_report() {
+    let out = run_on("violating", &[]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert_eq!(
+        String::from_utf8(out.stdout).unwrap(),
+        snapshot("violating-human.txt")
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("12 finding(s) across 5 files"), "{stderr}");
+}
+
+#[test]
+fn violating_tree_exits_one_with_the_pinned_json_report() {
+    let out = run_on("violating", &["--format", "json"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert_eq!(stdout, snapshot("violating-json.txt"));
+    // One object per line, shape-checked without a JSON parser: every
+    // line carries the five keys in order.
+    for line in stdout.lines() {
+        assert!(line.starts_with("{\"pass\":\""), "{line}");
+        for key in [
+            "\"file\":",
+            "\"line\":",
+            "\"col\":",
+            "\"span\":[",
+            "\"message\":",
+        ] {
+            assert!(line.contains(key), "{line}");
+        }
+        assert!(line.ends_with("\"}"), "{line}");
+    }
+}
+
+#[test]
+fn broken_manifest_exits_two() {
+    let out = run_on("broken", &[]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("app::missing"), "{stderr}");
+}
+
+#[test]
+fn missing_root_exits_two() {
+    let out = run(&["check", "--root", "/no/such/fixture/root"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn bad_format_value_exits_two() {
+    let out = run_on("clean", &["--format", "yaml"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("`human` or `json`"), "{stderr}");
+}
+
+#[test]
+fn unsafe_inventory_dump_matches_the_fixture_site() {
+    let root = fixture_root("clean");
+    let out = run(&["dump-unsafe-inventory", "--root", root.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "{stdout}");
+    assert!(lines[0].starts_with("# unsafe inventory"));
+    assert!(lines[1].starts_with("crates/app/src/lib.rs\t"));
+    assert!(lines[1].contains("\tblock\tsysconf takes no pointers"));
+}

@@ -45,6 +45,13 @@ fn clean_fixture_produces_no_findings() {
     // The ascending acquisition in `ascending()` is still observed:
     // the lock graph has the outer → inner edge.
     assert_eq!(report.graph.edges.len(), 1);
+    // The justified `unsafe` block in `page_size()` is clean but still
+    // inventoried — silence never means invisible.
+    assert_eq!(report.unsafe_sites.len(), 1);
+    assert_eq!(report.unsafe_sites[0].kind, "block");
+    assert!(report.unsafe_sites[0]
+        .justification
+        .starts_with("sysconf takes no pointers"));
 }
 
 #[test]
@@ -52,22 +59,46 @@ fn violating_fixture_produces_exactly_the_known_findings() {
     let root = fixture_root("violating");
     let report = check_workspace(&root).expect("fixture manifest parses");
 
+    let atomics = "crates/app/src/atomics.rs";
     let lib = "crates/app/src/lib.rs";
+    let reactor = "crates/app/src/reactor.rs";
+    let uns = "crates/app/src/unsafe_sites.rs";
     let wire = "crates/app/src/wire.rs";
     // Each entry: (file, pass, line, span) of the token the pass
-    // anchors on — the `SystemTime` path head (occurrence 1; 0 is the
-    // return type), the `values` iteration method, the inverted `lock`
-    // call, the `unwrap` ident, and the index `[`.
+    // anchors on — the `Relaxed` ordering argument, the `SystemTime`
+    // path head (occurrence 1; 0 is the return type), the `values`
+    // iteration method, the inverted `lock` call, the `unwrap` ident,
+    // the blocking calls reached from the reactor entry, the two
+    // unjustified `unsafe` keywords, and the index `[`.
+    let relaxed = offset_of(&root, atomics, "Relaxed", 0);
     let sys = offset_of(&root, lib, "SystemTime", 1);
     let values = offset_of(&root, lib, "values", 0);
     let lock = offset_of(&root, lib, "outer.lock", 0) + "outer.".len();
     let unwrap = offset_of(&root, lib, "unwrap", 0);
+    let deep = offset_of(&root, reactor, "inner.lock", 0) + "inner.".len();
+    let recv = offset_of(&root, reactor, "rx.recv", 0) + "rx.".len();
+    let open = offset_of(&root, reactor, "File::open", 0) + "File::".len();
+    let sleep = offset_of(&root, reactor, "thread::sleep", 0) + "thread::".len();
+    let bare = offset_of(&root, uns, "unsafe", 0);
+    let empty = offset_of(&root, uns, "unsafe", 1);
     let index = offset_of(&root, wire, "buf[0]", 0) + "buf".len();
     let expected = vec![
+        (atomics, "atomics", 8, (relaxed, relaxed + "Relaxed".len())),
         (lib, "determinism", 9, (sys, sys + "SystemTime".len())),
         (lib, "determinism", 16, (values, values + "values".len())),
         (lib, "lock_order", 26, (lock, lock + "lock".len())),
         (lib, "panic", 33, (unwrap, unwrap + "unwrap".len())),
+        (reactor, "reactor_blocking", 10, (deep, deep + "lock".len())),
+        (reactor, "reactor_blocking", 12, (recv, recv + "recv".len())),
+        (reactor, "reactor_blocking", 13, (open, open + "open".len())),
+        (
+            reactor,
+            "reactor_blocking",
+            19,
+            (sleep, sleep + "sleep".len()),
+        ),
+        (uns, "unsafe", 6, (bare, bare + "unsafe".len())),
+        (uns, "unsafe", 10, (empty, empty + "unsafe".len())),
         (wire, "panic", 4, (index, index + 1)),
     ];
 
@@ -81,4 +112,30 @@ fn violating_fixture_produces_exactly_the_known_findings() {
     // The inversion is also in the graph: inner → outer, observed at
     // the violating call site.
     assert_eq!(report.graph.edges.len(), 1);
+
+    // Both bad unsafe sites are still inventoried, and the finding for
+    // the helper's sleep names the call-graph route from the entry.
+    assert_eq!(report.unsafe_sites.len(), 2);
+    let sleep_finding = report
+        .findings
+        .iter()
+        .find(|f| f.message.contains("thread::sleep"))
+        .expect("sleep finding present");
+    assert!(
+        sleep_finding
+            .message
+            .contains("reached via run_loop → helper"),
+        "{}",
+        sleep_finding.message
+    );
+}
+
+#[test]
+fn broken_manifest_is_a_hard_error() {
+    let root = fixture_root("broken");
+    let err = match check_workspace(&root) {
+        Err(e) => e,
+        Ok(_) => panic!("broken manifest must not produce a report"),
+    };
+    assert!(err.contains("app::missing"), "{err}");
 }

@@ -1,0 +1,4 @@
+//! Minimal tree for the broken-manifest fixture; the error comes from
+//! the manifest, not from anything in here.
+
+pub fn nothing() {}

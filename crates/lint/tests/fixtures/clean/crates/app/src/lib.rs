@@ -33,6 +33,37 @@ pub fn error_path(x: Option<u8>) -> Result<u8, String> {
     x.ok_or_else(|| "missing".to_string())
 }
 
+/// Declared reactor entry: only the leaf class at the ceiling rank,
+/// and the poller's one legal rendezvous.
+pub fn run_loop(outer: &Lock, poller: &mut Poller) {
+    let g = outer.lock();
+    drop(g);
+    poller.wait();
+}
+
+/// Audited atomic read with the required ordering.
+pub fn current_epoch(epoch: &AtomicU64) -> u64 {
+    epoch.load(Ordering::Acquire)
+}
+
+/// Justified unsafe site: the adjacent SAFETY comment keeps the
+/// hygiene pass silent and lands in the inventory.
+pub fn page_size() -> usize {
+    // SAFETY: sysconf takes no pointers and cannot fail for this
+    // argument on any supported platform.
+    unsafe { sysconf(SC_PAGESIZE) as usize }
+}
+
+/// Lexer edge cases: keyword-shaped text inside strings and comments
+/// must never become findings.
+/* outer /* nested block comment mentioning unsafe { } */ still out */
+pub fn lexer_edges() -> (&'static str, &'static str) {
+    (
+        "unsafe { not_code() } and rx.recv() in a plain string",
+        r#"raw string: SAFETY: nothing, thread::sleep, epoch.load(Ordering::Relaxed)"#,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     // Test code may panic and read clocks freely.

@@ -1,0 +1,9 @@
+//! Deliberately-violating fixture: an audited atomic read with a weak
+//! memory order.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Audited epoch cell read with the forbidden weak order (atomics).
+pub fn weak_epoch(epoch: &AtomicU64) -> u64 {
+    epoch.load(Ordering::Relaxed)
+}

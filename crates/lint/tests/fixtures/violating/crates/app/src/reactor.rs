@@ -1,0 +1,20 @@
+//! Deliberately-violating fixture: the declared reactor entry reaches
+//! four stalls — a deep acquisition and three calls that park the
+//! thread, one of them behind a helper edge in the call graph.
+
+use std::fs::File;
+
+/// Reactor entry declared in the manifest; everything in here freezes
+/// the whole loop (reactor_blocking).
+pub fn run_loop(inner: &Lock, rx: &Receiver<u8>) {
+    let g = inner.lock();
+    drop(g);
+    let _ = rx.recv();
+    let _ = File::open("state.bin");
+    helper();
+}
+
+/// Reached from the entry through one call edge.
+fn helper() {
+    std::thread::sleep(std::time::Duration::from_millis(5));
+}

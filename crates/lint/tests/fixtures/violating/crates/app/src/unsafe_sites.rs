@@ -1,0 +1,10 @@
+//! Deliberately-violating fixture: one bare block with no adjacent
+//! justification, and one tagged comment whose reason is empty.
+
+/// Missing the required adjacent comment entirely.
+pub fn bare() {
+    unsafe { touch() }
+}
+
+// SAFETY:
+pub unsafe fn empty_reason() {}

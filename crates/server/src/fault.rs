@@ -332,6 +332,7 @@ impl<S: Read> Read for Faulty<S> {
                 "injected Interrupted",
             )),
             Some(Fault::Delay) => {
+                // lint: allow(reactor_blocking, "injected chaos fault: the delay is the stall under test, bounded by delay_duration and active only under a FaultPlan")
                 std::thread::sleep(self.schedule.delay_duration());
                 self.inner.read(buf)
             }

@@ -125,6 +125,8 @@ mod epoll {
         data: u64,
     }
 
+    // SAFETY: signatures transcribed from the Linux epoll(7) / close(2)
+    // ABI; every pointer argument is validated at the call sites below.
     extern "C" {
         fn epoll_create1(flags: c_int) -> c_int;
         fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
@@ -147,7 +149,7 @@ mod epoll {
     impl EpollPoller {
         /// Opens a new epoll instance (close-on-exec).
         pub fn new() -> io::Result<EpollPoller> {
-            // Safety: epoll_create1 takes no pointers; a negative return
+            // SAFETY: epoll_create1 takes no pointers; a negative return
             // is reported through errno.
             let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
             if epfd < 0 {
@@ -164,7 +166,7 @@ mod epoll {
                 events: mask(interest),
                 data: token as u64,
             };
-            // Safety: `ev` outlives the call; DEL ignores the event
+            // SAFETY: `ev` outlives the call; DEL ignores the event
             // pointer on modern kernels but we pass a valid one anyway.
             let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
             if rc < 0 {
@@ -207,7 +209,7 @@ mod epoll {
 
         fn wait(&mut self, events: &mut Vec<Event>, timeout: Duration) -> io::Result<()> {
             events.clear();
-            // Safety: `buf` is a live, writable array of `len` ABI-layout
+            // SAFETY: `buf` is a live, writable array of `len` ABI-layout
             // events; the kernel fills at most `maxevents` entries.
             let n = unsafe {
                 epoll_wait(
@@ -242,7 +244,7 @@ mod epoll {
 
     impl Drop for EpollPoller {
         fn drop(&mut self) {
-            // Safety: epfd was returned by epoll_create1 and is only
+            // SAFETY: epfd was returned by epoll_create1 and is only
             // closed here.
             unsafe {
                 close(self.epfd);
@@ -270,6 +272,8 @@ mod fallback {
         revents: i16,
     }
 
+    // SAFETY: signature transcribed from the POSIX poll(2) ABI; the fds
+    // pointer is validated at the single call site below.
     extern "C" {
         fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
     }
@@ -345,7 +349,7 @@ mod fallback {
                     revents: 0,
                 });
             }
-            // Safety: scratch is a live array of entries.len() pollfds;
+            // SAFETY: scratch is a live array of entries.len() pollfds;
             // the kernel only writes the revents fields.
             let n = unsafe {
                 poll(

@@ -567,6 +567,7 @@ fn accept_loop(
                         sessions,
                         next,
                     } => {
+                        // lint: allow(atomics, "id allocator: only RMW atomicity is needed, ids are unique under any ordering")
                         let id = sessions.fetch_add(1, Ordering::Relaxed) + 1;
                         shareds[*next].enroll(stream, id);
                         *next = (*next + 1) % shareds.len();
@@ -660,6 +661,7 @@ fn stream_loop(rx: &Receiver<TcpStream>, ctx: &WorkerCtx) {
         match rx.recv_timeout(POLL_SLICE) {
             Ok(stream) => {
                 let _guard = ActiveGuard(Arc::clone(&ctx.active));
+                // lint: allow(atomics, "id allocator: only RMW atomicity is needed, ids are unique under any ordering")
                 let id = ctx.sessions.fetch_add(1, Ordering::Relaxed) + 1;
                 let session = Session::new(id, ctx.db.clone()).with_stats(Arc::clone(&ctx.stats));
                 handle_connection(stream, id, session, ctx);
